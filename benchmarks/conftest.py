@@ -1,0 +1,34 @@
+"""Shared infrastructure for the benchmark/experiment suite.
+
+Every experiment (E1–E14, see DESIGN.md §3) regenerates one of the paper's
+theorems or figures as a table.  Tables are printed *and* written to
+``benchmarks/results/<experiment>.txt`` so the numbers survive pytest's
+output capture and can be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir):
+    """Returns a writer: ``report(experiment_id, text)`` prints the table and
+    persists it under benchmarks/results/."""
+
+    def write(experiment: str, text: str) -> None:
+        print(f"\n{text}\n")
+        path = results_dir / f"{experiment}.txt"
+        path.write_text(text + "\n")
+
+    return write

@@ -1,0 +1,90 @@
+"""E10 — Fig. 7: verification sets for every role-preserving qhorn query on
+two variables.
+
+The paper tabulates, per query, which membership questions appear in each
+verification-set row (A1/A2/A4/N1/N2; A3 never fires at n=2).  We enumerate
+all 11 semantically distinct two-variable queries (Fig. 7 shows 7 — one per
+orbit under swapping x1 and x2) and regenerate the full table.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.core import tuples as bt
+from repro.core.generators import enumerate_role_preserving
+from repro.core.normalize import canonicalize
+from repro.verification import build_verification_set
+
+
+def _cell(questions) -> str:
+    if not questions:
+        return "-"
+    return " | ".join(
+        "{" + ",".join(
+            bt.format_tuple(t, q.question.n)
+            for t in q.question.sorted_tuples()
+        ) + "}"
+        for q in questions
+    )
+
+
+def _swap_mask(t: int) -> int:
+    return ((t & 1) << 1) | ((t >> 1) & 1)
+
+
+def test_e10_fig7_table(report, benchmark):
+    queries = sorted(
+        enumerate_role_preserving(2), key=lambda q: q.shorthand()
+    )
+    assert len(queries) == 11
+
+    rows = []
+    for q in queries:
+        vs = build_verification_set(q)
+        rows.append(
+            [
+                q.shorthand(),
+                _cell(vs.by_kind("A1")),
+                _cell(vs.by_kind("A2")),
+                _cell(vs.by_kind("A4")),
+                _cell(vs.by_kind("N1")),
+                _cell(vs.by_kind("N2")),
+            ]
+        )
+        # Fig. 7: no A3 questions exist on two variables.
+        assert not vs.by_kind("A3")
+
+    table = render_table(
+        ["query", "A1", "A2", "A4", "N1", "N2"],
+        rows,
+        title=(
+            "E10 / Fig. 7 — verification sets of all role-preserving "
+            "queries on two variables (paper lists the 7 orbits under "
+            "x1<->x2 symmetry; we list all 11 queries)"
+        ),
+    )
+
+    # the 11 queries collapse to 7 orbits under variable swap, as in Fig. 7
+    def orbit_key(q):
+        swapped = canonicalize(
+            type(q)(
+                n=2,
+                universals=frozenset(
+                    type(u)(head=1 - u.head,
+                            body=frozenset(1 - v for v in u.body))
+                    for u in q.universals
+                ),
+                existentials=frozenset(
+                    type(e)(frozenset(1 - v for v in e.variables))
+                    for e in q.existentials
+                ),
+            )
+        )
+        return min(str(canonicalize(q)), str(swapped))
+
+    orbits = {orbit_key(q) for q in queries}
+    table += f"\norbits under x1<->x2 swap: {len(orbits)} (Fig. 7 columns: 7)"
+    report("e10_fig7_two_var_sets", table)
+    assert len(orbits) == 7
+
+    benchmark(lambda: [build_verification_set(q) for q in queries])

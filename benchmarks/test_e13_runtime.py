@@ -1,0 +1,74 @@
+"""E13 — §2.1.2's interactivity requirement: question generation and
+learning run in polynomial time.
+
+pytest-benchmark timings for the operations a DataPlay-style UI performs
+per interaction: building each question shape, evaluating a query over an
+object, one full learning session, one verification session, and the
+Boolean→data synthesis bridge.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import tuples as bt
+from repro.core.generators import paper_running_query, random_qhorn1
+from repro.core.tuples import Question
+from repro.data.chocolate import random_store, storefront_vocabulary
+from repro.learning import Qhorn1Learner
+from repro.learning.questions import matrix_question, universal_head_question
+from repro.oracle import QueryOracle
+from repro.verification import build_verification_set, verify_query
+
+N = 64
+
+
+def test_e13_question_generation_head(benchmark):
+    benchmark(universal_head_question, N, 17)
+
+
+def test_e13_question_generation_matrix(benchmark):
+    benchmark(matrix_question, N, list(range(N)))
+
+
+def test_e13_query_evaluation(benchmark):
+    rng = random.Random(5)
+    query = random_qhorn1(N, rng)
+    obj = Question.of(
+        N, [rng.randrange(1 << N) | bt.all_true(N) >> 1 for _ in range(16)]
+    )
+    benchmark(query.evaluate, obj)
+
+
+def test_e13_full_learning_session(benchmark):
+    rng = random.Random(6)
+    target = random_qhorn1(48, rng)
+
+    benchmark(lambda: Qhorn1Learner(QueryOracle(target)).learn())
+
+
+def test_e13_verification_session(benchmark):
+    query = paper_running_query()
+
+    def run():
+        vs = build_verification_set(query)
+        outcome = verify_query(query, QueryOracle(query))
+        assert outcome.verified
+        return vs
+
+    benchmark(run)
+
+
+def test_e13_data_synthesis(benchmark):
+    vocab = storefront_vocabulary()
+    question = Question.of(4, range(16))
+    benchmark(vocab.synthesize_object, question)
+
+
+def test_e13_engine_scan(benchmark):
+    from repro.data import QueryEngine
+    from repro.data.chocolate import intro_query
+
+    store = random_store(200, random.Random(9))
+    engine = QueryEngine(store, storefront_vocabulary())
+    benchmark(engine.execute, intro_query())

@@ -1,0 +1,86 @@
+"""E15 — §6 (future work, implemented): query revision.
+
+"Given a query which is close to the user's intended query, our goal is to
+determine the intended query through few membership questions — polynomial
+in the distance between the given query and the intended query."
+
+Measured: revision cost vs the lattice revision distance (§6's suggested
+metric, `analysis.revision_distance`), against learning from scratch.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+from repro.analysis import render_table, revision_distance
+from repro.core.generators import random_role_preserving
+from repro.core.normalize import canonicalize
+from repro.learning import RolePreservingLearner, revise_query
+from repro.oracle import CountingOracle, QueryOracle
+
+
+def test_e15_revision_cost_vs_distance(report, benchmark):
+    rng = random.Random(15000)
+    buckets: dict[str, list[tuple[int, int]]] = {}
+    for _ in range(120):
+        n = rng.randint(5, 10)
+        intended = random_role_preserving(n, rng, theta=2)
+        if rng.random() < 0.4:
+            given = intended  # distance 0
+        else:
+            given = random_role_preserving(n, rng, theta=2)
+        distance = revision_distance(given, intended)
+        bucket = (
+            "0"
+            if distance == 0
+            else "1-4"
+            if distance <= 4
+            else "5-9"
+            if distance <= 9
+            else "10+"
+        )
+        oracle = CountingOracle(QueryOracle(intended))
+        result = revise_query(given, oracle)
+        assert canonicalize(result.query) == canonicalize(intended)
+        learn_oracle = CountingOracle(QueryOracle(intended))
+        RolePreservingLearner(learn_oracle).learn()
+        buckets.setdefault(bucket, []).append(
+            (oracle.questions_asked, learn_oracle.questions_asked)
+        )
+    rows = []
+    means = {}
+    for bucket in ("0", "1-4", "5-9", "10+"):
+        entries = buckets.get(bucket, [])
+        if not entries:
+            continue
+        mean_rev = statistics.mean(q for q, _ in entries)
+        mean_learn = statistics.mean(l for _, l in entries)
+        means[bucket] = mean_rev
+        rows.append(
+            [bucket, len(entries), f"{mean_rev:.1f}", f"{mean_learn:.1f}",
+             f"{mean_learn / mean_rev:.2f}x"]
+        )
+    table = render_table(
+        ["revision distance", "pairs", "revision questions",
+         "learning questions", "saving"],
+        rows,
+        title=(
+            "E15 / §6 — revision cost grows with lattice distance and "
+            "undercuts learning from scratch (all revisions exact)"
+        ),
+    )
+    report("e15_revision", table)
+    assert means["0"] < means["10+"]
+    # confirming a correct query must beat relearning it
+    zero_entries = buckets["0"]
+    assert statistics.mean(q for q, _ in zero_entries) < statistics.mean(
+        l for _, l in zero_entries
+    )
+
+    def confirm_once():
+        r = random.Random(1)
+        q = random_role_preserving(8, r, theta=2)
+        revise_query(q, QueryOracle(q))
+
+    benchmark(confirm_once)

@@ -1,0 +1,79 @@
+"""E1 — Theorem 3.1: qhorn-1 is exactly learnable with O(n lg n) questions.
+
+Regenerates the theorem as a scaling table: mean/max membership questions
+over seeded random qhorn-1 targets for growing n, the measured n-lg-n fit,
+and the information-theoretic floor lg B_n from §2.1.3.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+from repro.analysis import (
+    empirical_exponent,
+    fit_model,
+    qhorn1_lower_bound_bits,
+    render_table,
+)
+from repro.core.generators import random_qhorn1
+from repro.core.normalize import canonicalize
+from repro.learning import Qhorn1Learner
+from repro.oracle import CountingOracle, QueryOracle
+
+NS = (8, 16, 32, 64, 96)
+SEEDS = 12
+
+
+def _measure(n: int) -> tuple[float, int]:
+    rng = random.Random(1000 + n)
+    counts = []
+    for _ in range(SEEDS):
+        target = random_qhorn1(n, rng)
+        oracle = CountingOracle(QueryOracle(target))
+        result = Qhorn1Learner(oracle).learn()
+        assert canonicalize(result.query) == canonicalize(target)
+        counts.append(oracle.questions_asked)
+    return statistics.mean(counts), max(counts)
+
+
+def test_e1_question_scaling(report, benchmark):
+    rows = []
+    ns, means = [], []
+    for n in NS:
+        mean, worst = _measure(n)
+        ns.append(n)
+        means.append(mean)
+        import math
+
+        rows.append(
+            [
+                n,
+                f"{mean:.1f}",
+                worst,
+                f"{mean / (n * math.log2(n)):.3f}",
+                f"{qhorn1_lower_bound_bits(n):.1f}",
+            ]
+        )
+    fit = fit_model(ns, means, "n log n")
+    exponent = empirical_exponent(ns, means)
+    table = render_table(
+        ["n", "mean questions", "max", "ratio to n·lg n", "lg B_n (floor)"],
+        rows,
+        title=(
+            "E1 / Theorem 3.1 — qhorn-1 learning questions "
+            "(paper: O(n lg n), exact identification)"
+        ),
+    )
+    table += f"\nfit: {fit.describe()}\nlog-log exponent: {exponent:.2f}"
+    report("e1_qhorn1_scaling", table)
+    assert fit.r_squared > 0.98
+    assert exponent < 1.6  # far from quadratic
+
+    # wall-clock for one representative learning run
+    def run_once():
+        rng = random.Random(0)
+        target = random_qhorn1(32, rng)
+        Qhorn1Learner(QueryOracle(target)).learn()
+
+    benchmark(run_once)

@@ -1,0 +1,62 @@
+"""E21 — the database side at scale: in-process engine vs compiled SQL.
+
+Not a paper experiment, but the measurement a database reader asks for:
+executing learned qhorn queries over growing nested relations, comparing
+the in-process evaluator with the SQL compilation running on SQLite (both
+must return identical answers; E21 reports throughput).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.analysis import render_table
+from repro.data import QueryEngine
+from repro.data.chocolate import (
+    intro_query,
+    random_store,
+    storefront_vocabulary,
+)
+from repro.data.sql import SqliteEngine
+
+SIZES = (100, 400, 1600)
+
+
+def test_e21_engine_scaling(report, benchmark):
+    vocab = storefront_vocabulary()
+    query = intro_query()
+    rows = []
+    for size in SIZES:
+        store = random_store(size, random.Random(2100 + size))
+        memory = QueryEngine(store, vocab)
+        t0 = time.perf_counter()
+        via_memory = sorted(o.key for o in memory.execute(query))
+        mem_ms = (time.perf_counter() - t0) * 1000
+        with SqliteEngine(store, vocab) as db:
+            t0 = time.perf_counter()
+            via_sql = db.execute(query)
+            sql_ms = (time.perf_counter() - t0) * 1000
+        assert via_sql == via_memory
+        rows.append(
+            [
+                size,
+                len(via_memory),
+                f"{mem_ms:.2f}",
+                f"{sql_ms:.2f}",
+                f"{1000 * mem_ms / size:.1f}",
+            ]
+        )
+    table = render_table(
+        ["boxes", "answers", "in-process ms", "SQLite ms", "µs/object (mem)"],
+        rows,
+        title=(
+            "E21 — query execution at scale: in-process evaluator vs "
+            "compiled SQL on SQLite (answers always identical)"
+        ),
+    )
+    report("e21_engine_scale", table)
+
+    store = random_store(400, random.Random(7))
+    engine = QueryEngine(store, vocab)
+    benchmark(engine.execute, query)

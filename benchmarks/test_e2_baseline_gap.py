@@ -1,0 +1,67 @@
+"""E2 — §3.1.2's strawman: serial dependence testing costs Θ(n²).
+
+"The most straightforward way to learn the body variables ... is with O(n²)
+questions ... We can do better."  This experiment measures the gap between
+that straightforward learner and the binary-search learner on identical
+targets.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+from repro.analysis import empirical_exponent, render_table
+from repro.core.generators import random_qhorn1
+from repro.core.normalize import canonicalize
+from repro.learning import NaiveQhorn1Learner, Qhorn1Learner
+from repro.oracle import CountingOracle, QueryOracle
+
+NS = (8, 16, 32, 64)
+SEEDS = 8
+
+
+def _mean_questions(learner_cls, n: int) -> float:
+    rng = random.Random(2000 + n)
+    counts = []
+    for _ in range(SEEDS):
+        target = random_qhorn1(n, rng)
+        oracle = CountingOracle(QueryOracle(target))
+        result = learner_cls(oracle).learn()
+        assert canonicalize(result.query) == canonicalize(target)
+        counts.append(oracle.questions_asked)
+    return statistics.mean(counts)
+
+
+def test_e2_naive_vs_binary_search(report, benchmark):
+    rows, ns, fast_means, naive_means = [], [], [], []
+    for n in NS:
+        fast = _mean_questions(Qhorn1Learner, n)
+        naive = _mean_questions(NaiveQhorn1Learner, n)
+        ns.append(n)
+        fast_means.append(fast)
+        naive_means.append(naive)
+        rows.append([n, f"{fast:.1f}", f"{naive:.1f}", f"{naive / fast:.2f}x"])
+    table = render_table(
+        ["n", "O(n lg n) learner", "serial Θ(n²) learner", "gap"],
+        rows,
+        title=(
+            "E2 / §3.1.2 — binary search vs the serial strawman "
+            "(paper: n² -> n lg n)"
+        ),
+    )
+    fast_exp = empirical_exponent(ns, fast_means)
+    naive_exp = empirical_exponent(ns, naive_means)
+    table += (
+        f"\nlog-log exponents: binary-search {fast_exp:.2f}, "
+        f"serial {naive_exp:.2f} (paper: ~1+lg-factor vs 2)"
+    )
+    report("e2_baseline_gap", table)
+    assert naive_exp > fast_exp + 0.25
+    assert all(nv > fv for fv, nv in zip(fast_means, naive_means))
+
+    def run_once():
+        rng = random.Random(0)
+        NaiveQhorn1Learner(QueryOracle(random_qhorn1(16, rng))).learn()
+
+    benchmark(run_once)

@@ -1,0 +1,120 @@
+"""E3 — Theorems 3.5 + 3.8: role-preserving qhorn learning costs
+O(n^{θ+1}) questions for universal Horn expressions plus O(kn lg n) for
+existential conjunctions.
+
+Two sweeps: n for fixed θ ∈ {1, 2, 3} (polynomial degree grows with θ), and
+k (number of conjunctions) for fixed n (linear growth).
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+from repro.analysis import empirical_exponent, render_table
+from repro.core.generators import random_role_preserving
+from repro.core.normalize import canonicalize
+from repro.learning import RolePreservingLearner
+from repro.oracle import CountingOracle, QueryOracle
+
+NS = (6, 9, 12, 15, 18)
+SEEDS = 6
+
+
+def _mean_questions(n: int, theta: int, n_conjunctions: int = 2) -> float:
+    rng = random.Random(3000 + 97 * n + theta)
+    counts = []
+    for _ in range(SEEDS):
+        target = random_role_preserving(
+            n, rng, n_heads=2, theta=theta, n_conjunctions=n_conjunctions,
+            allow_bodyless=False,
+        )
+        oracle = CountingOracle(QueryOracle(target))
+        result = RolePreservingLearner(oracle).learn()
+        assert canonicalize(result.query) == canonicalize(target)
+        counts.append(oracle.questions_asked)
+    return statistics.mean(counts)
+
+
+def test_e3_scaling_in_n_per_theta(report, benchmark):
+    rows = []
+    exponents = {}
+    for theta in (1, 2, 3):
+        means = [_mean_questions(n, theta) for n in NS]
+        exponents[theta] = empirical_exponent(list(NS), means)
+        rows.append(
+            [f"θ={theta}"]
+            + [f"{m:.0f}" for m in means]
+            + [f"{exponents[theta]:.2f}"]
+        )
+    table = render_table(
+        ["", *(f"n={n}" for n in NS), "log-log slope"],
+        rows,
+        title=(
+            "E3a / Thm 3.5 — role-preserving learning questions vs n "
+            "(paper: O(n^{θ+1} + kn lg n))"
+        ),
+    )
+    report("e3a_role_preserving_vs_n", table)
+    # higher causal density must cost more, and every slope must respect
+    # the paper's θ+1 exponent (plus the kn lg n term's slack)
+    assert exponents[1] <= exponents[3] + 0.5
+    for theta, exp in exponents.items():
+        assert exp < theta + 1.7, (theta, exp)
+
+    def run_once():
+        rng = random.Random(1)
+        t = random_role_preserving(10, rng, n_heads=2, theta=2)
+        RolePreservingLearner(QueryOracle(t)).learn()
+
+    benchmark(run_once)
+
+
+def _antichain_target(n: int, k: int, rng: random.Random):
+    """Exactly k incomparable conjunctions at level n/2 — the normalized
+    query size is k by construction, so the sweep controls k directly."""
+    from repro.core.query import QhornQuery
+
+    half = n // 2
+    chosen: set[frozenset[int]] = set()
+    while len(chosen) < k:
+        chosen.add(frozenset(rng.sample(range(n), half)))
+    return QhornQuery.build(n, existentials=[sorted(c) for c in chosen])
+
+
+def test_e3_scaling_in_k(report, benchmark):
+    n = 12
+    rows, ks, means = [], [], []
+    for k in (1, 2, 4, 8, 16):
+        rng = random.Random(3500 + k)
+        counts = []
+        for _ in range(SEEDS):
+            target = _antichain_target(n, k, rng)
+            oracle = CountingOracle(QueryOracle(target))
+            result = RolePreservingLearner(oracle).learn()
+            assert canonicalize(result.query) == canonicalize(target)
+            counts.append(oracle.questions_asked)
+        mean = statistics.mean(counts)
+        ks.append(k)
+        means.append(mean)
+        import math
+
+        rows.append([k, f"{mean:.0f}", f"{mean / (k * n * math.log2(n)):.2f}"])
+    table = render_table(
+        ["k (dominant conjunctions)", "mean questions", "ratio to k·n·lg n"],
+        rows,
+        title=(
+            "E3b / Thm 3.8 — questions vs number of dominant existential "
+            "conjunctions at n=12 (paper: O(kn lg n))"
+        ),
+    )
+    slope = empirical_exponent(ks, means)
+    table += f"\nlog-log slope in k: {slope:.2f} (paper: ≤ 1)"
+    report("e3b_role_preserving_vs_k", table)
+    assert slope < 1.2
+
+    benchmark(
+        lambda: RolePreservingLearner(
+            QueryOracle(_antichain_target(n, 4, random.Random(2)))
+        ).learn()
+    )

@@ -1,0 +1,66 @@
+"""E4 — §4: verification needs O(k) questions, learning needs
+O(n^{θ+1} + kn lg n).
+
+For each target we build the verification set and also learn the query from
+scratch, reporting both question counts side by side — the paper's central
+economy argument for verification over learning.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+from repro.analysis import fit_model, render_table
+from repro.core.generators import random_role_preserving
+from repro.core.normalize import canonicalize
+from repro.learning import RolePreservingLearner
+from repro.oracle import CountingOracle, QueryOracle
+from repro.verification import build_verification_set
+
+
+def _k(query) -> int:
+    canon = canonicalize(query)
+    return len(canon.universals) + len(canon.conjunctions)
+
+
+def test_e4_verification_vs_learning(report, benchmark):
+    rng = random.Random(4000)
+    buckets: dict[int, list[tuple[int, int]]] = {}
+    for _ in range(80):
+        n = rng.randint(6, 12)
+        target = random_role_preserving(
+            n, rng, theta=2, n_conjunctions=rng.randint(1, 5)
+        )
+        k = _k(target)
+        vs = build_verification_set(target)
+        oracle = CountingOracle(QueryOracle(target))
+        RolePreservingLearner(oracle).learn()
+        buckets.setdefault(k, []).append((vs.size, oracle.questions_asked))
+    rows, ks, sizes = [], [], []
+    for k in sorted(buckets):
+        entries = buckets[k]
+        mean_vs = statistics.mean(v for v, _ in entries)
+        mean_learn = statistics.mean(l for _, l in entries)
+        ks.append(k)
+        sizes.append(mean_vs)
+        rows.append(
+            [k, len(entries), f"{mean_vs:.1f}", f"{mean_learn:.1f}",
+             f"{mean_learn / mean_vs:.1f}x"]
+        )
+    fit = fit_model(ks, sizes, "n")  # linear in k
+    table = render_table(
+        ["k (normalized size)", "targets", "verification questions",
+         "learning questions", "learning/verification"],
+        rows,
+        title="E4 / §4 — verification set size vs learning cost (paper: O(k) vs O(n^{θ+1}+kn lg n))",
+    )
+    table += f"\nlinear fit of verification size in k: {fit.describe()}"
+    report("e4_verification_size", table)
+    assert fit.r_squared > 0.8
+    # verification strictly cheaper than learning on every bucket
+    for row in rows:
+        assert float(row[3]) > float(row[2])
+
+    target = random_role_preserving(10, random.Random(7), theta=2)
+    benchmark(build_verification_set, target)

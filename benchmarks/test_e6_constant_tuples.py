@@ -1,0 +1,57 @@
+"""E6 — Lemma 3.4: with at most c tuples per question, learning existential
+expressions takes Ω(n²/c²) questions.
+
+The head-pair learner realizes the lemma's optimal strategy (only class-2
+tuples are informative; each non-answer kills C(c,2)-ish pairs).  We measure
+its worst case over head-pair placements for each (n, c) and compare with
+the n²/c² prediction; doubling c should quarter the count.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.analysis import render_table
+from repro.core.generators import head_pair_query
+from repro.learning import HeadPairLearner
+from repro.oracle import QueryOracle
+
+
+def _worst_case(n: int, c: int) -> int:
+    worst = 0
+    for i, j in combinations(range(n), 2):
+        learner = HeadPairLearner(
+            QueryOracle(head_pair_query(n, i, j)), max_tuples=c
+        )
+        pair = learner.learn()
+        assert set(pair) == {i, j}
+        worst = max(worst, learner.questions_asked)
+    return worst
+
+
+def test_e6_question_count_vs_tuple_budget(report, benchmark):
+    rows = []
+    worst: dict[tuple[int, int], int] = {}
+    for n in (8, 16, 24):
+        for c in (4, 8):
+            worst[(n, c)] = _worst_case(n, c)
+            rows.append(
+                [n, c, worst[(n, c)], f"{n * n / (c * c):.0f}"]
+            )
+    table = render_table(
+        ["n", "c (tuples/question)", "worst-case questions", "n²/c²"],
+        rows,
+        title=(
+            "E6 / Lemma 3.4 — constant-tuple questions force Ω(n²/c²) "
+            "(paper: Ω(n²) for constant c)"
+        ),
+    )
+    report("e6_constant_tuples", table)
+    # The bound is asymptotic: the O(c²) pinpointing tail dominates at
+    # small n, so compare budgets only once n >> c.
+    for n in (16, 24):
+        assert worst[(n, 4)] > worst[(n, 8)], (n, worst)
+    # quadratic growth in n at fixed c
+    assert worst[(24, 4)] >= 4 * worst[(8, 4)]
+
+    benchmark(_worst_case, 12, 4)

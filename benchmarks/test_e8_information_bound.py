@@ -1,0 +1,126 @@
+"""E8 — Theorem 3.9 and §2's counting arguments, measured.
+
+Three tables:
+
+* the doubly exponential wall for unrestricted Boolean queries (§2);
+* qhorn-1's 2^Θ(n lg n) size sandwich via Bell numbers (§2.1.3);
+* Thm 3.9's Ω(nk) floor for learning k existential conjunctions, against
+  the lattice learner's measured O(kn lg n) cost on k conjunctions placed
+  at the lattice's widest level (where the bound is tight).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.analysis import (
+    existential_bound_bits,
+    existential_bound_closed_form,
+    qhorn1_lower_bound_bits,
+    qhorn1_upper_bound_bits,
+    render_table,
+    unrestricted_query_bits,
+)
+from repro.core.generators import random_qhorn1
+from repro.core.normalize import canonicalize
+from repro.core.query import QhornQuery
+from repro.learning import Qhorn1Learner, RolePreservingLearner
+from repro.oracle import CountingOracle, QueryOracle
+
+
+def test_e8_unrestricted_wall(report, benchmark):
+    rows = [
+        [n, f"2^{unrestricted_query_bits(n)}", unrestricted_query_bits(n)]
+        for n in (2, 3, 4, 5, 10)
+    ]
+    table = render_table(
+        ["n", "distinguishable queries", "questions needed (= 2^n)"],
+        rows,
+        title=(
+            "E8a / §2 — unrestricted Boolean queries need doubly "
+            "exponential counting (22^n queries, 2^n questions)"
+        ),
+    )
+    report("e8a_unrestricted_wall", table)
+
+    benchmark(unrestricted_query_bits, 24)
+
+
+def test_e8_qhorn1_size_sandwich(report, benchmark):
+    rows = []
+    for n in (4, 8, 16, 32, 64):
+        lo = qhorn1_lower_bound_bits(n)
+        hi = qhorn1_upper_bound_bits(n)
+        nlg = n * math.log2(n)
+        rows.append(
+            [n, f"{lo:.1f}", f"{hi:.1f}", f"{nlg:.1f}",
+             f"{lo / nlg:.2f}..{hi / nlg:.2f}"]
+        )
+    table = render_table(
+        ["n", "lg B_n (floor)", "2n + lg B_n (ceil)", "n lg n",
+         "ratio window"],
+        rows,
+        title=(
+            "E8b / §2.1.3 — |qhorn-1| = 2^Θ(n lg n): Bell-number sandwich"
+        ),
+    )
+    report("e8b_qhorn1_size", table)
+
+    from repro.analysis.information import bell_number
+
+    def uncached_bell():
+        bell_number.cache_clear()
+        return bell_number(64)
+
+    benchmark(uncached_bell)
+
+
+def _middle_level_target(n: int, k: int, rng: random.Random) -> QhornQuery:
+    """k incomparable conjunctions at level n/2 — Thm 3.9's hard spot."""
+    half = n // 2
+    chosen: set[frozenset[int]] = set()
+    while len(chosen) < k:
+        chosen.add(frozenset(rng.sample(range(n), half)))
+    return QhornQuery.build(n, existentials=[sorted(c) for c in chosen])
+
+
+def test_e8_existential_floor_vs_measured(report, benchmark):
+    rows = []
+    rng = random.Random(8000)
+    for n, k in ((8, 2), (8, 4), (10, 4), (12, 6)):
+        floor_exact = existential_bound_bits(n, k)
+        floor_closed = existential_bound_closed_form(n, k)
+        measured = []
+        for _ in range(5):
+            target = _middle_level_target(n, k, rng)
+            oracle = CountingOracle(QueryOracle(target))
+            result = RolePreservingLearner(oracle).learn()
+            assert canonicalize(result.query) == canonicalize(target)
+            measured.append(oracle.questions_asked)
+        mean = sum(measured) / len(measured)
+        ceiling = k * n * math.log2(n)
+        rows.append(
+            [n, k, f"{floor_closed:.0f}", f"{floor_exact:.0f}",
+             f"{mean:.0f}", f"{ceiling:.0f}"]
+        )
+        # the learner must respect the information floor and the paper's
+        # O(kn lg n) ceiling (constant < 4 observed)
+        assert mean >= floor_exact * 0.9
+        assert mean <= 4 * ceiling
+    table = render_table(
+        ["n", "k", "nk/2 - k lg k", "lg C(C(n,n/2),k) (floor)",
+         "measured questions", "kn lg n (paper ceiling)"],
+        rows,
+        title=(
+            "E8c / Thm 3.9 — information floor vs measured lattice-learner "
+            "cost for k middle-level conjunctions"
+        ),
+    )
+    report("e8c_existential_bound", table)
+
+    rng2 = random.Random(1)
+    target = _middle_level_target(10, 4, rng2)
+    benchmark(
+        lambda: RolePreservingLearner(QueryOracle(target)).learn()
+    )

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""The full DataPlay-style workflow (§1): specify → learn → verify → run.
+
+1. The user picks propositions over the embedded relation.
+2. The system drafts a plausible quantified query from them.
+3. The verification set shows the draft is wrong for this user.
+4. Example-driven learning recovers the intended query exactly, with every
+   question rendered as a concrete data object (the transcript).
+5. The final query runs against the database.
+
+Run:  python examples/dataplay_workflow.py
+"""
+
+import random
+
+from repro import CountingOracle, QueryOracle, canonicalize, parse_query
+from repro.data import BoolIs, Equals, QueryEngine, Vocabulary
+from repro.data.chocolate import chocolate_schema, random_store
+from repro.interactive import LearningSession, VerificationSession
+from repro.learning import RolePreservingLearner
+
+
+def main() -> None:
+    rng = random.Random(2013)  # the year of PODS
+
+    # 1. propositions (checked for interference automatically)
+    vocabulary = Vocabulary(
+        chocolate_schema(),
+        [
+            BoolIs("isDark", name="dark"),
+            BoolIs("isSugarFree", name="sugar-free"),
+            Equals("origin", "Madagascar", name="from Madagascar"),
+        ],
+    )
+    print("chosen propositions:")
+    print(vocabulary.legend())
+
+    # the user's (hidden) intent: all dark; some sugar-free Madagascar one
+    intended = parse_query("∀x1 ∃x2x3", n=3)
+    user = QueryOracle(intended)
+
+    # 2. the system drafts the "all existential" reading of the atoms
+    draft = parse_query("∃x1 ∃x2 ∃x3", n=3)
+    print(f"\nsystem draft : {draft.shorthand()}")
+
+    # 3. verify the draft against the user — it fails fast
+    check = VerificationSession(draft, user, vocabulary.render_question)
+    outcome = check.run(stop_at_first=True)
+    print(f"draft verified: {outcome.verified} "
+          f"(after {outcome.questions_asked} questions)")
+    if not outcome.verified:
+        d = outcome.disagreements[0]
+        print(f"first disagreement: {d.describe()}")
+
+    # 4. learn the real query by example, rendering every question as rows
+    session = LearningSession(
+        RolePreservingLearner,
+        CountingOracle(user),
+        renderer=vocabulary.render_question,
+    )
+    result = session.run()
+    print(f"\nlearned query: {result.query.shorthand()}")
+    print(f"questions asked: {result.questions_asked}")
+    assert canonicalize(result.query) == canonicalize(intended)
+
+    print("\nfirst two exchanges of the transcript:")
+    for entry in list(result.transcript)[:2]:
+        print(entry.describe())
+        print()
+
+    # 5. confirm the learned query, then execute it on the store
+    confirm = VerificationSession(result.query, user)
+    assert confirm.run().verified
+    print("learned query verified against the user ✓")
+
+    store = random_store(100, rng)
+    engine = QueryEngine(store, vocabulary)
+    answers = engine.execute(result.query)
+    print(f"\nmatching boxes in the store: {len(answers)} / {len(store)}")
+    for box in answers[:5]:
+        print(f"  {box.key}")
+
+
+if __name__ == "__main__":
+    main()

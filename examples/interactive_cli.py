@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Interactive CLI: be the oracle yourself.
+
+The learner asks *you* membership questions about chocolate boxes; answer
+y/n and watch it converge on a quantified query for your taste.  Pass
+``--auto "∀x1 ∃x2x3"`` to let a simulated user with that intent answer
+instead (useful for demos and CI).
+
+Run:  python examples/interactive_cli.py --auto "∀x1 ∃x2x3"
+      python examples/interactive_cli.py            # you answer
+"""
+
+import argparse
+
+from repro import CountingOracle, QueryOracle, parse_query
+from repro.data.chocolate import storefront_vocabulary
+from repro.learning import Qhorn1Learner
+from repro.oracle import HumanOracle
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--auto",
+        metavar="QUERY",
+        help="simulate the user with this intended query "
+        "(shorthand, e.g. '∀x1 ∃x2x3' or 'A x1; E x2 x3')",
+    )
+    args = parser.parse_args()
+
+    vocabulary = storefront_vocabulary()
+    print("You are shopping for chocolate boxes. The propositions are:")
+    print(vocabulary.legend())
+    print()
+
+    if args.auto:
+        intent = parse_query(args.auto, n=vocabulary.n)
+        print(f"(simulated user with intent: {intent.shorthand()})")
+        oracle = CountingOracle(QueryOracle(intent))
+    else:
+        print(
+            "Answer each question with y (I'd buy that box) or "
+            "n (not what I want)."
+        )
+        oracle = CountingOracle(
+            HumanOracle(vocabulary.n, render=vocabulary.render_question)
+        )
+
+    result = Qhorn1Learner(oracle).learn()
+
+    print("\n================================")
+    print(f"your query: {result.query.shorthand()}")
+    print(f"({oracle.questions_asked} questions)")
+    legend = {i: p.name for i, p in enumerate(vocabulary.propositions)}
+    print("\nin words:")
+    for u in sorted(result.query.universals):
+        body = " and ".join(legend[v] for v in sorted(u.body))
+        if body:
+            print(f"  every chocolate that is {body} must be {legend[u.head]}")
+        else:
+            print(f"  every chocolate must be {legend[u.head]}")
+    for e in sorted(result.query.existentials):
+        conj = " and ".join(legend[v] for v in sorted(e.variables))
+        print(f"  at least one chocolate is {conj}")
+
+
+if __name__ == "__main__":
+    main()

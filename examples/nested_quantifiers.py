@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Two-level nested quantification (§6 future work): the semantics, live.
+
+The paper's queries quantify once, over the tuples of an object.  With two
+nesting levels a single expression carries two quantifiers — "every crate
+has a box in which every chocolate is dark".  Learning this class is an
+open problem; this demo shows the implemented semantics and why the space
+explodes (2^(2^(2^n)) conceivable queries).
+
+Run:  python examples/nested_quantifiers.py
+"""
+
+from repro.core import tuples as bt
+from repro.core.nested2 import (
+    Nested2Query,
+    NestedExpression,
+    Quantifier,
+    brute_force_equivalent2,
+    count_distinct_objects,
+)
+
+A, E = Quantifier.FORALL, Quantifier.EXISTS
+
+
+def crate(*boxes):
+    """A crate = set of boxes; a box = set of chocolate bit-tuples."""
+    return frozenset(
+        frozenset(bt.parse_tuple(c) for c in box) for box in boxes
+    )
+
+
+def main() -> None:
+    # propositions: x1 = dark, x2 = sugar-free
+    q1 = Nested2Query(2, {NestedExpression(A, E, body=frozenset({0}))})
+    q2 = Nested2Query(2, {NestedExpression(E, A, body=frozenset({0}))})
+    print("q1:", q1, "   (every box has a dark chocolate)")
+    print("q2:", q2, "   (some box is all-dark)")
+
+    sampler = crate(("10", "01"), ("11",))       # box1 mixed, box2 dark+sf
+    all_mixed = crate(("10", "01"), ("01", "10"))
+    print("\ncrate A (mixed box + all-dark box):")
+    print("  q1:", q1.evaluate(sampler), " q2:", q2.evaluate(sampler))
+    print("crate B (two mixed boxes):")
+    print("  q1:", q1.evaluate(all_mixed), " q2:", q2.evaluate(all_mixed))
+
+    # quantifier order matters: ∀∃ and ∃∀ are inequivalent
+    print("\n∀s∃t ≡ ∃s∀t ?", brute_force_equivalent2(q1, q2))
+
+    # but rewrites still hold one level up: ∃s∃t(B→h) ≡ its guarantee
+    horn = Nested2Query(
+        2, {NestedExpression(E, E, body=frozenset({0}), head=1)}
+    )
+    guarantee = Nested2Query(
+        2, {NestedExpression(E, E, body=frozenset({0, 1}))}
+    )
+    print("∃s∃t(x1→x2) ≡ ∃s∃t(x1∧x2) ?",
+          brute_force_equivalent2(horn, guarantee))
+
+    print("\nwhy learning this class is open (§6): object-space sizes")
+    for n in (1, 2, 3):
+        subs = count_distinct_objects(n)
+        print(f"  n={n}: {subs} sub-objects -> 2^{subs} two-level objects")
+
+
+if __name__ == "__main__":
+    main()

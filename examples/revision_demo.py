@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Query revision (§6 future work, implemented): fix a close-but-wrong query.
+
+A colleague hands you a saved query (JSON) that is *almost* what you want.
+Instead of relearning from scratch, the reviser confirms the parts you
+agree with and repairs only the differences — cost proportional to the
+revision distance.
+
+Run:  python examples/revision_demo.py
+"""
+
+from repro import CountingOracle, QueryOracle, canonicalize, parse_query
+from repro.analysis import revision_distance
+from repro.core.serialize import query_from_json, query_to_json
+from repro.learning import RolePreservingLearner, revise_query
+
+
+def main() -> None:
+    # the query your colleague saved (the paper's §4.2 running example)
+    saved = parse_query(
+        "∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6"
+    )
+    wire = query_to_json(saved)
+    print("received query (JSON wire format):")
+    print(wire[:200] + " ...")
+    given = query_from_json(wire)
+
+    # your actual intent differs in one universal Horn expression
+    intended = parse_query(
+        "∀x1x4→x5 ∀x2x3→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6"
+    )
+    print(f"\ngiven    : {given.shorthand()}")
+    print(f"intended : {intended.shorthand()}")
+    print(f"revision distance (§6 lattice metric): "
+          f"{revision_distance(given, intended)}")
+
+    you = CountingOracle(QueryOracle(intended))
+    result = revise_query(given, you)
+    print(f"\nrevised  : {result.query.shorthand()}")
+    print("repairs:")
+    for r in result.repairs:
+        print(f"  - {r}")
+    print(f"questions spent revising: {you.questions_asked}")
+    assert canonicalize(result.query) == canonicalize(intended)
+
+    # versus learning from scratch
+    fresh = CountingOracle(QueryOracle(intended))
+    RolePreservingLearner(fresh).learn()
+    print(f"questions to learn from scratch: {fresh.questions_asked}")
+
+    # and the degenerate case: the saved query was already right
+    confirm = CountingOracle(QueryOracle(saved))
+    unchanged = revise_query(saved, confirm)
+    print(f"\nconfirming an already-correct query: "
+          f"{confirm.questions_asked} questions "
+          f"(changed: {unchanged.changed})")
+
+
+if __name__ == "__main__":
+    main()

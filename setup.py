@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, so editable
+installs must use the classic ``setup.py develop`` path; all metadata lives
+in pyproject.toml and is mirrored here.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "qhorn: learning and verifying quantified Boolean queries by "
+        "example (PODS 2013 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

@@ -1,0 +1,38 @@
+"""Analysis utilities: model fitting, information bounds, tables, revision."""
+
+from repro.analysis.fitting import (
+    MODELS,
+    ModelFit,
+    best_model,
+    empirical_exponent,
+    fit_model,
+)
+from repro.analysis.information import (
+    bell_number,
+    existential_bound_bits,
+    existential_bound_closed_form,
+    qhorn1_lower_bound_bits,
+    qhorn1_upper_bound_bits,
+    unrestricted_query_bits,
+)
+from repro.analysis.revision import hamming, profile_distance, revision_distance
+from repro.analysis.tables import render_kv, render_table
+
+__all__ = [
+    "MODELS",
+    "ModelFit",
+    "bell_number",
+    "best_model",
+    "empirical_exponent",
+    "existential_bound_bits",
+    "existential_bound_closed_form",
+    "fit_model",
+    "hamming",
+    "profile_distance",
+    "qhorn1_lower_bound_bits",
+    "qhorn1_upper_bound_bits",
+    "render_kv",
+    "render_table",
+    "revision_distance",
+    "unrestricted_query_bits",
+]

@@ -1,0 +1,97 @@
+"""A small experiment runner: seeded sweeps with aggregate records.
+
+The benchmark suite repeats one pattern everywhere: sweep a parameter,
+repeat over seeds, aggregate a measured quantity, render a table.  This
+module packages that pattern so ad-hoc studies (notebooks, new benches)
+stay three lines long and deterministically reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.analysis.tables import render_table
+
+__all__ = ["Measurement", "SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One aggregated cell of a sweep."""
+
+    parameter: Any
+    mean: float
+    minimum: float
+    maximum: float
+    stdev: float
+    samples: int
+
+    def row(self) -> list[Any]:
+        return [
+            self.parameter,
+            f"{self.mean:.1f}",
+            f"{self.minimum:.0f}",
+            f"{self.maximum:.0f}",
+            f"{self.stdev:.1f}",
+            self.samples,
+        ]
+
+
+@dataclass
+class SweepResult:
+    """All measurements of one sweep plus rendering helpers."""
+
+    name: str
+    parameter_name: str
+    measurements: list[Measurement] = field(default_factory=list)
+
+    def parameters(self) -> list[Any]:
+        return [m.parameter for m in self.measurements]
+
+    def means(self) -> list[float]:
+        return [m.mean for m in self.measurements]
+
+    def table(self) -> str:
+        return render_table(
+            [self.parameter_name, "mean", "min", "max", "stdev", "samples"],
+            [m.row() for m in self.measurements],
+            title=self.name,
+        )
+
+
+def run_sweep(
+    name: str,
+    parameters: Sequence[Any],
+    measure: Callable[[Any, random.Random], float],
+    seeds: int = 10,
+    base_seed: int = 0,
+    parameter_name: str = "parameter",
+) -> SweepResult:
+    """Measure ``measure(parameter, rng)`` over ``seeds`` seeded repeats
+    per parameter value.
+
+    Each (parameter, repeat) pair gets its own deterministic RNG, so cells
+    are reproducible independently of sweep order.
+    """
+    if seeds < 1:
+        raise ValueError("need at least one seed")
+    result = SweepResult(name=name, parameter_name=parameter_name)
+    for p in parameters:
+        values = [
+            float(measure(p, random.Random(hash((base_seed, repr(p), i)))))
+            for i in range(seeds)
+        ]
+        result.measurements.append(
+            Measurement(
+                parameter=p,
+                mean=statistics.mean(values),
+                minimum=min(values),
+                maximum=max(values),
+                stdev=statistics.stdev(values) if len(values) > 1 else 0.0,
+                samples=len(values),
+            )
+        )
+    return result

@@ -1,0 +1,87 @@
+"""Complexity-model fitting for the scaling experiments.
+
+The theorems predict question counts of the form ``O(n lg n)``, ``O(n²)``,
+``O(n^{θ+1})`` and ``O(kn lg n)``.  The experiments measure counts over
+sweeps of ``n`` (and ``k``, ``θ``) and fit candidate models by least
+squares, reporting per-model R² so EXPERIMENTS.md can state which growth law
+the measurements follow.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["ModelFit", "MODELS", "fit_model", "best_model", "empirical_exponent"]
+
+#: Candidate single-variable growth models: name -> basis function of n.
+MODELS: dict[str, Callable[[float], float]] = {
+    "n": lambda n: n,
+    "n log n": lambda n: n * math.log2(max(n, 2)),
+    "n^2": lambda n: n * n,
+    "n^2 log n": lambda n: n * n * math.log2(max(n, 2)),
+    "n^3": lambda n: n**3,
+    "2^n": lambda n: 2.0**n,
+    "log n": lambda n: math.log2(max(n, 2)),
+}
+
+
+@dataclass(frozen=True)
+class ModelFit:
+    """A least-squares fit ``y ≈ a·model(n) + b``."""
+
+    model: str
+    a: float
+    b: float
+    r_squared: float
+
+    def predict(self, n: float) -> float:
+        return self.a * MODELS[self.model](n) + self.b
+
+    def describe(self) -> str:
+        return (
+            f"{self.model}: y ≈ {self.a:.3f}·{self.model} + {self.b:.1f} "
+            f"(R²={self.r_squared:.4f})"
+        )
+
+
+def fit_model(
+    ns: Sequence[float], ys: Sequence[float], model: str
+) -> ModelFit:
+    """Least-squares fit of ``ys`` against one named basis function."""
+    if model not in MODELS:
+        raise ValueError(f"unknown model {model!r}; choose from {sorted(MODELS)}")
+    if len(ns) != len(ys) or len(ns) < 2:
+        raise ValueError("need at least two (n, y) points")
+    basis = MODELS[model]
+    x = np.array([basis(n) for n in ns], dtype=float)
+    y = np.array(ys, dtype=float)
+    design = np.column_stack([x, np.ones_like(x)])
+    coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+    pred = design @ coef
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return ModelFit(model=model, a=float(coef[0]), b=float(coef[1]), r_squared=r2)
+
+
+def best_model(
+    ns: Sequence[float],
+    ys: Sequence[float],
+    candidates: Sequence[str] = ("n", "n log n", "n^2"),
+) -> ModelFit:
+    """The candidate model with the highest R² on the data."""
+    fits = [fit_model(ns, ys, m) for m in candidates]
+    return max(fits, key=lambda f: f.r_squared)
+
+
+def empirical_exponent(ns: Sequence[float], ys: Sequence[float]) -> float:
+    """Slope of log y vs log n — the measured polynomial degree."""
+    x = np.log(np.array(ns, dtype=float))
+    y = np.log(np.array(ys, dtype=float))
+    design = np.column_stack([x, np.ones_like(x)])
+    coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+    return float(coef[0])

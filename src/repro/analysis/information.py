@@ -1,0 +1,72 @@
+"""Information-theoretic bounds computed exactly (§2, Thm 3.9).
+
+Membership questions yield one bit each, so a class of ``Q`` queries needs
+at least ``lg Q`` questions.  This module computes the paper's counting
+arguments exactly:
+
+* the doubly exponential ``2^(2^n)`` count of unrestricted Boolean queries
+  (§2's motivation for restricting to qhorn);
+* qhorn-1's ``2^Θ(n lg n)`` size via Bell numbers (§2.1.3);
+* Theorem 3.9's ``lg C(C(n, n/2), k) ≥ nk/2 − k lg k`` floor for learning
+  ``k`` existential conjunctions.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+__all__ = [
+    "bell_number",
+    "qhorn1_lower_bound_bits",
+    "qhorn1_upper_bound_bits",
+    "unrestricted_query_bits",
+    "existential_bound_bits",
+    "existential_bound_closed_form",
+]
+
+
+@lru_cache(maxsize=None)
+def bell_number(n: int) -> int:
+    """The n-th Bell number (partitions of an n-set), via the Bell triangle."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    row = [1]
+    for _ in range(n):
+        nxt = [row[-1]]
+        for v in row:
+            nxt.append(nxt[-1] + v)
+        row = nxt
+    return row[0]
+
+
+def qhorn1_lower_bound_bits(n: int) -> float:
+    """``lg B_n`` — a lower bound on lg |qhorn-1| (§2.1.3: one distinct
+    query per partition of the n variables)."""
+    return math.log2(bell_number(n))
+
+
+def qhorn1_upper_bound_bits(n: int) -> float:
+    """``lg (2^n · 2^n · B_n·…)`` upper estimate of §2.1.3: per part a
+    quantifier and head choice — ``2n + lg B_n`` bits."""
+    return 2 * n + math.log2(bell_number(n))
+
+
+def unrestricted_query_bits(n: int) -> int:
+    """``lg 2^(2^n) = 2^n`` — questions needed for arbitrary Boolean
+    queries over objects (the doubly exponential wall of §2)."""
+    return 2**n
+
+
+def existential_bound_bits(n: int, k: int) -> float:
+    """Theorem 3.9 exactly: ``lg C(C(n, ⌊n/2⌋), k)`` bits to pick ``k``
+    conjunctions at the lattice's widest level."""
+    level = math.comb(n, n // 2)
+    if k > level:
+        raise ValueError(f"cannot place {k} conjunctions on a level of {level}")
+    return math.log2(math.comb(level, k))
+
+
+def existential_bound_closed_form(n: int, k: int) -> float:
+    """The paper's closed-form relaxation ``nk/2 − k lg k``."""
+    return n * k / 2 - k * math.log2(k) if k else 0.0

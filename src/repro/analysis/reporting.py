@@ -1,0 +1,62 @@
+"""Stitch benchmark result tables into one markdown report.
+
+Every benchmark writes its regenerated table to
+``benchmarks/results/<experiment>.txt``; this module (also runnable as
+``python -m repro.analysis.reporting``) collects them into a single
+``RESULTS.md`` so a full reproduction run leaves one reviewable artifact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+__all__ = ["collect_results", "write_report"]
+
+HEADER = """# RESULTS — regenerated experiment tables
+
+Auto-collected from `benchmarks/results/` (run
+`pytest benchmarks/ --benchmark-only` to refresh, then
+`python -m repro.analysis.reporting`).  Paper-vs-measured commentary lives
+in EXPERIMENTS.md; this file is the raw regenerated output.
+"""
+
+
+def collect_results(results_dir: pathlib.Path) -> list[tuple[str, str]]:
+    """All (experiment-id, table text) pairs, sorted by experiment id."""
+    if not results_dir.is_dir():
+        raise FileNotFoundError(f"no results directory at {results_dir}")
+    out = []
+    for path in sorted(results_dir.glob("*.txt")):
+        out.append((path.stem, path.read_text().rstrip()))
+    if not out:
+        raise FileNotFoundError(
+            f"{results_dir} holds no result tables; run the benchmarks first"
+        )
+    return out
+
+
+def write_report(
+    results_dir: pathlib.Path, output: pathlib.Path
+) -> pathlib.Path:
+    """Write the combined RESULTS.md and return its path."""
+    sections = collect_results(results_dir)
+    parts = [HEADER]
+    for name, table in sections:
+        parts.append(f"## {name}\n\n```\n{table}\n```\n")
+    output.write_text("\n".join(parts))
+    return output
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    root = pathlib.Path(args[0]) if args else pathlib.Path(".")
+    results = root / "benchmarks" / "results"
+    output = root / "RESULTS.md"
+    path = write_report(results, output)
+    print(f"wrote {path} ({len(collect_results(results))} experiments)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Query revision distance (§6 future work, implemented).
+
+"The Boolean-lattice provides us with a natural way to measure how close two
+queries are: the distance between the distinguishing tuples of the given and
+intended queries."  We realize that metric as a minimum-cost matching
+between the two queries' distinguishing-tuple sets under Hamming distance,
+with unmatched tuples charged their distance to the closest point of the
+other profile (⊥ = full flip when the other side is empty).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.core import tuples as bt
+from repro.core.normalize import distinguishing_profile
+from repro.core.query import QhornQuery
+
+__all__ = ["hamming", "profile_distance", "revision_distance"]
+
+
+def hamming(a: int, b: int) -> int:
+    """Hamming distance between two Boolean tuples (lattice path length)."""
+    return bt.popcount(a ^ b)
+
+
+def profile_distance(
+    left: frozenset[int], right: frozenset[int], n: int
+) -> int:
+    """Minimum-cost matching between two distinguishing-tuple sets.
+
+    Sets of different sizes are padded with a virtual tuple at distance
+    ``n`` (the cost of introducing or deleting an expression outright).
+    """
+    ls, rs = sorted(left), sorted(right)
+    size = max(len(ls), len(rs))
+    if size == 0:
+        return 0
+    cost = np.full((size, size), float(n))
+    for i, a in enumerate(ls):
+        for j, b in enumerate(rs):
+            cost[i, j] = hamming(a, b)
+    rows, cols = linear_sum_assignment(cost)
+    return int(cost[rows, cols].sum())
+
+
+def revision_distance(given: QhornQuery, intended: QhornQuery) -> int:
+    """Lattice distance between two queries' distinguishing-tuple profiles.
+
+    Zero iff the queries are semantically equivalent (Proposition 4.1);
+    small values indicate a revision algorithm should need few questions.
+    """
+    if given.n != intended.n:
+        raise ValueError("queries must share a variable count")
+    g_uni, g_exi = distinguishing_profile(given)
+    i_uni, i_exi = distinguishing_profile(intended)
+    return profile_distance(g_uni, i_uni, given.n) + profile_distance(
+        g_exi, i_exi, given.n
+    )

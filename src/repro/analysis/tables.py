@@ -1,0 +1,50 @@
+"""ASCII table rendering for benchmark reports.
+
+Every benchmark prints the table or figure it regenerates; this keeps that
+output consistent and diff-friendly for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "render_kv"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a header rule, e.g.::
+
+        n    questions  n lg n
+        ---  ---------  ------
+        8    41         24.0
+    """
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Sequence[tuple[str, Any]], title: str | None = None) -> str:
+    """Aligned key/value block for scalar results."""
+    width = max(len(k) for k, _ in pairs)
+    lines = [title] if title else []
+    lines += [f"{k.ljust(width)} : {_fmt(v)}" for k, v in pairs]
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:.3e}"
+    return str(value)

@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+learn    simulate learning a target query by example
+verify   run a verification set for a given query against an intent
+revise   repair a close-but-wrong query against an intent
+sql      compile a query to SQL over the generic two-table encoding
+demo     the chocolate-store walkthrough
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.core.normalize import canonicalize
+from repro.core.parser import parse_query
+from repro.core.serialize import query_to_json
+from repro.learning import (
+    Qhorn1Learner,
+    RolePreservingLearner,
+    revise_query,
+)
+from repro.oracle import CountingOracle, QueryOracle
+from repro.verification import Verifier
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="qhorn: learn and verify quantified Boolean queries "
+        "by example (PODS 2013)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    learn = sub.add_parser("learn", help="learn a target query by example")
+    learn.add_argument("target", help="query shorthand, e.g. '∀x1 ∃x2x3'")
+    learn.add_argument("--n", type=int, default=None)
+    learn.add_argument(
+        "--learner",
+        choices=("qhorn1", "role-preserving"),
+        default="role-preserving",
+    )
+    learn.add_argument("--json", action="store_true", help="emit JSON")
+
+    verify = sub.add_parser(
+        "verify", help="verify a given query against an intended one"
+    )
+    verify.add_argument("given")
+    verify.add_argument("intended")
+    verify.add_argument("--n", type=int, default=None)
+
+    revise = sub.add_parser(
+        "revise", help="revise a close query toward the intended one"
+    )
+    revise.add_argument("given")
+    revise.add_argument("intended")
+    revise.add_argument("--n", type=int, default=None)
+
+    sql = sub.add_parser("sql", help="compile a query to SQL")
+    sql.add_argument("query")
+    sql.add_argument("--n", type=int, default=None)
+
+    sub.add_parser("demo", help="run the chocolate-store walkthrough")
+    return parser
+
+
+def _n_for(*queries, explicit: int | None) -> int | None:
+    return explicit
+
+
+def _cmd_learn(args) -> int:
+    target = parse_query(args.target, n=args.n)
+    oracle = CountingOracle(QueryOracle(target))
+    learner_cls = (
+        Qhorn1Learner if args.learner == "qhorn1" else RolePreservingLearner
+    )
+    result = learner_cls(oracle).learn()
+    exact = canonicalize(result.query) == canonicalize(target)
+    if args.json:
+        print(query_to_json(result.query))
+    else:
+        print(f"target : {target.shorthand()}")
+        print(f"learned: {result.query.shorthand()}")
+        print(f"questions: {oracle.questions_asked}")
+        print(f"exact: {exact}")
+    return 0 if exact else 1
+
+
+def _cmd_verify(args) -> int:
+    n = args.n
+    given = parse_query(args.given, n=n)
+    intended = parse_query(args.intended, n=n or given.n)
+    if intended.n > given.n:
+        given = parse_query(args.given, n=intended.n)
+    outcome = Verifier(given).run(QueryOracle(intended))
+    print(f"given   : {given.shorthand()}")
+    print(f"intended: {intended.shorthand()}")
+    print(f"verified: {outcome.verified} "
+          f"({outcome.questions_asked} questions)")
+    for d in outcome.disagreements:
+        print(f"  {d.describe()}")
+    return 0 if outcome.verified else 1
+
+
+def _cmd_revise(args) -> int:
+    n = args.n
+    given = parse_query(args.given, n=n)
+    intended = parse_query(args.intended, n=n or given.n)
+    if intended.n > given.n:
+        given = parse_query(args.given, n=intended.n)
+    oracle = CountingOracle(QueryOracle(intended))
+    result = revise_query(given, oracle)
+    exact = canonicalize(result.query) == canonicalize(intended)
+    print(f"given  : {given.shorthand()}")
+    print(f"revised: {result.query.shorthand()}")
+    print(f"questions: {oracle.questions_asked}")
+    for r in result.repairs:
+        print(f"  {r}")
+    print(f"exact: {exact}")
+    return 0 if exact else 1
+
+
+def _cmd_sql(args) -> int:
+    from repro.data.propositions import BoolIs, Vocabulary
+    from repro.data.schema import Attribute, FlatSchema
+    from repro.data.sql import to_sql
+
+    query = parse_query(args.query, n=args.n)
+    schema = FlatSchema(
+        "tuples",
+        tuple(Attribute.boolean(f"p{i + 1}") for i in range(query.n)),
+    )
+    vocabulary = Vocabulary(
+        schema,
+        [BoolIs(f"p{i + 1}") for i in range(query.n)],
+    )
+    print(to_sql(query, vocabulary))
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    del args
+    from repro.data import QueryEngine
+    from repro.data.chocolate import (
+        intro_query,
+        random_store,
+        storefront_vocabulary,
+    )
+    from repro.learning import learn_qhorn1
+
+    vocabulary = storefront_vocabulary()
+    store = random_store(100, random.Random(1304))
+    print("propositions:")
+    print(vocabulary.legend())
+    oracle = CountingOracle(QueryOracle(intro_query()))
+    result = learn_qhorn1(oracle)
+    print(f"\nintended: {intro_query().shorthand()}")
+    print(f"learned : {result.query.shorthand()} "
+          f"({oracle.questions_asked} questions)")
+    engine = QueryEngine(store, vocabulary)
+    matches = engine.execute(result.query)
+    print(f"matching boxes: {len(matches)} / {len(store)}")
+    for box in matches[:5]:
+        print(f"  {box.key}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "learn": _cmd_learn,
+        "verify": _cmd_verify,
+        "revise": _cmd_revise,
+        "sql": _cmd_sql,
+        "demo": _cmd_demo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

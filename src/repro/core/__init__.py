@@ -1,0 +1,24 @@
+"""Boolean-domain core: tuples, expressions, queries, normalization (§2)."""
+
+from repro.core.expressions import ExistentialConjunction, UniversalHorn
+from repro.core.parser import parse_query
+from repro.core.query import QhornQuery
+from repro.core.serialize import (
+    query_from_dict,
+    query_from_json,
+    query_to_dict,
+    query_to_json,
+)
+from repro.core.tuples import Question
+
+__all__ = [
+    "ExistentialConjunction",
+    "UniversalHorn",
+    "QhornQuery",
+    "Question",
+    "parse_query",
+    "query_from_dict",
+    "query_from_json",
+    "query_to_dict",
+    "query_to_json",
+]

@@ -1,0 +1,336 @@
+"""Query generators: random targets, paper families, exhaustive enumeration.
+
+The theorems of the paper quantify over whole query classes, so experiments
+need three kinds of workload:
+
+* seeded **random targets** in qhorn-1 (§2.1.3) and role-preserving qhorn
+  (§2.1.4) — the "user intended queries" of the learning experiments;
+* the **explicit families** used by the lower-bound proofs: the
+  ``Uni(X) ∧ Alias(Y)`` class of Theorem 2.1, the head-pair class of
+  Lemma 3.4, and the overlapping-body class of Theorem 3.6;
+* **exhaustive enumeration** of all semantically distinct role-preserving
+  queries for small ``n`` — this regenerates Fig. 7 and drives the
+  verification-completeness experiment of Fig. 8.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+from typing import Iterator, Sequence
+
+from repro.core import tuples as bt
+from repro.core.expressions import ExistentialConjunction, UniversalHorn
+from repro.core.normalize import (
+    CanonicalForm,
+    canonicalize,
+    r3_closure,
+)
+from repro.core.query import QhornQuery
+
+__all__ = [
+    "random_partition",
+    "random_qhorn1",
+    "random_role_preserving",
+    "random_general_qhorn",
+    "uni_alias_query",
+    "head_pair_query",
+    "theta_body_query",
+    "enumerate_role_preserving",
+    "paper_running_query",
+]
+
+
+def random_partition(
+    items: Sequence[int], rng: random.Random, max_part: int | None = None
+) -> list[list[int]]:
+    """Uniform-ish random partition of ``items`` (Chinese-restaurant style)."""
+    parts: list[list[int]] = []
+    for item in items:
+        open_parts = [
+            p for p in parts if max_part is None or len(p) < max_part
+        ]
+        # Weight existing parts by size, new part by 1 (CRP with alpha=1).
+        total = sum(len(p) for p in open_parts) + 1
+        r = rng.randrange(total)
+        acc = 0
+        chosen: list[int] | None = None
+        for p in open_parts:
+            acc += len(p)
+            if r < acc:
+                chosen = p
+                break
+        if chosen is None:
+            chosen = []
+            parts.append(chosen)
+        chosen.append(item)
+    return parts
+
+
+def random_qhorn1(
+    n: int,
+    rng: random.Random,
+    p_universal: float = 0.5,
+    max_group: int | None = None,
+    use_all_variables: bool = True,
+) -> QhornQuery:
+    """A random qhorn-1 query (§2.1.3).
+
+    Variables are partitioned into groups; each group splits into a shared
+    body and one or more head variables, and every head independently gets a
+    universal or existential quantifier.  With ``use_all_variables=False``
+    roughly 1 in 5 variables is left out of the query entirely (exercising
+    the learner's handling of unconstrained propositions).
+    """
+    variables = list(range(n))
+    if not use_all_variables:
+        variables = [v for v in variables if rng.random() >= 0.2]
+        if not variables:
+            variables = [rng.randrange(n)]
+    parts = random_partition(variables, rng, max_part=max_group)
+    universals: list[tuple[list[int], int]] = []
+    existentials: list[list[int]] = []
+    for part in parts:
+        part = list(part)
+        rng.shuffle(part)
+        n_heads = rng.randint(1, len(part))
+        heads, body = part[:n_heads], part[n_heads:]
+        for h in heads:
+            if rng.random() < p_universal:
+                universals.append((body, h))
+            else:
+                existentials.append(body + [h])
+    return QhornQuery.build(n, universals, existentials)
+
+
+def _random_antichain(
+    pool: Sequence[int],
+    rng: random.Random,
+    count: int,
+    min_size: int = 1,
+    max_size: int | None = None,
+) -> list[frozenset[int]]:
+    """Up to ``count`` pairwise-incomparable random subsets of ``pool``."""
+    max_size = max_size or max(min_size, len(pool))
+    chosen: list[frozenset[int]] = []
+    attempts = 0
+    while len(chosen) < count and attempts < 50 * count:
+        attempts += 1
+        size = rng.randint(min_size, min(max_size, len(pool)))
+        cand = frozenset(rng.sample(list(pool), size))
+        if all(not (cand <= c or c <= cand) for c in chosen):
+            chosen.append(cand)
+    return chosen
+
+
+def random_role_preserving(
+    n: int,
+    rng: random.Random,
+    n_heads: int | None = None,
+    theta: int = 2,
+    n_conjunctions: int | None = None,
+    allow_bodyless: bool = True,
+) -> QhornQuery:
+    """A random role-preserving qhorn query (§2.1.4).
+
+    ``theta`` caps the causal density: each head receives 1..theta pairwise
+    incomparable bodies drawn from the non-head variables.  Existential
+    conjunctions may mention any variable (including heads), exactly as
+    Fig. 3 allows.
+    """
+    if n < 2:
+        raise ValueError("need n >= 2 for a role-preserving query")
+    if n_heads is None:
+        n_heads = rng.randint(1, max(1, n // 3))
+    n_heads = min(n_heads, n - 1)
+    variables = list(range(n))
+    rng.shuffle(variables)
+    heads = variables[:n_heads]
+    pool = variables[n_heads:]
+    universals: list[tuple[Sequence[int], int]] = []
+    for h in heads:
+        if allow_bodyless and rng.random() < 0.15:
+            universals.append(((), h))
+            continue
+        want = rng.randint(1, theta)
+        max_size = max(1, len(pool) // 2) if want > 1 else len(pool)
+        for body in _random_antichain(pool, rng, want, max_size=max_size):
+            universals.append((tuple(body), h))
+    if n_conjunctions is None:
+        n_conjunctions = rng.randint(1, max(1, n // 2))
+    existentials: list[Sequence[int]] = []
+    for _ in range(n_conjunctions):
+        size = rng.randint(1, n)
+        existentials.append(tuple(rng.sample(range(n), size)))
+    return QhornQuery.build(n, universals, existentials)
+
+
+def random_general_qhorn(
+    n: int, rng: random.Random, k: int | None = None
+) -> QhornQuery:
+    """A random *general* qhorn query — variables may repeat in any role."""
+    k = k or rng.randint(1, 2 * n)
+    universals: list[tuple[Sequence[int], int]] = []
+    existentials: list[Sequence[int]] = []
+    for _ in range(k):
+        if rng.random() < 0.5:
+            head = rng.randrange(n)
+            others = [v for v in range(n) if v != head]
+            body = rng.sample(others, rng.randint(0, min(3, len(others))))
+            universals.append((body, head))
+        else:
+            size = rng.randint(1, n)
+            existentials.append(rng.sample(range(n), size))
+    if not universals and not existentials:
+        existentials.append([rng.randrange(n)])
+    return QhornQuery.build(n, universals, existentials)
+
+
+# ----------------------------------------------------------------------
+# Lower-bound families
+# ----------------------------------------------------------------------
+def uni_alias_query(n: int, alias_vars: Sequence[int]) -> QhornQuery:
+    """Theorem 2.1's class ``φ = Uni(X) ∧ Alias(Y)``.
+
+    ``alias_vars`` is ``Y``; the remaining variables form ``X`` and are
+    universally quantified bodyless.  ``Alias(Y)`` is the Horn cycle
+    ``∀y1→y2 … ∀y|Y|→y1`` forcing all alias variables to agree.  The cycle
+    makes variables repeat as both heads and bodies, so these queries are in
+    qhorn but *not* in role-preserving qhorn.
+    """
+    alias = sorted(set(alias_vars))
+    if any(v >= n or v < 0 for v in alias):
+        raise ValueError("alias variables out of range")
+    uni = [v for v in range(n) if v not in set(alias)]
+    universals: list[tuple[Sequence[int], int]] = [((), x) for x in uni]
+    if len(alias) >= 2:
+        ring = alias + [alias[0]]
+        universals += [
+            ((ring[i],), ring[i + 1]) for i in range(len(alias))
+        ]
+    return QhornQuery.build(n, universals, [])
+
+
+def head_pair_query(n: int, i: int, j: int) -> QhornQuery:
+    """Lemma 3.4's class: all variables but ``xi, xj`` form a shared body
+    ``C``; ``xi`` and ``xj`` are its existential heads (``∃C→xi ∃C→xj``)."""
+    if i == j:
+        raise ValueError("head pair must be distinct")
+    body = [v for v in range(n) if v not in (i, j)]
+    return QhornQuery.build(n, [], [body + [i], body + [j]])
+
+
+def theta_body_query(n_body: int, theta: int, head: int | None = None) -> QhornQuery:
+    """Theorem 3.6's class: ``θ`` universal Horn expressions on one head.
+
+    ``θ-1`` disjoint bodies of size ``n_body/(θ-1)`` plus one large body
+    intersecting each small body in all but one variable (the paper's n=12,
+    θ=4 instance is ``theta_body_query(12, 4)``).
+    """
+    if theta < 2:
+        raise ValueError("theta must be >= 2")
+    if n_body % (theta - 1):
+        raise ValueError("n_body must be divisible by theta - 1")
+    block = n_body // (theta - 1)
+    head = n_body if head is None else head
+    n = n_body + 1
+    bodies = [
+        list(range(b * block, (b + 1) * block)) for b in range(theta - 1)
+    ]
+    big = [v for body in bodies for v in body[:-1]]
+    universals = [(body, head) for body in bodies] + [(big, head)]
+    return QhornQuery.build(n, universals, [])
+
+
+# ----------------------------------------------------------------------
+# Exhaustive enumeration (Fig. 7 / Fig. 8)
+# ----------------------------------------------------------------------
+def _closed_sets(n: int, universals: frozenset[UniversalHorn]) -> list[frozenset[int]]:
+    out = []
+    for bits in range(1, 1 << n):
+        s = frozenset(bt.variables_of(bits))
+        if r3_closure(s, universals) == s:
+            out.append(s)
+    return out
+
+
+def _antichains(
+    candidates: Sequence[frozenset[int]],
+) -> Iterator[frozenset[frozenset[int]]]:
+    """All antichains (including the empty one) over ``candidates``."""
+
+    def rec(idx: int, chosen: tuple[frozenset[int], ...]):
+        if idx == len(candidates):
+            yield frozenset(chosen)
+            return
+        yield from rec(idx + 1, chosen)
+        c = candidates[idx]
+        if all(not (c <= o or o <= c) for o in chosen):
+            yield from rec(idx + 1, chosen + (c,))
+
+    yield from rec(0, ())
+
+
+def enumerate_role_preserving(
+    n: int, include_trivial: bool = False
+) -> list[QhornQuery]:
+    """All semantically distinct role-preserving queries on ``n`` variables.
+
+    Enumerates canonical forms directly: every role-preserving set of
+    dominant universal expressions, crossed with every R3-closed conjunction
+    antichain that dominates all guarantee clauses.  Feasible for ``n ≤ 3``
+    (Fig. 7 uses ``n = 2``).  ``include_trivial`` adds the empty query.
+    """
+    if n > 3:
+        raise ValueError("exhaustive enumeration is limited to n <= 3")
+    all_exprs = [
+        UniversalHorn(head=h, body=frozenset(body))
+        for h in range(n)
+        for size in range(0, n)
+        for body in combinations([v for v in range(n) if v != h], size)
+    ]
+    seen: set[CanonicalForm] = set()
+    out: list[QhornQuery] = []
+    for bits in range(1 << len(all_exprs)):
+        uni = frozenset(
+            e for i, e in enumerate(all_exprs) if bits & (1 << i)
+        )
+        heads = {u.head for u in uni}
+        bodies = set().union(*(u.body for u in uni)) if uni else set()
+        if heads & bodies:
+            continue  # not role-preserving
+        # Keep only dominant universal sets to avoid duplicate work.
+        probe = QhornQuery(n=n, universals=uni)
+        if frozenset(canonicalize(probe).universals) != uni:
+            continue
+        guarantees = [r3_closure(u.variables, uni) for u in uni]
+        closed = _closed_sets(n, uni)
+        for anti in _antichains(closed):
+            if not all(any(g <= c for c in anti) for g in guarantees):
+                continue
+            if not uni and not anti and not include_trivial:
+                continue
+            q = QhornQuery(
+                n=n,
+                universals=uni,
+                existentials=frozenset(
+                    ExistentialConjunction(c) for c in anti
+                ),
+            )
+            form = canonicalize(q)
+            if form not in seen:
+                seen.add(form)
+                out.append(q)
+    return out
+
+
+def paper_running_query() -> QhornQuery:
+    """The six-variable running example of §3.2.2 and §4.2:
+
+    ``∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6``.
+    """
+    return QhornQuery.build(
+        6,
+        universals=[((0, 3), 4), ((2, 3), 4), ((0, 1), 5)],
+        existentials=[(0, 1, 2), (1, 2, 3), (0, 1, 4), (1, 2, 4, 5)],
+    )

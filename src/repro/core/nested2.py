@@ -1,0 +1,167 @@
+"""Two-level nested quantification (§6 future work).
+
+"We have yet to analyze the complexity of learning queries over data with
+multiple-levels of nesting.  In such queries, a single expression can have
+several quantifiers."
+
+This module implements the *semantics* of that richer class so its blow-up
+can be studied concretely: objects are sets of sub-objects, sub-objects are
+sets of Boolean tuples, and every expression carries two quantifiers —
+
+    Q1 s ∈ S.  Q2 t ∈ s.  (B → h)      e.g.  ∀s ∃t (x1 ∧ x2)
+
+Learning algorithms for this class are an open problem (the paper's §6);
+:func:`count_distinct_objects` quantifies why: with n propositions there
+are ``2^(2^(2^n)) `` conceivable Boolean queries over two-level objects.
+The brute-force equivalence checker below is the ground truth any future
+learner can be tested against, mirroring ``normalize.brute_force_equivalent``
+one nesting level up.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import FrozenSet, Iterable
+
+from repro.core import tuples as bt
+from repro.core.expressions import var_names
+
+__all__ = [
+    "Quantifier",
+    "NestedExpression",
+    "Nested2Query",
+    "NestedObject2",
+    "enumerate_nested_objects",
+    "count_distinct_objects",
+    "brute_force_equivalent2",
+]
+
+
+class Quantifier(enum.Enum):
+    FORALL = "∀"
+    EXISTS = "∃"
+
+
+#: A two-level object: a frozenset of sub-objects (each a frozenset of
+#: Boolean tuple bitmasks).
+NestedObject2 = FrozenSet[FrozenSet[int]]
+
+
+@dataclass(frozen=True)
+class NestedExpression:
+    """``Q1 s ∈ S. Q2 t ∈ s. (body → head)`` over Boolean variables.
+
+    ``head=None`` gives a pure conjunction over ``body`` (the degenerate
+    headless form, as in single-level qhorn).
+    """
+
+    outer: Quantifier
+    inner: Quantifier
+    body: FrozenSet[int] = frozenset()
+    head: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", frozenset(self.body))
+        if self.head is None and not self.body:
+            raise ValueError("expression needs a body or a head")
+        if self.head is not None and self.head in self.body:
+            raise ValueError("head cannot appear in its own body")
+
+    def _tuple_holds(self, t: int) -> bool:
+        body_mask = bt.mask_of(self.body)
+        if self.head is None:
+            return (t & body_mask) == body_mask
+        if (t & body_mask) == body_mask:
+            return bool(t & (1 << self.head))
+        return True  # implication vacuously true
+
+    def _sub_object_holds(self, sub: FrozenSet[int]) -> bool:
+        if self.inner is Quantifier.FORALL:
+            holds = all(self._tuple_holds(t) for t in sub)
+            if self.head is None:
+                return holds and bool(sub)  # guarantee: non-vacuous ∀-conj
+            return holds
+        return any(self._tuple_holds_strict(t) for t in sub)
+
+    def _tuple_holds_strict(self, t: int) -> bool:
+        """For ∃ inner quantification a Horn expression needs a witness
+        satisfying body ∧ head (its guarantee clause), not a vacuous pass."""
+        body_mask = bt.mask_of(self.body)
+        if (t & body_mask) != body_mask:
+            return False
+        if self.head is None:
+            return True
+        return bool(t & (1 << self.head))
+
+    def holds_on(self, obj: NestedObject2) -> bool:
+        if self.outer is Quantifier.FORALL:
+            return all(self._sub_object_holds(s) for s in obj)
+        return any(self._sub_object_holds(s) for s in obj)
+
+    def __str__(self) -> str:
+        payload = var_names(self.body)
+        if self.head is not None:
+            arrow = f"→x{self.head + 1}" if self.body else f"x{self.head + 1}"
+            payload = payload + arrow if self.body else arrow
+        return f"{self.outer.value}s {self.inner.value}t {payload}"
+
+
+@dataclass(frozen=True)
+class Nested2Query:
+    """A conjunction of two-level quantified expressions."""
+
+    n: int
+    expressions: FrozenSet[NestedExpression] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "expressions", frozenset(self.expressions))
+        for e in self.expressions:
+            for v in e.body | ({e.head} if e.head is not None else set()):
+                if v >= self.n:
+                    raise ValueError(f"variable x{v + 1} exceeds n={self.n}")
+
+    def evaluate(self, obj: Iterable[FrozenSet[int]]) -> bool:
+        frozen: NestedObject2 = frozenset(frozenset(s) for s in obj)
+        return all(e.holds_on(frozen) for e in self.expressions)
+
+    def __str__(self) -> str:
+        return " ".join(str(e) for e in sorted(self.expressions, key=str))
+
+
+def enumerate_nested_objects(n: int, max_subs: int | None = None):
+    """All two-level objects over n variables (kept tiny: n ≤ 2).
+
+    There are ``2^(2^n)`` sub-objects and ``2^(2^(2^n))`` objects; callers
+    can cap the number of sub-objects per object via ``max_subs``.
+    """
+    if n > 2:
+        raise ValueError("two-level enumeration is only feasible for n <= 2")
+    tuples = list(range(1 << n))
+    sub_objects = [
+        frozenset(s)
+        for r in range(len(tuples) + 1)
+        for s in combinations(tuples, r)
+    ]
+    cap = max_subs if max_subs is not None else len(sub_objects)
+    for r in range(cap + 1):
+        for subs in combinations(sub_objects, r):
+            yield frozenset(subs)
+
+
+def count_distinct_objects(n: int) -> int:
+    """``2^(2^n)`` sub-objects ⇒ ``2^(2^(2^n))`` conceivable queries."""
+    return 1 << (1 << n)
+
+
+def brute_force_equivalent2(
+    a: Nested2Query, b: Nested2Query, max_subs: int | None = 3
+) -> bool:
+    """Equivalence over all (capped) two-level objects, for tiny n."""
+    if a.n != b.n:
+        return False
+    for obj in enumerate_nested_objects(a.n, max_subs=max_subs):
+        if a.evaluate(obj) != b.evaluate(obj):
+            return False
+    return True

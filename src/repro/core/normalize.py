@@ -1,0 +1,288 @@
+"""Equivalence rules R1–R3, canonical forms and distinguishing tuples.
+
+§2.1.1 gives three equivalence rules for qhorn queries:
+
+* **R1** — an existential conjunction dominates any conjunction over a subset
+  of its variables.
+* **R2** — a universal Horn expression ``∀B→h`` dominates ``∀B'→h`` whenever
+  ``B' ⊇ B``.  Note the subtlety spelled out by the rule's example: the
+  dominated expression does *not* simply vanish — its guarantee clause
+  survives as an existential conjunction (``∀x1x2x3→h ∀x1→h`` becomes
+  ``∀x1→h ∃x1x2x3h``).
+* **R3** — a conjunction may be expanded with every head implied by the
+  universal expressions (``∀x1→h ∃x1x3 ≡ ∀x1→h ∃x1x3h``).
+
+The *canonical form* of a query is the pair
+
+    (dominant universal Horn expressions,
+     maximal antichain of R3-closed conjunctions, guarantees included).
+
+For role-preserving qhorn queries, canonical-form equality coincides with
+semantic equivalence (Proposition 4.1); the test-suite validates this against
+the brute-force model checker below for small ``n``.  For *general* qhorn the
+canonical form is sound (equal forms ⇒ equivalent queries) but not complete:
+``∀x1→x2 ∀x2→x3`` entails ``∀x1→x3`` through a head-as-body chain that
+role-preservation forbids, so use :func:`brute_force_equivalent` there.
+
+The module also derives the paper's *distinguishing tuples*: Def. 3.5 for
+existential conjunctions and Def. 3.4 for universal Horn expressions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+from repro.core import tuples as bt
+from repro.core.expressions import ExistentialConjunction, UniversalHorn
+from repro.core.query import QhornQuery
+
+__all__ = [
+    "dominant_universals",
+    "r3_closure",
+    "conjunction_pool",
+    "dominant_conjunctions",
+    "CanonicalForm",
+    "canonicalize",
+    "normalize",
+    "equivalent",
+    "existential_distinguishing_tuple",
+    "universal_distinguishing_tuple",
+    "distinguishing_profile",
+    "enumerate_objects",
+    "brute_force_equivalent",
+    "find_separating_object",
+]
+
+
+def dominant_universals(query: QhornQuery) -> frozenset[UniversalHorn]:
+    """Rule R2: keep, per head, only the minimal (non-dominated) bodies."""
+    per_head: dict[int, set[frozenset[int]]] = {}
+    for u in query.universals:
+        per_head.setdefault(u.head, set()).add(u.body)
+    kept: set[UniversalHorn] = set()
+    for head, bodies in per_head.items():
+        for b in bodies:
+            if not any(other < b for other in bodies):
+                kept.add(UniversalHorn(head=head, body=b))
+    return frozenset(kept)
+
+
+def r3_closure(
+    variables: Iterable[int], universals: Iterable[UniversalHorn]
+) -> frozenset[int]:
+    """Rule R3 closure: add every head whose body is contained in the set.
+
+    Iterates to a fixpoint so the same routine is valid for general qhorn
+    queries (where a freshly added head may itself trigger another body).
+    """
+    closed = set(variables)
+    rules = list(universals)
+    changed = True
+    while changed:
+        changed = False
+        for u in rules:
+            if u.head not in closed and u.body <= closed:
+                closed.add(u.head)
+                changed = True
+    return frozenset(closed)
+
+
+def conjunction_pool(query: QhornQuery) -> frozenset[frozenset[int]]:
+    """All conjunctions the query implies a witness for, R3-closed.
+
+    This is the union of the explicit existential conjunctions and the
+    guarantee clauses of *every* universal expression (including dominated
+    ones — see R2's example), each expanded by Rule R3.
+    """
+    universals = dominant_universals(query)
+    pool: set[frozenset[int]] = set()
+    for e in query.existentials:
+        pool.add(r3_closure(e.variables, universals))
+    if query.require_guarantees:
+        for u in query.universals:
+            pool.add(r3_closure(u.variables, universals))
+    return frozenset(pool)
+
+
+def _maximal_antichain(sets: Iterable[FrozenSet[int]]) -> frozenset[frozenset[int]]:
+    items = set(sets)
+    return frozenset(s for s in items if not any(s < other for other in items))
+
+
+def dominant_conjunctions(query: QhornQuery) -> frozenset[frozenset[int]]:
+    """Rule R1 over the closed conjunction pool: keep the maximal sets."""
+    return _maximal_antichain(conjunction_pool(query))
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """Normal form of a qhorn query (§2.1 property 3 + rules R1–R3).
+
+    Two role-preserving queries are semantically equivalent iff their
+    canonical forms are equal (Proposition 4.1).
+    """
+
+    n: int
+    universals: FrozenSet[UniversalHorn]
+    conjunctions: FrozenSet[FrozenSet[int]]
+
+    def as_query(self, require_guarantees: bool = True) -> QhornQuery:
+        """Materialize the canonical form back into an executable query."""
+        return QhornQuery(
+            n=self.n,
+            universals=self.universals,
+            existentials=frozenset(
+                ExistentialConjunction(c) for c in self.conjunctions
+            ),
+            require_guarantees=require_guarantees,
+        )
+
+    def shorthand(self) -> str:
+        return self.as_query().shorthand()
+
+
+def canonicalize(query: QhornQuery) -> CanonicalForm:
+    """Compute the canonical form of ``query``."""
+    return CanonicalForm(
+        n=query.n,
+        universals=dominant_universals(query),
+        conjunctions=dominant_conjunctions(query),
+    )
+
+
+def normalize(query: QhornQuery) -> QhornQuery:
+    """Rewrite ``query`` into its normalized, executable equivalent."""
+    return canonicalize(query).as_query(query.require_guarantees)
+
+
+def equivalent(a: QhornQuery, b: QhornQuery) -> bool:
+    """Semantic equivalence via canonical forms (role-preserving classes).
+
+    Raises ``ValueError`` when either query falls outside role-preserving
+    qhorn, where canonical equality is not a complete test — use
+    :func:`brute_force_equivalent` there.
+    """
+    if not (a.is_role_preserving() and b.is_role_preserving()):
+        raise ValueError(
+            "canonical equivalence requires role-preserving queries; "
+            "use brute_force_equivalent for general qhorn"
+        )
+    if a.n != b.n:
+        return False
+    return canonicalize(a) == canonicalize(b)
+
+
+# ----------------------------------------------------------------------
+# Distinguishing tuples (Defs 3.4 and 3.5)
+# ----------------------------------------------------------------------
+def existential_distinguishing_tuple(
+    conjunction: Iterable[int], universals: Iterable[UniversalHorn]
+) -> int:
+    """Def. 3.5: the tuple whose true variables are exactly the (R3-closed)
+    conjunction.  Closing first guarantees the tuple violates no universal
+    Horn expression (§4.1.1: "if setting one of the remaining variables to
+    false violates a universal Horn expression, we set it to true")."""
+    return bt.mask_of(r3_closure(conjunction, universals))
+
+
+def universal_distinguishing_tuple(
+    expr: UniversalHorn, head_variables: Iterable[int]
+) -> int:
+    """Def. 3.4 / §4.1.2: body variables true, head false, every *other* head
+    variable true, all remaining variables false."""
+    others = set(head_variables) - {expr.head}
+    return bt.mask_of(expr.body | others)
+
+
+def distinguishing_profile(
+    query: QhornQuery,
+) -> tuple[frozenset[int], frozenset[int]]:
+    """The pair (universal distinguishing tuples, existential distinguishing
+    tuples) of the normalized query — the object Proposition 4.1 says
+    characterizes role-preserving queries up to equivalence."""
+    canon = canonicalize(query)
+    heads = frozenset(u.head for u in canon.universals)
+    uni = frozenset(
+        universal_distinguishing_tuple(u, heads) for u in canon.universals
+    )
+    exi = frozenset(bt.mask_of(c) for c in canon.conjunctions)
+    return uni, exi
+
+
+# ----------------------------------------------------------------------
+# Brute-force model checking (ground truth for small n)
+# ----------------------------------------------------------------------
+def enumerate_objects(n: int, include_empty: bool = False):
+    """Yield every object (set of Boolean tuples) over ``n`` variables.
+
+    There are ``2^(2^n)`` such objects; callers must keep ``n`` tiny (≤ 4).
+    """
+    if n > 4:
+        raise ValueError(
+            f"enumerating all 2^(2^{n}) objects is infeasible; use sampling"
+        )
+    universe = list(range(1 << n))
+    start = 0 if include_empty else 1
+    for bits in range(start, 1 << len(universe)):
+        yield frozenset(t for i, t in enumerate(universe) if bits & (1 << i))
+
+
+def brute_force_equivalent(
+    a: QhornQuery,
+    b: QhornQuery,
+    samples: int | None = None,
+    rng: random.Random | None = None,
+) -> bool:
+    """Decide equivalence by checking objects directly.
+
+    Exhaustive for ``n ≤ 4``.  For larger ``n`` pass ``samples`` to check
+    random objects only (a one-sided equivalence test).
+    """
+    if a.n != b.n:
+        return False
+    return find_separating_object(a, b, samples=samples, rng=rng) is None
+
+
+def find_separating_object(
+    a: QhornQuery,
+    b: QhornQuery,
+    samples: int | None = None,
+    rng: random.Random | None = None,
+) -> frozenset[int] | None:
+    """Return an object the two queries classify differently, or ``None``.
+
+    Exhaustive when ``samples`` is ``None`` (requires ``n ≤ 4``); otherwise
+    draws ``samples`` random objects of random sizes.
+    """
+    if a.n != b.n:
+        raise ValueError("queries must share the variable count")
+    n = a.n
+    if samples is None:
+        for obj in enumerate_objects(n, include_empty=True):
+            if a.evaluate(obj) != b.evaluate(obj):
+                return obj
+        return None
+    rng = rng or random.Random(0)
+    top = bt.all_true(n)
+    for _ in range(samples):
+        size = rng.randint(1, max(2, min(2 * n, 1 << n)))
+        obj = frozenset(rng.randint(0, top) for _ in range(size))
+        if a.evaluate(obj) != b.evaluate(obj):
+            return obj
+    # Also probe the structured objects that actually distinguish qhorn
+    # queries: distinguishing tuples of either query plus the all-true tuple.
+    for q in (a, b):
+        uni, exi = distinguishing_profile(q)
+        for t in uni | exi:
+            for obj in (
+                frozenset({t}),
+                frozenset({t, top}),
+                frozenset({top}),
+                exi | {top},
+                exi,
+            ):
+                if a.evaluate(obj) != b.evaluate(obj):
+                    return obj
+    return None

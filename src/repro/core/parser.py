@@ -1,0 +1,120 @@
+"""Parser for the paper's query shorthand (§2.1).
+
+The paper writes queries like ``∀x1x2→x3 ∀x4 ∃x5`` — quantified (Horn)
+expressions with the ``t ∈ S`` binder, conjunction symbols and guarantee
+clauses left implicit.  This module parses that shorthand (and ASCII
+equivalents) into :class:`~repro.core.query.QhornQuery` objects:
+
+>>> parse_query("∀x1x2→x3 ∃x5")        # paper notation
+>>> parse_query("A x1 x2 -> x3 E x5")   # ASCII
+>>> parse_query("forall x1x2 => x3 exists x5")
+
+Existential Horn expressions (``∃x1x2→x3``) are accepted and rewritten to
+their guarantee conjunction ``∃x1x2x3`` per §2.1.4.  A bare universal over
+several variables (``∀x1x2``) denotes one bodyless expression per variable.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.query import QhornQuery
+
+__all__ = ["parse_query", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised when query shorthand cannot be parsed."""
+
+
+_EXPR = re.compile(
+    r"(?P<quant>∀|∃|\bforall\b|\bexists\b|\bA\b|\bE\b)\s*"
+    r"(?P<body>(?:x\d+[\s,]*)+)"
+    r"(?:(?:→|->|=>)\s*(?P<head>(?:x\d+[\s,]*)+))?",
+    re.UNICODE,
+)
+_VAR = re.compile(r"x(\d+)")
+_UNIVERSAL = {"∀", "forall", "A"}
+_EXISTENTIAL = {"∃", "exists", "E"}
+
+
+def _vars(text: str) -> list[int]:
+    found = [int(m.group(1)) - 1 for m in _VAR.finditer(text)]
+    if any(v < 0 for v in found):
+        raise ParseError(f"variables are 1-based; got x0 in {text!r}")
+    return found
+
+
+def parse_query(
+    text: str, n: int | None = None, require_guarantees: bool = True
+) -> QhornQuery:
+    """Parse shorthand ``text`` into a :class:`QhornQuery`.
+
+    Parameters
+    ----------
+    text:
+        Query shorthand, e.g. ``"∀x1x2→x3 ∃x5"``.
+    n:
+        Total number of variables.  Defaults to the largest index mentioned.
+    require_guarantees:
+        Forwarded to the query (paper semantics keep guarantees on).
+    """
+    stripped = text.replace("∧", " ").replace(";", " ").replace("&", " ")
+    universals: list[tuple[list[int], int]] = []
+    existentials: list[list[int]] = []
+    consumed_spans: list[tuple[int, int]] = []
+    for m in _EXPR.finditer(stripped):
+        consumed_spans.append(m.span())
+        quant = m.group("quant")
+        body = _vars(m.group("body"))
+        head_text = m.group("head")
+        if quant in _UNIVERSAL:
+            if head_text is None:
+                # ``∀x1x2`` — one bodyless expression per variable.
+                for v in body:
+                    universals.append(([], v))
+            else:
+                heads = _vars(head_text)
+                if len(heads) != 1:
+                    raise ParseError(
+                        f"a Horn expression has exactly one head: {m.group(0)!r}"
+                    )
+                universals.append((body, heads[0]))
+        elif quant in _EXISTENTIAL:
+            if head_text is None:
+                existentials.append(body)
+            else:
+                heads = _vars(head_text)
+                if len(heads) != 1:
+                    raise ParseError(
+                        f"a Horn expression has exactly one head: {m.group(0)!r}"
+                    )
+                # ∃B→h is semantically its guarantee clause ∃(B ∧ h).
+                existentials.append(body + heads)
+        else:  # pragma: no cover - regex restricts quantifiers
+            raise ParseError(f"unknown quantifier {quant!r}")
+
+    remainder = stripped
+    for start, end in reversed(consumed_spans):
+        remainder = remainder[:start] + remainder[end:]
+    if remainder.strip():
+        raise ParseError(f"unparsed query text: {remainder.strip()!r}")
+    if not universals and not existentials:
+        raise ParseError(f"no expressions found in {text!r}")
+
+    mentioned = {h for _, h in universals}
+    for b, _ in universals:
+        mentioned.update(b)
+    for c in existentials:
+        mentioned.update(c)
+    width = max(mentioned) + 1
+    if n is None:
+        n = width
+    elif n < width:
+        raise ParseError(f"query mentions x{width} but n={n}")
+    return QhornQuery.build(
+        n=n,
+        universals=[(b, h) for b, h in universals],
+        existentials=existentials,
+        require_guarantees=require_guarantees,
+    )

@@ -1,0 +1,295 @@
+"""qhorn queries: conjunctions of quantified Horn expressions (§2.1).
+
+A :class:`QhornQuery` owns a set of universal Horn expressions and a set of
+existential conjunctions over ``n`` Boolean variables.  Evaluation follows the
+paper's semantics exactly:
+
+* every universal Horn expression must hold on all tuples of the object;
+* every universal Horn expression's *guarantee clause* (``∃ body ∧ head``)
+  must be witnessed by some tuple (qhorn property 2) — unless the evaluator
+  is constructed with ``require_guarantees=False``, the relaxation of the
+  paper's footnote 1;
+* every existential conjunction must be witnessed by some tuple.
+
+The module also implements the structural measures of §2: query size ``k``
+(Def. 2.5) and causal density ``θ`` (Def. 2.6), plus the class membership
+checks for qhorn-1 (§2.1.3) and role-preserving qhorn (§2.1.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import FrozenSet, Iterable, Sequence
+
+from repro.core import tuples as bt
+from repro.core.expressions import (
+    ExistentialConjunction,
+    UniversalHorn,
+    var_name,
+)
+from repro.core.tuples import Question
+
+__all__ = ["QhornQuery"]
+
+
+@dataclass(frozen=True)
+class QhornQuery:
+    """A qhorn query over ``n`` Boolean variables.
+
+    Parameters
+    ----------
+    n:
+        Number of Boolean variables (propositions).
+    universals:
+        Universal Horn expressions ``∀B→h`` (guarantee clauses implicit).
+    existentials:
+        Existential conjunctions ``∃C`` (existential Horn expressions must be
+        pre-rewritten to their guarantee conjunction ``B ∪ {h}``).
+    require_guarantees:
+        When ``True`` (the paper default), each universal expression also
+        demands a witness tuple for ``∃ body ∧ head``.  ``False`` gives the
+        footnote-1 relaxation where an empty/partial set can satisfy a purely
+        universal query.
+    """
+
+    n: int
+    universals: FrozenSet[UniversalHorn] = field(default_factory=frozenset)
+    existentials: FrozenSet[ExistentialConjunction] = field(
+        default_factory=frozenset
+    )
+    require_guarantees: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "universals", frozenset(self.universals))
+        object.__setattr__(self, "existentials", frozenset(self.existentials))
+        if self.n < 1:
+            raise ValueError("a query needs at least one variable")
+        for v in self.variables:
+            if v >= self.n:
+                raise ValueError(
+                    f"expression uses {var_name(v)} but query has n={self.n}"
+                )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        n: int,
+        universals: Iterable[tuple[Sequence[int], int]] = (),
+        existentials: Iterable[Sequence[int]] = (),
+        require_guarantees: bool = True,
+    ) -> "QhornQuery":
+        """Convenience constructor from plain body/head index collections."""
+        return cls(
+            n=n,
+            universals=frozenset(
+                UniversalHorn(head=h, body=frozenset(b)) for b, h in universals
+            ),
+            existentials=frozenset(
+                ExistentialConjunction(c) for c in existentials
+            ),
+            require_guarantees=require_guarantees,
+        )
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def evaluate(self, question: Question | Iterable[int]) -> bool:
+        """Classify an object as an answer (True) or non-answer (False)."""
+        tuples = (
+            question.tuples if isinstance(question, Question) else frozenset(question)
+        )
+        for u in self.universals:
+            body = u.body_mask
+            head = u.head_mask
+            witnessed = not self.require_guarantees
+            for t in tuples:
+                if (t & body) == body:
+                    if not t & head:
+                        return False  # ∀ violated
+                    witnessed = True
+            if not witnessed:
+                return False  # guarantee clause unsatisfied
+        for e in self.existentials:
+            m = e.mask
+            if not any((t & m) == m for t in tuples):
+                return False
+        return True
+
+    def __call__(self, question: Question | Iterable[int]) -> bool:
+        return self.evaluate(question)
+
+    # ------------------------------------------------------------------
+    # Structural measures
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Query size ``k`` (Def. 2.5): number of expressions."""
+        return len(self.universals) + len(self.existentials)
+
+    @property
+    def causal_density(self) -> int:
+        """Causal density ``θ`` (Def. 2.6).
+
+        The maximum, over head variables, of the number of distinct
+        *non-dominated* universal Horn expressions for that head.
+        """
+        per_head: dict[int, list[frozenset[int]]] = {}
+        for u in self.universals:
+            per_head.setdefault(u.head, []).append(u.body)
+        best = 0
+        for bodies in per_head.values():
+            dominant = [
+                b
+                for b in bodies
+                if not any(other < b for other in bodies)
+            ]
+            best = max(best, len(set(dominant)))
+        return best
+
+    @property
+    def variables(self) -> frozenset[int]:
+        """All variables mentioned by some expression."""
+        vs: set[int] = set()
+        for u in self.universals:
+            vs |= u.variables
+        for e in self.existentials:
+            vs |= e.variables
+        return frozenset(vs)
+
+    @property
+    def head_variables(self) -> frozenset[int]:
+        """Variables appearing as the head of some universal expression."""
+        return frozenset(u.head for u in self.universals)
+
+    @property
+    def universal_body_variables(self) -> frozenset[int]:
+        """Variables appearing in the body of some universal expression."""
+        vs: set[int] = set()
+        for u in self.universals:
+            vs |= u.body
+        return frozenset(vs)
+
+    # ------------------------------------------------------------------
+    # Class membership (§2.1.3, §2.1.4)
+    # ------------------------------------------------------------------
+    def is_role_preserving(self) -> bool:
+        """§2.1.4: no variable is both a universal head and a universal body
+        variable.  Existential conjunctions are unrestricted."""
+        return not (self.head_variables & self.universal_body_variables)
+
+    def is_qhorn1(self) -> bool:
+        """§2.1.3: syntactic qhorn-1 check, treating each existential
+        conjunction as an existential Horn expression ``∃B→h``.
+
+        Restrictions: bodies are pairwise equal-or-disjoint, every head
+        heads exactly one expression, heads never reappear in bodies, and
+        no variable plays two roles.  The check partitions expressions into
+        connected components by variable overlap and verifies that each
+        component decomposes as one shared body plus one fresh head per
+        expression.
+        """
+        if not self.is_role_preserving():
+            return False
+        # Universal side: each head at most one expression, bodies
+        # equal-or-disjoint, no variable in two distinct bodies.
+        heads = [u.head for u in self.universals]
+        if len(heads) != len(set(heads)):
+            return False
+        u_bodies = {u.body for u in self.universals if u.body}
+        for a, b in combinations(u_bodies, 2):
+            if a != b and a & b:
+                return False
+        u_heads = set(heads)
+        u_body_vars = {v for b in u_bodies for v in b}
+        if u_heads & u_body_vars:
+            return False
+
+        conjunctions = [e.variables for e in self.existentials]
+        # No conjunction may reuse a universal head (variable repetition).
+        if any(c & u_heads for c in conjunctions):
+            return False
+
+        # Union-find over conjunctions + universal bodies by var overlap.
+        items: list[FrozenSet[int]] = list(u_bodies) + conjunctions
+        parent = list(range(len(items)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        for i, j in combinations(range(len(items)), 2):
+            if items[i] & items[j]:
+                parent[find(i)] = find(j)
+        components: dict[int, list[int]] = {}
+        for i in range(len(items)):
+            components.setdefault(find(i), []).append(i)
+
+        n_bodies = len(u_bodies)
+        for members in components.values():
+            body_ids = [i for i in members if i < n_bodies]
+            conf_ids = [i for i in members if i >= n_bodies]
+            if len(body_ids) > 1:
+                return False  # one conjunction straddles two bodies
+            if not conf_ids:
+                continue  # a universal body with no existential heads
+            confs = [items[i] for i in conf_ids]
+            if body_ids:
+                shared = items[body_ids[0]]
+            elif len(confs) == 1:
+                continue  # standalone conjunction: any split works
+            else:
+                shared = frozenset.intersection(*confs)
+            seen_heads: set[int] = set()
+            for c in confs:
+                extra = c - shared
+                if len(extra) != 1 or not shared < c:
+                    return False
+                (h,) = extra
+                if h in seen_heads:
+                    return False
+                seen_heads.add(h)
+        return True
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def shorthand(self) -> str:
+        """The paper's shorthand, e.g. ``∀x1x2→x3 ∀x4 ∃x5``."""
+        parts = [str(u) for u in sorted(self.universals)]
+        parts += [str(e) for e in sorted(self.existentials)]
+        return " ".join(parts) if parts else "(empty query)"
+
+    def __str__(self) -> str:
+        return self.shorthand()
+
+    def with_existential(self, variables: Iterable[int]) -> "QhornQuery":
+        """A copy of this query with one more existential conjunction."""
+        return QhornQuery(
+            n=self.n,
+            universals=self.universals,
+            existentials=self.existentials
+            | {ExistentialConjunction(frozenset(variables))},
+            require_guarantees=self.require_guarantees,
+        )
+
+    def with_universal(
+        self, body: Iterable[int], head: int
+    ) -> "QhornQuery":
+        """A copy of this query with one more universal Horn expression."""
+        return QhornQuery(
+            n=self.n,
+            universals=self.universals
+            | {UniversalHorn(head=head, body=frozenset(body))},
+            existentials=self.existentials,
+            require_guarantees=self.require_guarantees,
+        )
+
+    def all_true_question(self) -> Question:
+        """The single-tuple question ``{1^n}`` — an answer to every query."""
+        return Question.of(self.n, [bt.all_true(self.n)])

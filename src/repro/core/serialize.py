@@ -1,0 +1,88 @@
+"""JSON (de)serialization for queries, questions and verification sets.
+
+Sessions outlive processes: DataPlay-style UIs need to persist draft
+queries, transcripts and verification sets between interactions.  The
+wire format is plain JSON with paper-style string tuples (``"1011"``,
+``x1`` leftmost) so dumps are human-readable and diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core import tuples as bt
+from repro.core.query import QhornQuery
+from repro.core.tuples import Question
+
+__all__ = [
+    "query_to_dict",
+    "query_from_dict",
+    "query_to_json",
+    "query_from_json",
+    "question_to_dict",
+    "question_from_dict",
+]
+
+_FORMAT = "qhorn-query-v1"
+
+
+def query_to_dict(query: QhornQuery) -> dict[str, Any]:
+    """Plain-dict form of a query (stable ordering, JSON-safe)."""
+    return {
+        "format": _FORMAT,
+        "n": query.n,
+        "shorthand": query.shorthand(),
+        "universals": [
+            {"body": sorted(v + 1 for v in u.body), "head": u.head + 1}
+            for u in sorted(query.universals)
+        ],
+        "existentials": [
+            sorted(v + 1 for v in e.variables)
+            for e in sorted(query.existentials)
+        ],
+        "require_guarantees": query.require_guarantees,
+    }
+
+
+def query_from_dict(data: dict[str, Any]) -> QhornQuery:
+    """Rebuild a query from :func:`query_to_dict` output.
+
+    Variable indices on the wire are 1-based (paper convention).
+    """
+    if data.get("format") != _FORMAT:
+        raise ValueError(f"unsupported query format {data.get('format')!r}")
+    return QhornQuery.build(
+        n=int(data["n"]),
+        universals=[
+            ([v - 1 for v in u["body"]], u["head"] - 1)
+            for u in data.get("universals", [])
+        ],
+        existentials=[
+            [v - 1 for v in c] for c in data.get("existentials", [])
+        ],
+        require_guarantees=bool(data.get("require_guarantees", True)),
+    )
+
+
+def query_to_json(query: QhornQuery, indent: int | None = 2) -> str:
+    return json.dumps(query_to_dict(query), indent=indent, sort_keys=True)
+
+
+def query_from_json(text: str) -> QhornQuery:
+    return query_from_dict(json.loads(text))
+
+
+def question_to_dict(question: Question) -> dict[str, Any]:
+    """A membership question as paper-style tuple strings."""
+    return {
+        "n": question.n,
+        "tuples": [
+            bt.format_tuple(t, question.n) for t in question.sorted_tuples()
+        ],
+    }
+
+
+def question_from_dict(data: dict[str, Any]) -> Question:
+    n = int(data["n"])
+    return Question.of(n, [bt.parse_tuple(s) for s in data["tuples"]])

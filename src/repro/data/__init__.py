@@ -1,0 +1,66 @@
+"""The nested-relational data domain (§2, Fig. 1).
+
+Schemas, relations, proposition vocabularies with interference checking,
+Boolean-tuple→row synthesis, question rendering, and a query engine.
+"""
+
+from repro.data.engine import ExampleFactory, ExpressionReport, QueryEngine
+from repro.data.generator import (
+    RelationGenerator,
+    bernoulli,
+    categorical,
+    uniform_float,
+    uniform_int,
+)
+from repro.data.sql import SqliteEngine, to_sql
+from repro.data.propositions import (
+    Between,
+    BoolIs,
+    Equals,
+    GreaterThan,
+    InterferenceError,
+    InterferenceReport,
+    LessThan,
+    OneOf,
+    Proposition,
+    Vocabulary,
+)
+from repro.data.relation import FlatRelation, NestedObject, NestedRelation
+from repro.data.schema import (
+    Attribute,
+    AttributeType,
+    FlatSchema,
+    NestedSchema,
+    SchemaError,
+)
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "Between",
+    "BoolIs",
+    "RelationGenerator",
+    "SqliteEngine",
+    "bernoulli",
+    "categorical",
+    "to_sql",
+    "uniform_float",
+    "uniform_int",
+    "Equals",
+    "ExampleFactory",
+    "ExpressionReport",
+    "FlatRelation",
+    "FlatSchema",
+    "GreaterThan",
+    "InterferenceError",
+    "InterferenceReport",
+    "LessThan",
+    "NestedObject",
+    "NestedRelation",
+    "NestedSchema",
+    "OneOf",
+    "Proposition",
+    "QueryEngine",
+    "SchemaError",
+    "Vocabulary",
+]

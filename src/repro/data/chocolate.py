@@ -1,0 +1,153 @@
+"""The paper's running data domain: boxes of chocolates (§1, Fig. 1).
+
+Provides the ``Chocolate``/``Box`` schemas, the three propositions of §2,
+the intended query of the introduction ("a box with dark chocolates — some
+sugar-free with nuts or filling"), and a seeded store generator producing
+the "hundred boxes" the pedantic logician offers.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.query import QhornQuery
+from repro.data.propositions import BoolIs, Equals, Proposition, Vocabulary
+from repro.data.relation import NestedRelation
+from repro.data.schema import Attribute, FlatSchema, NestedSchema
+
+__all__ = [
+    "ORIGINS",
+    "chocolate_schema",
+    "box_schema",
+    "paper_vocabulary",
+    "storefront_vocabulary",
+    "intro_query",
+    "paper_figure1_relation",
+    "random_store",
+]
+
+ORIGINS = ("Madagascar", "Belgium", "Germany", "Sweden", "Ecuador")
+
+
+def chocolate_schema() -> FlatSchema:
+    """``Chocolate(isDark, hasFilling, isSugarFree, hasNuts, origin)``."""
+    return FlatSchema(
+        name="Chocolate",
+        attributes=(
+            Attribute.boolean("isDark"),
+            Attribute.boolean("hasFilling"),
+            Attribute.boolean("isSugarFree"),
+            Attribute.boolean("hasNuts"),
+            Attribute.category("origin", ORIGINS, open_universe=True),
+        ),
+    )
+
+
+def box_schema() -> NestedSchema:
+    """``Box(name, Chocolate(...))`` with single-level nesting."""
+    return NestedSchema(
+        name="Box",
+        embedded=chocolate_schema(),
+        object_attributes=(Attribute.category("name"),),
+    )
+
+
+def paper_vocabulary() -> Vocabulary:
+    """§2's three propositions: ``p1: isDark``, ``p2: hasFilling``,
+    ``p3: origin = Madagascar``."""
+    return Vocabulary(
+        chocolate_schema(),
+        [
+            BoolIs("isDark", name="p1: isDark"),
+            BoolIs("hasFilling", name="p2: hasFilling"),
+            Equals("origin", "Madagascar", name="p3: origin = Madagascar"),
+        ],
+    )
+
+
+def storefront_vocabulary() -> Vocabulary:
+    """The intro scenario's atoms: dark, sugar-free, nuts, filling."""
+    props: list[Proposition] = [
+        BoolIs("isDark", name="isDark"),
+        BoolIs("isSugarFree", name="isSugarFree"),
+        BoolIs("hasNuts", name="hasNuts"),
+        BoolIs("hasFilling", name="hasFilling"),
+    ]
+    return Vocabulary(chocolate_schema(), props)
+
+
+def intro_query() -> QhornQuery:
+    """"A box with dark chocolates — some sugar-free with nuts" over the
+    storefront vocabulary: ``∀x1 ∃x1x2x3`` (every chocolate dark; some dark,
+    sugar-free chocolate with nuts)."""
+    return QhornQuery.build(
+        4, universals=[((), 0)], existentials=[(0, 1, 2)]
+    )
+
+
+def paper_figure1_relation() -> NestedRelation:
+    """The two boxes of Fig. 1 (Global Ground, Europe's Finest)."""
+    relation = NestedRelation(box_schema())
+    relation.add_object(
+        "Global Ground",
+        rows=[
+            dict(origin="Madagascar", isSugarFree=True, isDark=True,
+                 hasFilling=True, hasNuts=False),
+            dict(origin="Belgium", isSugarFree=True, isDark=False,
+                 hasFilling=False, hasNuts=True),
+            dict(origin="Germany", isSugarFree=True, isDark=True,
+                 hasFilling=True, hasNuts=True),
+        ],
+        attributes={"name": "Global Ground"},
+    )
+    relation.add_object(
+        "Europe's Finest",
+        rows=[
+            dict(origin="Belgium", isSugarFree=True, isDark=True,
+                 hasFilling=False, hasNuts=False),
+            dict(origin="Belgium", isSugarFree=False, isDark=True,
+                 hasFilling=False, hasNuts=True),
+            dict(origin="Sweden", isSugarFree=False, isDark=True,
+                 hasFilling=True, hasNuts=True),
+        ],
+        attributes={"name": "Europe's Finest"},
+    )
+    return relation
+
+
+def random_store(
+    n_boxes: int = 100,
+    rng: random.Random | None = None,
+    max_chocolates: int = 8,
+) -> NestedRelation:
+    """A seeded storefront: ``n_boxes`` random boxes of random chocolates."""
+    rng = rng or random.Random(1304)  # arXiv number of the paper
+    relation = NestedRelation(box_schema())
+    for b in range(n_boxes):
+        rows = []
+        for _ in range(rng.randint(1, max_chocolates)):
+            rows.append(
+                dict(
+                    isDark=rng.random() < 0.6,
+                    hasFilling=rng.random() < 0.4,
+                    isSugarFree=rng.random() < 0.3,
+                    hasNuts=rng.random() < 0.5,
+                    origin=rng.choice(ORIGINS),
+                )
+            )
+        relation.add_object(
+            f"box-{b:03d}", rows=rows, attributes={"name": f"box-{b:03d}"}
+        )
+    return relation
+
+
+def _demo() -> None:  # pragma: no cover - convenience
+    vocab = paper_vocabulary()
+    relation = paper_figure1_relation()
+    for obj in relation:
+        print(obj.format())
+        print("  boolean:", sorted(vocab.abstract_object(obj.rows)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _demo()

@@ -1,0 +1,136 @@
+"""Executing qhorn queries over nested relations, and rendering questions.
+
+This is the database side of the paper: a :class:`QueryEngine` evaluates a
+Boolean-domain :class:`~repro.core.query.QhornQuery` against real nested
+data through a vocabulary, and an :class:`ExampleFactory` turns membership
+questions into concrete example objects — synthesizing rows (assumption (i))
+or, as §5 suggests for rich databases, selecting matching rows from an
+actual relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.query import QhornQuery
+from repro.core.tuples import Question
+from repro.data.propositions import Vocabulary
+from repro.data.relation import NestedObject, NestedRelation
+
+__all__ = ["ExpressionReport", "QueryEngine", "ExampleFactory"]
+
+
+@dataclass(frozen=True)
+class ExpressionReport:
+    """Why one expression of a query holds or fails on an object."""
+
+    expression: str
+    satisfied: bool
+    detail: str
+
+
+class QueryEngine:
+    """Evaluates queries over a nested relation via a vocabulary."""
+
+    def __init__(self, relation: NestedRelation, vocabulary: Vocabulary) -> None:
+        self.relation = relation
+        self.vocabulary = vocabulary
+
+    def matches(self, query: QhornQuery, obj: NestedObject) -> bool:
+        """Does ``obj`` satisfy ``query``?"""
+        self._check(query)
+        return query.evaluate(self.vocabulary.abstract_object(obj.rows))
+
+    def execute(self, query: QhornQuery) -> list[NestedObject]:
+        """All objects of the relation that are answers to ``query``."""
+        self._check(query)
+        return [o for o in self.relation if self.matches(query, o)]
+
+    def explain(self, query: QhornQuery, obj: NestedObject) -> list[ExpressionReport]:
+        """Per-expression satisfaction report for ``obj`` (UI affordance)."""
+        self._check(query)
+        tuples = self.vocabulary.abstract_object(obj.rows)
+        reports: list[ExpressionReport] = []
+        for u in sorted(query.universals):
+            violating = [t for t in tuples if u.violated_by(t)]
+            witness = any(
+                (t & u.body_mask) == u.body_mask and t & u.head_mask
+                for t in tuples
+            )
+            if violating:
+                detail = f"{len(violating)} tuple(s) violate the implication"
+            elif query.require_guarantees and not witness:
+                detail = "guarantee clause has no witness tuple"
+            else:
+                detail = "holds on every tuple, witness present"
+            reports.append(
+                ExpressionReport(
+                    expression=str(u),
+                    satisfied=not violating
+                    and (witness or not query.require_guarantees),
+                    detail=detail,
+                )
+            )
+        for e in sorted(query.existentials):
+            sat = e.holds_on(tuples)
+            reports.append(
+                ExpressionReport(
+                    expression=str(e),
+                    satisfied=sat,
+                    detail="witness tuple present" if sat else "no witness tuple",
+                )
+            )
+        return reports
+
+    def _check(self, query: QhornQuery) -> None:
+        if query.n != self.vocabulary.n:
+            raise ValueError(
+                f"query over n={query.n} propositions, vocabulary has "
+                f"{self.vocabulary.n}"
+            )
+
+
+class ExampleFactory:
+    """Turns Boolean membership questions into concrete example objects."""
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        database: NestedRelation | None = None,
+        key_prefix: str = "example",
+    ) -> None:
+        self.vocabulary = vocabulary
+        self.database = database
+        self.key_prefix = key_prefix
+        self._counter = 0
+        self._row_index: dict[int, list[dict[str, Any]]] | None = None
+
+    def _next_key(self) -> str:
+        self._counter += 1
+        return f"{self.key_prefix}-{self._counter}"
+
+    def synthesize(self, question: Question) -> NestedObject:
+        """Assumption (i): build rows directly from the Boolean tuples."""
+        rows = self.vocabulary.synthesize_object(question)
+        return NestedObject(key=self._next_key(), rows=rows)
+
+    def from_database(self, question: Question) -> NestedObject:
+        """§5: prefer real database rows matching each Boolean tuple, so the
+        user never sees artificial hybrids; falls back to synthesis for
+        tuples the database cannot exhibit."""
+        if self.database is None:
+            return self.synthesize(question)
+        if self._row_index is None:
+            self._row_index = {}
+            for row in self.database.all_rows():
+                mask = self.vocabulary.boolean_tuple(row)
+                self._row_index.setdefault(mask, []).append(row)
+        rows: list[dict[str, Any]] = []
+        for t in question.sorted_tuples():
+            matches = self._row_index.get(t)
+            if matches:
+                rows.append(dict(matches[0]))
+            else:
+                rows.append(self.vocabulary.synthesize_row(t))
+        return NestedObject(key=self._next_key(), rows=rows)

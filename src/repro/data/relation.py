@@ -1,0 +1,130 @@
+"""Flat and nested relation instances (Defs. 2.1–2.3).
+
+Objects of a nested relation are the things membership questions display and
+queries classify; rows of the embedded flat relation are what propositions
+evaluate over (Fig. 1's boxes and chocolates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.data.schema import FlatSchema, NestedSchema, SchemaError
+
+__all__ = ["FlatRelation", "NestedObject", "NestedRelation"]
+
+
+class FlatRelation:
+    """A validated bag of rows over a :class:`FlatSchema`."""
+
+    def __init__(
+        self, schema: FlatSchema, rows: Iterable[Mapping[str, Any]] = ()
+    ) -> None:
+        self.schema = schema
+        self._rows: list[dict[str, Any]] = []
+        for row in rows:
+            self.insert(row)
+
+    def insert(self, row: Mapping[str, Any]) -> None:
+        self.schema.validate_row(row)
+        self._rows.append(dict(row))
+
+    @property
+    def rows(self) -> list[dict[str, Any]]:
+        """Copies of the stored rows; mutating them leaves the relation
+        untouched."""
+        return [dict(r) for r in self._rows]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self._rows)
+
+
+@dataclass
+class NestedObject:
+    """One element of a nested relation: scalar attributes + embedded rows.
+
+    The paper calls these *objects* (boxes); their embedded rows are the
+    *tuples* (chocolates) that quantified expressions range over.
+    """
+
+    key: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def format(self, columns: Iterable[str] | None = None) -> str:
+        """Human-readable table of the object's rows."""
+        if not self.rows:
+            return f"{self.key}: (empty)"
+        cols = list(columns) if columns else sorted(self.rows[0])
+        widths = {
+            c: max(len(c), *(len(str(r.get(c, ""))) for r in self.rows))
+            for c in cols
+        }
+        header = "  ".join(c.ljust(widths[c]) for c in cols)
+        lines = [f"{self.key}:", "  " + header]
+        for r in self.rows:
+            lines.append(
+                "  " + "  ".join(str(r.get(c, "")).ljust(widths[c]) for c in cols)
+            )
+        return "\n".join(lines)
+
+
+class NestedRelation:
+    """A validated collection of :class:`NestedObject` over a nested schema."""
+
+    def __init__(
+        self, schema: NestedSchema, objects: Iterable[NestedObject] = ()
+    ) -> None:
+        self.schema = schema
+        self._objects: list[NestedObject] = []
+        for obj in objects:
+            self.insert(obj)
+
+    def insert(self, obj: NestedObject) -> None:
+        if any(o.key == obj.key for o in self._objects):
+            raise SchemaError(f"duplicate object key {obj.key!r}")
+        self.schema.validate_object_attributes(obj.attributes)
+        for row in obj.rows:
+            self.schema.embedded.validate_row(row)
+        self._objects.append(obj)
+
+    def add_object(
+        self,
+        key: str,
+        rows: Iterable[Mapping[str, Any]],
+        attributes: Mapping[str, Any] | None = None,
+    ) -> NestedObject:
+        obj = NestedObject(
+            key=key,
+            rows=[dict(r) for r in rows],
+            attributes=dict(attributes or {}),
+        )
+        self.insert(obj)
+        return obj
+
+    @property
+    def objects(self) -> list[NestedObject]:
+        return list(self._objects)
+
+    def get(self, key: str) -> NestedObject:
+        for o in self._objects:
+            if o.key == key:
+                return o
+        raise KeyError(key)
+
+    def all_rows(self) -> list[dict[str, Any]]:
+        """Every embedded row across all objects (the flattened relation)."""
+        return [row for obj in self._objects for row in obj.rows]
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[NestedObject]:
+        return iter(self._objects)

@@ -1,0 +1,152 @@
+"""Schemas for flat and nested relations (Defs. 2.1–2.3).
+
+The paper's data model is a nested relation with single-level nesting: each
+*object* (e.g. a chocolate box) carries scalar attributes plus a set of
+*tuples* from an embedded flat relation (the chocolates).  Schemas here are
+declarative and validated, so the proposition layer can reason about
+attribute types and value universes when synthesizing example rows.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["AttributeType", "Attribute", "FlatSchema", "NestedSchema", "SchemaError"]
+
+
+class SchemaError(ValueError):
+    """Raised when data does not conform to a schema."""
+
+
+class AttributeType(enum.Enum):
+    """Scalar attribute types supported by the proposition layer."""
+
+    BOOLEAN = "boolean"
+    INTEGER = "integer"
+    FLOAT = "float"
+    CATEGORY = "category"
+
+    def validate(self, value: Any) -> bool:
+        if self is AttributeType.BOOLEAN:
+            return isinstance(value, bool)
+        if self is AttributeType.INTEGER:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is AttributeType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is AttributeType.CATEGORY:
+            return isinstance(value, str)
+        return False  # pragma: no cover - enum is closed
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One column of a flat relation.
+
+    ``universe`` optionally lists the known values of a CATEGORY attribute;
+    ``open_universe`` declares whether values outside it may occur (the
+    synthesizer uses this to construct rows falsifying every equality
+    proposition at once).
+    """
+
+    name: str
+    type: AttributeType
+    universe: tuple = ()
+    open_universe: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise SchemaError(f"invalid attribute name {self.name!r}")
+        for v in self.universe:
+            if not self.type.validate(v):
+                raise SchemaError(
+                    f"universe value {v!r} is not of type {self.type.value}"
+                )
+
+    @staticmethod
+    def boolean(name: str) -> "Attribute":
+        return Attribute(name, AttributeType.BOOLEAN)
+
+    @staticmethod
+    def integer(name: str) -> "Attribute":
+        return Attribute(name, AttributeType.INTEGER)
+
+    @staticmethod
+    def real(name: str) -> "Attribute":
+        return Attribute(name, AttributeType.FLOAT)
+
+    @staticmethod
+    def category(
+        name: str, universe: tuple = (), open_universe: bool = True
+    ) -> "Attribute":
+        return Attribute(
+            name, AttributeType.CATEGORY, tuple(universe), open_universe
+        )
+
+
+@dataclass(frozen=True)
+class FlatSchema:
+    """Def. 2.3: a relation whose domains are all scalar."""
+
+    name: str
+    attributes: tuple[Attribute, ...]
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.attributes]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate attribute names in {self.name}")
+        if not self.attributes:
+            raise SchemaError("a schema needs at least one attribute")
+
+    def attribute(self, name: str) -> Attribute:
+        for a in self.attributes:
+            if a.name == name:
+                return a
+        raise SchemaError(f"{self.name} has no attribute {name!r}")
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    def validate_row(self, row: Mapping[str, Any]) -> None:
+        """Raise :class:`SchemaError` unless ``row`` matches the schema."""
+        extra = set(row) - set(self.attribute_names)
+        if extra:
+            raise SchemaError(f"unknown attributes {sorted(extra)} for {self.name}")
+        for a in self.attributes:
+            if a.name not in row:
+                raise SchemaError(f"{self.name} row missing {a.name!r}")
+            if not a.type.validate(row[a.name]):
+                raise SchemaError(
+                    f"{self.name}.{a.name}={row[a.name]!r} is not "
+                    f"{a.type.value}"
+                )
+
+
+@dataclass(frozen=True)
+class NestedSchema:
+    """Def. 2.2 with single-level nesting: scalar object attributes plus one
+    embedded flat relation (the paper's ``Box(name, Chocolate(...))``)."""
+
+    name: str
+    embedded: FlatSchema
+    object_attributes: tuple[Attribute, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.object_attributes]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate object attribute names in {self.name}")
+
+    def validate_object_attributes(self, attrs: Mapping[str, Any]) -> None:
+        extra = set(attrs) - {a.name for a in self.object_attributes}
+        if extra:
+            raise SchemaError(
+                f"unknown object attributes {sorted(extra)} for {self.name}"
+            )
+        for a in self.object_attributes:
+            if a.name in attrs and not a.type.validate(attrs[a.name]):
+                raise SchemaError(
+                    f"{self.name}.{a.name}={attrs[a.name]!r} is not "
+                    f"{a.type.value}"
+                )

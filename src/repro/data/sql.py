@@ -1,0 +1,211 @@
+"""SQL compilation: qhorn queries as real database queries.
+
+The paper's motivation is that SQL forces users to write quantified queries
+directly (§1).  This module closes the loop: a learned
+:class:`~repro.core.query.QhornQuery` compiles to portable SQL over the
+standard two-table encoding of a single-level nested relation
+
+    objects(object_key PRIMARY KEY, ...object attributes)
+    rows(object_key REFERENCES objects, ...embedded attributes)
+
+using the classic translation of quantifiers:
+
+* ``∀t ∈ S (B → h)``  →  ``NOT EXISTS (row with B true and h false)``
+  plus its guarantee clause ``EXISTS (row with B and h true)``;
+* ``∃t ∈ S (C)``      →  ``EXISTS (row with C true)``.
+
+:class:`SqliteEngine` loads a :class:`~repro.data.relation.NestedRelation`
+into an in-memory SQLite database and executes the generated SQL — the
+test-suite cross-checks it against the in-process
+:class:`~repro.data.engine.QueryEngine` on every query, so the two
+evaluators validate each other.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Any, Iterable
+
+from repro.core.query import QhornQuery
+from repro.data.propositions import (
+    Between,
+    BoolIs,
+    Equals,
+    GreaterThan,
+    LessThan,
+    OneOf,
+    Proposition,
+    Vocabulary,
+)
+from repro.data.relation import NestedRelation
+from repro.data.schema import AttributeType
+
+__all__ = ["proposition_to_sql", "to_sql", "SqliteEngine", "SqlCompileError"]
+
+
+class SqlCompileError(ValueError):
+    """Raised when a proposition cannot be rendered as SQL."""
+
+
+def _literal(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    raise SqlCompileError(f"cannot render literal {value!r}")
+
+
+def proposition_to_sql(prop: Proposition, alias: str = "r") -> str:
+    """Render one proposition as a SQL predicate over row alias ``alias``."""
+    col = f"{alias}.{prop.attribute}"
+    if isinstance(prop, BoolIs):
+        return f"{col} = {_literal(prop.value)}"
+    if isinstance(prop, Equals):
+        return f"{col} = {_literal(prop.constant)}"
+    if isinstance(prop, OneOf):
+        values = ", ".join(
+            _literal(v) for v in sorted(prop.constants, key=str)
+        )
+        return f"{col} IN ({values})"
+    if isinstance(prop, LessThan):
+        return f"{col} < {_literal(prop.constant)}"
+    if isinstance(prop, GreaterThan):
+        return f"{col} > {_literal(prop.constant)}"
+    if isinstance(prop, Between):
+        return (
+            f"{col} BETWEEN {_literal(prop.lo)} AND {_literal(prop.hi)}"
+        )
+    raise SqlCompileError(f"no SQL rendering for {type(prop).__name__}")
+
+
+def _exists(
+    vocabulary: Vocabulary,
+    true_vars: Iterable[int],
+    false_vars: Iterable[int] = (),
+    negate: bool = False,
+) -> str:
+    conds = ["r.object_key = o.object_key"]
+    for v in true_vars:
+        conds.append(proposition_to_sql(vocabulary.propositions[v]))
+    for v in false_vars:
+        conds.append(
+            f"NOT ({proposition_to_sql(vocabulary.propositions[v])})"
+        )
+    body = (
+        "SELECT 1 FROM rows r WHERE " + " AND ".join(conds)
+    )
+    return f"{'NOT ' if negate else ''}EXISTS ({body})"
+
+
+def to_sql(query: QhornQuery, vocabulary: Vocabulary) -> str:
+    """Compile ``query`` to a SQL statement selecting answer object keys."""
+    if query.n != vocabulary.n:
+        raise SqlCompileError(
+            f"query over n={query.n} propositions, vocabulary has "
+            f"{vocabulary.n}"
+        )
+    clauses: list[str] = []
+    for u in sorted(query.universals):
+        # ∀ B → h: no row with B true and h false …
+        clauses.append(
+            _exists(vocabulary, sorted(u.body), [u.head], negate=True)
+        )
+        if query.require_guarantees:
+            # … and a witness row with B ∧ h true (qhorn property 2).
+            clauses.append(_exists(vocabulary, sorted(u.variables)))
+    for e in sorted(query.existentials):
+        clauses.append(_exists(vocabulary, sorted(e.variables)))
+    where = "\n  AND ".join(clauses) if clauses else "1 = 1"
+    return (
+        "SELECT o.object_key FROM objects o\nWHERE "
+        + where
+        + "\nORDER BY o.object_key"
+    )
+
+
+class SqliteEngine:
+    """Executes compiled qhorn SQL against an in-memory SQLite database.
+
+    The nested relation is loaded once into the two-table encoding; every
+    :meth:`execute` call compiles the query and runs it, returning the
+    matching object keys.
+    """
+
+    def __init__(
+        self, relation: NestedRelation, vocabulary: Vocabulary
+    ) -> None:
+        self.relation = relation
+        self.vocabulary = vocabulary
+        self.connection = sqlite3.connect(":memory:")
+        self._load()
+
+    def _column_type(self, attr_type: AttributeType) -> str:
+        if attr_type in (AttributeType.BOOLEAN, AttributeType.INTEGER):
+            return "INTEGER"
+        if attr_type is AttributeType.FLOAT:
+            return "REAL"
+        return "TEXT"
+
+    def _load(self) -> None:
+        schema = self.relation.schema
+        cur = self.connection.cursor()
+        object_cols = "".join(
+            f", {a.name} {self._column_type(a.type)}"
+            for a in schema.object_attributes
+        )
+        cur.execute(
+            f"CREATE TABLE objects (object_key TEXT PRIMARY KEY{object_cols})"
+        )
+        row_cols = ", ".join(
+            f"{a.name} {self._column_type(a.type)}"
+            for a in schema.embedded.attributes
+        )
+        cur.execute(
+            "CREATE TABLE rows (object_key TEXT REFERENCES objects, "
+            + row_cols
+            + ")"
+        )
+        cur.execute(
+            "CREATE INDEX rows_by_object ON rows (object_key)"
+        )
+        for obj in self.relation:
+            names = [a.name for a in schema.object_attributes]
+            cur.execute(
+                "INSERT INTO objects VALUES (?"
+                + ", ?" * len(names)
+                + ")",
+                [obj.key] + [obj.attributes.get(n) for n in names],
+            )
+            row_names = schema.embedded.attribute_names
+            for row in obj.rows:
+                cur.execute(
+                    "INSERT INTO rows VALUES (?"
+                    + ", ?" * len(row_names)
+                    + ")",
+                    [obj.key] + [row[n] for n in row_names],
+                )
+        self.connection.commit()
+
+    def execute(self, query: QhornQuery) -> list[str]:
+        """Answer object keys, sorted, via the compiled SQL."""
+        sql = to_sql(query, self.vocabulary)
+        return [row[0] for row in self.connection.execute(sql)]
+
+    def explain_plan(self, query: QhornQuery) -> list[str]:
+        """SQLite's query plan for the compiled statement (for curiosity)."""
+        sql = to_sql(query, self.vocabulary)
+        return [
+            str(row)
+            for row in self.connection.execute("EXPLAIN QUERY PLAN " + sql)
+        ]
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "SqliteEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

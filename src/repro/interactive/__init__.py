@@ -1,0 +1,18 @@
+"""Interactive example-driven query specification sessions (§1, §5)."""
+
+from repro.interactive.session import (
+    CorrectionLoop,
+    LearningSession,
+    SessionResult,
+    VerificationSession,
+)
+from repro.interactive.transcript import Transcript, TranscriptEntry
+
+__all__ = [
+    "CorrectionLoop",
+    "LearningSession",
+    "SessionResult",
+    "Transcript",
+    "TranscriptEntry",
+    "VerificationSession",
+]

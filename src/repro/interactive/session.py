@@ -1,0 +1,197 @@
+"""DataPlay-style interactive sessions (§1, §5).
+
+A :class:`LearningSession` wires a learner to any membership oracle, records
+the full transcript (optionally rendered into the data domain so the user
+sees chocolate boxes rather than bit strings), and implements the paper's
+error-recovery story: when the user corrects an earlier response, "the query
+learning algorithm restart[s] query learning from the point of error" — the
+corrected prefix is replayed (learners are deterministic given responses),
+and live answering resumes after it.
+
+:class:`CorrectionLoop` automates that cycle against a noisy simulated user
+until the transcript is clean, which is experiment E14.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.query import QhornQuery
+from repro.core.tuples import Question
+from repro.interactive.transcript import Transcript
+from repro.oracle.base import MembershipOracle, QueryOracle
+from repro.oracle.noisy import NoisyOracle, ReplayOracle
+from repro.verification.verifier import VerificationOutcome, verify_query
+
+__all__ = ["SessionResult", "LearningSession", "CorrectionLoop", "VerificationSession"]
+
+LearnerFactory = Callable[[MembershipOracle], object]
+
+
+class _TranscriptOracle:
+    """Internal wrapper: records every exchange into a transcript."""
+
+    def __init__(
+        self,
+        inner: MembershipOracle,
+        transcript: Transcript,
+        renderer: Callable[[Question], str] | None,
+    ) -> None:
+        self.inner = inner
+        self.n = inner.n
+        self.transcript = transcript
+        self.renderer = renderer
+
+    def ask(self, question: Question) -> bool:
+        response = self.inner.ask(question)
+        self.transcript.record(question, response, self.renderer)
+        return response
+
+
+@dataclass
+class SessionResult:
+    """What a learning session produced."""
+
+    query: QhornQuery
+    transcript: Transcript
+    learner_result: object
+    restarts: int = 0
+
+    @property
+    def questions_asked(self) -> int:
+        return len(self.transcript)
+
+
+class LearningSession:
+    """One example-driven query specification session.
+
+    Parameters
+    ----------
+    learner_factory:
+        Builds a learner from an oracle; the learner must expose ``learn()``
+        returning an object with a ``query`` attribute (both provided
+        learners do).
+    oracle:
+        The user.  Simulated, noisy, adversarial or human.
+    renderer:
+        Optional ``Question -> str`` used to render questions into the data
+        domain for the transcript (e.g. ``vocabulary.render_question``).
+    """
+
+    def __init__(
+        self,
+        learner_factory: LearnerFactory,
+        oracle: MembershipOracle,
+        renderer: Callable[[Question], str] | None = None,
+    ) -> None:
+        self.learner_factory = learner_factory
+        self.oracle = oracle
+        self.renderer = renderer
+
+    def run(self) -> SessionResult:
+        transcript = Transcript()
+        wrapped = _TranscriptOracle(self.oracle, transcript, self.renderer)
+        learner = self.learner_factory(wrapped)
+        result = learner.learn()  # type: ignore[attr-defined]
+        return SessionResult(
+            query=result.query, transcript=transcript, learner_result=result
+        )
+
+    def rerun_with_correction(
+        self,
+        previous: SessionResult,
+        error_index: int,
+        corrected_response: bool,
+        live: MembershipOracle | None = None,
+    ) -> SessionResult:
+        """Restart from the point of error (§5).
+
+        Responses before ``error_index`` are replayed verbatim, the response
+        at ``error_index`` is replaced by ``corrected_response``, and
+        subsequent questions go to ``live`` (default: the session's oracle).
+        """
+        prefix = previous.transcript.responses()[:error_index]
+        prefix.append(corrected_response)
+        replay = ReplayOracle(prefix, live or self.oracle)
+        transcript = Transcript()
+        wrapped = _TranscriptOracle(replay, transcript, self.renderer)
+        learner = self.learner_factory(wrapped)
+        result = learner.learn()  # type: ignore[attr-defined]
+        return SessionResult(
+            query=result.query,
+            transcript=transcript,
+            learner_result=result,
+            restarts=previous.restarts + 1,
+        )
+
+
+@dataclass
+class CorrectionLoop:
+    """Automated noisy-user experiment (E14).
+
+    Repeatedly: run a session against a noisy user; have the (simulated)
+    user review the history against their true intent; correct the earliest
+    wrong response; restart from that point.  Converges because each restart
+    replays a strictly longer verified-correct prefix.
+    """
+
+    learner_factory: LearnerFactory
+    target: QhornQuery
+    p_flip: float
+    rng: random.Random
+    max_restarts: int = 100
+    restarts_used: int = field(default=0, init=False)
+
+    def run(self) -> SessionResult:
+        truth = QueryOracle(self.target)
+        verified_prefix: list[bool] = []
+        result: SessionResult | None = None
+        for attempt in range(self.max_restarts + 1):
+            noisy = NoisyOracle(truth, self.p_flip, self.rng)
+            oracle = ReplayOracle(verified_prefix, noisy)
+            session = LearningSession(self.learner_factory, oracle)
+            result = session.run()
+            result.restarts = attempt
+            error = self._first_error(result.transcript)
+            if error is None:
+                self.restarts_used = attempt
+                return result
+            # The user reviews the history and fixes the earliest mistake;
+            # everything before it is now double-checked and kept.
+            responses = result.transcript.responses()
+            verified_prefix = responses[:error]
+            verified_prefix.append(
+                truth.ask(result.transcript.entries[error].question)
+            )
+        raise RuntimeError(
+            f"no clean transcript after {self.max_restarts} restarts"
+        )
+
+    def _first_error(self, transcript: Transcript) -> int | None:
+        truth = QueryOracle(self.target)
+        for entry in transcript:
+            if truth.ask(entry.question) != entry.response:
+                return entry.index
+        return None
+
+
+class VerificationSession:
+    """Interactive verification: show each verification question with the
+    given query's label and collect the user's agreement (§4)."""
+
+    def __init__(
+        self,
+        given: QhornQuery,
+        oracle: MembershipOracle,
+        renderer: Callable[[Question], str] | None = None,
+    ) -> None:
+        self.given = given
+        self.oracle = oracle
+        self.renderer = renderer
+        self.transcript = Transcript()
+
+    def run(self, stop_at_first: bool = True) -> VerificationOutcome:
+        wrapped = _TranscriptOracle(self.oracle, self.transcript, self.renderer)
+        return verify_query(self.given, wrapped, stop_at_first=stop_at_first)

@@ -1,0 +1,66 @@
+"""Session transcripts: the response history the paper's UI keeps (§5).
+
+"If we provide users with a history of all their responses to the different
+membership questions, users can double-check their responses and change an
+incorrect response."  A :class:`Transcript` is that history: every question
+asked, optionally rendered into the data domain, with the response given.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.tuples import Question
+
+__all__ = ["TranscriptEntry", "Transcript"]
+
+
+@dataclass(frozen=True)
+class TranscriptEntry:
+    """One question/response exchange."""
+
+    index: int
+    question: Question
+    response: bool
+    rendered: str = ""
+
+    def describe(self) -> str:
+        label = "answer" if self.response else "non-answer"
+        body = self.rendered or self.question.format()
+        return f"#{self.index} [{label}]\n{body}"
+
+
+@dataclass
+class Transcript:
+    """Ordered history of all exchanges in a session."""
+
+    entries: list[TranscriptEntry] = field(default_factory=list)
+
+    def record(
+        self,
+        question: Question,
+        response: bool,
+        renderer: Callable[[Question], str] | None = None,
+    ) -> TranscriptEntry:
+        entry = TranscriptEntry(
+            index=len(self.entries),
+            question=question,
+            response=response,
+            rendered=renderer(question) if renderer else "",
+        )
+        self.entries.append(entry)
+        return entry
+
+    def responses(self) -> list[bool]:
+        return [e.response for e in self.entries]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def format_history(self) -> str:
+        """The review screen: every exchange, oldest first."""
+        return "\n\n".join(e.describe() for e in self.entries)

@@ -1,0 +1,81 @@
+"""Verbalization: render qhorn queries as English sentences.
+
+The paper's premise is that users think in sentences ("a box with dark
+chocolates — some sugar-free with nuts"), not in quantified logic.  This
+module closes the presentation gap in the other direction: a learned
+:class:`~repro.core.query.QhornQuery` plus a proposition vocabulary becomes
+a readable description the user can confirm — the last step of a
+DataPlay-style loop and the counterpart of the parser.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.query import QhornQuery
+
+__all__ = ["verbalize", "verbalize_expression"]
+
+
+def _join(names: Sequence[str]) -> str:
+    names = list(names)
+    if not names:
+        return ""
+    if len(names) == 1:
+        return names[0]
+    return ", ".join(names[:-1]) + " and " + names[-1]
+
+
+def _names_for(query: QhornQuery, names: Sequence[str] | None) -> list[str]:
+    if names is None:
+        return [f"p{i + 1}" for i in range(query.n)]
+    if len(names) != query.n:
+        raise ValueError(
+            f"need {query.n} proposition names, got {len(names)}"
+        )
+    return list(names)
+
+
+def verbalize_expression(
+    expression, names: Sequence[str], noun: str = "tuple"
+) -> str:
+    """One expression as a sentence, e.g. ``every chocolate that is dark
+    must be sugar-free``."""
+    from repro.core.expressions import ExistentialConjunction, UniversalHorn
+
+    if isinstance(expression, UniversalHorn):
+        head = names[expression.head]
+        if expression.is_bodyless:
+            return f"every {noun} is {head}"
+        body = _join([names[v] for v in sorted(expression.body)])
+        return f"every {noun} that is {body} is also {head}"
+    if isinstance(expression, ExistentialConjunction):
+        conj = _join([names[v] for v in sorted(expression.variables)])
+        return f"at least one {noun} is {conj}"
+    raise TypeError(f"cannot verbalize {type(expression).__name__}")
+
+
+def verbalize(
+    query: QhornQuery,
+    names: Sequence[str] | None = None,
+    noun: str = "tuple",
+    group_noun: str = "set",
+) -> str:
+    """The whole query as an English description.
+
+    >>> verbalize(parse_query("∀x1 ∃x2x3"),
+    ...           names=["dark", "sugar-free", "nutty"], noun="chocolate")
+    'a set where every chocolate is dark, and at least one chocolate is
+     sugar-free and nutty'
+    """
+    names = _names_for(query, names)
+    sentences = [
+        verbalize_expression(u, names, noun)
+        for u in sorted(query.universals)
+    ] + [
+        verbalize_expression(e, names, noun)
+        for e in sorted(query.existentials)
+    ]
+    if not sentences:
+        return f"any {group_noun} at all"
+    return f"a {group_noun} where " + ", and ".join(sentences)

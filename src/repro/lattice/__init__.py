@@ -1,0 +1,27 @@
+"""The Boolean lattice on n variables and its query-aware views (§3.2)."""
+
+from repro.lattice.boolean_lattice import (
+    BodyLattice,
+    children,
+    compliant_children,
+    downset,
+    is_comparable,
+    level,
+    level_tuples,
+    parents,
+    upset,
+    violates_universals,
+)
+
+__all__ = [
+    "BodyLattice",
+    "children",
+    "compliant_children",
+    "downset",
+    "is_comparable",
+    "level",
+    "level_tuples",
+    "parents",
+    "upset",
+    "violates_universals",
+]

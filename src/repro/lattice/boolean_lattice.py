@@ -1,0 +1,145 @@
+"""The Boolean lattice on ``n`` variables (Fig. 4) and its query-aware views.
+
+The lattice underpins both role-preserving learning algorithms (§3.2): each
+point is a Boolean tuple; level ``l`` holds the tuples with exactly ``l``
+false variables; a tuple's children set one more true variable to false.
+Everything here is generator-based so nothing of size ``2^n`` is materialized
+unless a caller iterates that far.
+
+Two views matter to the paper:
+
+* the **full lattice with Horn violations removed** (§3.2.2) — tuples whose
+  true set contains a universal body while the head is false are deleted;
+* the **body lattice** for a given head ``h`` (§3.2.1, Fig. 5) — a lattice
+  over the non-head variables, embedded into full tuples by fixing ``h``
+  false and every other head variable true.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator, Sequence
+
+from repro.core import tuples as bt
+from repro.core.expressions import UniversalHorn
+
+__all__ = [
+    "children",
+    "parents",
+    "level",
+    "level_tuples",
+    "downset",
+    "upset",
+    "is_comparable",
+    "violates_universals",
+    "compliant_children",
+    "BodyLattice",
+]
+
+
+def children(t: int, n: int) -> Iterator[int]:
+    """Tuples obtained by setting exactly one true variable to false."""
+    mask = t
+    while mask:
+        low = mask & -mask
+        yield t ^ low
+        mask ^= low
+
+
+def parents(t: int, n: int) -> Iterator[int]:
+    """Tuples obtained by setting exactly one false variable to true."""
+    mask = bt.all_true(n) & ~t
+    while mask:
+        low = mask & -mask
+        yield t | low
+        mask ^= low
+
+
+def level(t: int, n: int) -> int:
+    """Lattice level of ``t``: the number of false variables (Fig. 4)."""
+    return n - bt.popcount(t)
+
+
+def level_tuples(n: int, l: int) -> Iterator[int]:
+    """All tuples at level ``l`` (``C(n, l)`` of them)."""
+    top = bt.all_true(n)
+    for false_vars in combinations(range(n), l):
+        yield top & ~bt.mask_of(false_vars)
+
+
+def downset(t: int, n: int, strict: bool = False) -> Iterator[int]:
+    """All tuples whose true set is a subset of ``t``'s (descending order).
+
+    Uses the standard subset-enumeration trick on the bitmask.
+    """
+    sub = t
+    while True:
+        if not (strict and sub == t):
+            yield sub
+        if sub == 0:
+            return
+        sub = (sub - 1) & t
+
+
+def upset(t: int, n: int, strict: bool = False) -> Iterator[int]:
+    """All tuples whose true set is a superset of ``t``'s."""
+    free = bt.all_true(n) & ~t
+    for extra in downset(free, n):
+        if strict and extra == 0:
+            continue
+        yield t | extra
+
+
+def is_comparable(a: int, b: int) -> bool:
+    """True iff one tuple lies in the other's upset (Fig. 4)."""
+    return bt.is_subset(a, b) or bt.is_subset(b, a)
+
+
+def violates_universals(t: int, universals: Iterable[UniversalHorn]) -> bool:
+    """§3.2.2: tuple has some universal body fully true but the head false."""
+    return any(u.violated_by(t) for u in universals)
+
+
+def compliant_children(
+    t: int, n: int, universals: Sequence[UniversalHorn]
+) -> list[int]:
+    """Children of ``t`` with Horn-violating tuples removed (§3.2.2)."""
+    return [c for c in children(t, n) if not violates_universals(c, universals)]
+
+
+class BodyLattice:
+    """The per-head search lattice of §3.2.1 (Fig. 5).
+
+    A lattice over the non-head variables of a query, used to find the bodies
+    of a given universal head ``h``.  Points are subsets of the non-head
+    variables; :meth:`embed` produces the full Boolean tuple with ``h`` set
+    false and the remaining head variables set true — which "neutralizes the
+    influence" of the other heads while exposing ``h``'s dependence.
+    """
+
+    def __init__(self, n: int, head: int, all_heads: Iterable[int]) -> None:
+        self.n = n
+        self.head = head
+        if not 0 <= head < n:
+            raise ValueError(f"head {head} out of range for n={n}")
+        self.other_heads = frozenset(all_heads) - {head}
+        self.non_heads: tuple[int, ...] = tuple(
+            v for v in range(n) if v != head and v not in self.other_heads
+        )
+        self._other_heads_mask = bt.mask_of(self.other_heads)
+
+    def embed(self, true_non_heads: Iterable[int]) -> int:
+        """Full tuple: given non-heads true, other heads true, ``h`` false."""
+        return bt.mask_of(true_non_heads) | self._other_heads_mask
+
+    def top(self) -> int:
+        """The embedded top: every non-head variable true."""
+        return self.embed(self.non_heads)
+
+    def bottom(self) -> int:
+        """The embedded bottom: every non-head variable false."""
+        return self.embed(())
+
+    def distinguishing_tuple(self, body: Iterable[int]) -> int:
+        """Def. 3.4: the embedded tuple whose true non-heads are ``body``."""
+        return self.embed(body)

@@ -1,0 +1,133 @@
+"""Verifying the class assumption itself (§6 future work).
+
+"In our learning/verification model, we made the following assumptions:
+(i) the user's intended query is either in qhorn-1 or role-preserving
+qhorn … We plan to design algorithms to verify that the user's query is
+indeed in qhorn-1 or role-preserving qhorn."
+
+The checker here runs the strongest test available from membership answers
+alone: learn a candidate under the class assumption, then challenge it —
+with the candidate's own O(k) verification set (complete *within* the
+class, Thm 4.2) and with random objects (which can expose behaviour no
+class member exhibits).  A user outside the class must contradict one of
+the two; a user inside it never does, because learning is exact.
+
+The report carries the evidence object for any contradiction, so a UI can
+show the user exactly where their intent escapes the class.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core import tuples as bt
+from repro.core.query import QhornQuery
+from repro.core.tuples import Question
+from repro.learning.qhorn1 import Qhorn1Learner
+from repro.learning.role_preserving import RolePreservingLearner
+from repro.oracle.base import MembershipOracle
+from repro.verification.verifier import Verifier
+
+__all__ = ["ClassCheckReport", "check_class_membership"]
+
+
+@dataclass
+class ClassCheckReport:
+    """Outcome of a class-membership check."""
+
+    target_class: str
+    consistent: bool
+    candidate: QhornQuery
+    evidence: Question | None = None
+    detail: str = ""
+    probes_used: int = 0
+
+    def describe(self) -> str:
+        verdict = (
+            f"consistent with {self.target_class}"
+            if self.consistent
+            else f"NOT in {self.target_class}: {self.detail}"
+        )
+        return f"{verdict} (candidate: {self.candidate.shorthand()})"
+
+
+def check_class_membership(
+    oracle: MembershipOracle,
+    target_class: str = "role-preserving",
+    probes: int = 200,
+    rng: random.Random | None = None,
+) -> ClassCheckReport:
+    """Test whether the user's intent is consistent with a qhorn subclass.
+
+    ``target_class`` is ``"qhorn-1"`` or ``"role-preserving"``.  The check
+    is sound (a consistent intent never fails) and empirically sharp: a
+    contradiction certificate is returned whenever one is found within the
+    verification set plus ``probes`` random objects.
+    """
+    if target_class not in ("qhorn-1", "role-preserving"):
+        raise ValueError("target_class must be 'qhorn-1' or 'role-preserving'")
+    rng = rng or random.Random(0)
+    n = oracle.n
+
+    learner = (
+        Qhorn1Learner(oracle)
+        if target_class == "qhorn-1"
+        else RolePreservingLearner(oracle)
+    )
+    candidate = learner.learn().query
+
+    # Structural sanity of the candidate itself.
+    structurally_ok = (
+        candidate.is_qhorn1()
+        if target_class == "qhorn-1"
+        else candidate.is_role_preserving()
+    )
+    if not structurally_ok:
+        return ClassCheckReport(
+            target_class=target_class,
+            consistent=False,
+            candidate=candidate,
+            detail="learned candidate violates the class syntax",
+        )
+
+    # The candidate's verification set is complete within the class.
+    outcome = Verifier(candidate).run(oracle)
+    if not outcome.verified:
+        d = outcome.disagreements[0]
+        return ClassCheckReport(
+            target_class=target_class,
+            consistent=False,
+            candidate=candidate,
+            evidence=d.item.question,
+            detail=f"user contradicts the candidate on {d.item.kind} "
+            f"({d.item.provenance})",
+            probes_used=outcome.questions_asked,
+        )
+
+    # Random probing catches behaviour no class member can produce.
+    top = bt.all_true(n)
+    used = outcome.questions_asked
+    for _ in range(probes):
+        size = rng.randint(1, max(2, n))
+        tuples = [rng.randint(0, top) for _ in range(size)]
+        if rng.random() < 0.3:
+            tuples.append(top)
+        question = Question.of(n, tuples)
+        used += 1
+        if oracle.ask(question) != candidate.evaluate(question):
+            return ClassCheckReport(
+                target_class=target_class,
+                consistent=False,
+                candidate=candidate,
+                evidence=question,
+                detail="user labels an object differently from every "
+                "consistent class member",
+                probes_used=used,
+            )
+    return ClassCheckReport(
+        target_class=target_class,
+        consistent=True,
+        candidate=candidate,
+        probes_used=used,
+    )

@@ -1,0 +1,123 @@
+"""PAC learning of qhorn queries from random examples (§6 future work).
+
+"We plan to investigate Probably Approximately Correct learning: we use
+randomly-generated membership questions to learn a query with a certain
+probability of error."
+
+The classic consistency argument applies directly: draw ``m`` objects from
+a distribution ``D``, label them with the hidden target, and return any
+hypothesis consistent with the sample.  With
+
+    m ≥ (1/ε) · (ln |H| + ln (1/δ))
+
+the returned hypothesis errs on at most ε of ``D`` with probability 1 − δ.
+For the enumerable classes (role-preserving qhorn at small n) we filter the
+exhaustive hypothesis space; experiment E17 sweeps ``m`` and measures the
+error curve.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core import tuples as bt
+from repro.core.query import QhornQuery
+from repro.core.tuples import Question
+
+__all__ = [
+    "ObjectSampler",
+    "random_object_sampler",
+    "pac_sample_bound",
+    "pac_learn",
+    "estimate_error",
+    "PacResult",
+]
+
+ObjectSampler = Callable[[random.Random], Question]
+
+
+def random_object_sampler(
+    n: int, max_tuples: int | None = None
+) -> ObjectSampler:
+    """A simple example distribution: object size uniform in 1..max_tuples,
+    tuples uniform over {0,1}^n (with the all-true tuple slightly boosted so
+    positive examples are not vanishingly rare)."""
+    max_tuples = max_tuples or max(2, n)
+    top = bt.all_true(n)
+
+    def sample(rng: random.Random) -> Question:
+        size = rng.randint(1, max_tuples)
+        tuples = [rng.randint(0, top) for _ in range(size)]
+        if rng.random() < 0.3:
+            tuples.append(top)
+        return Question.of(n, tuples)
+
+    return sample
+
+
+def pac_sample_bound(
+    hypothesis_count: int, epsilon: float, delta: float
+) -> int:
+    """The consistency-learner sample bound m ≥ (ln|H| + ln(1/δ)) / ε."""
+    if not 0 < epsilon < 1 or not 0 < delta < 1:
+        raise ValueError("epsilon and delta must be in (0, 1)")
+    return math.ceil(
+        (math.log(hypothesis_count) + math.log(1 / delta)) / epsilon
+    )
+
+
+@dataclass
+class PacResult:
+    """Outcome of a PAC run."""
+
+    query: QhornQuery
+    samples_used: int
+    consistent_hypotheses: int
+
+
+def pac_learn(
+    target: QhornQuery,
+    hypotheses: Sequence[QhornQuery],
+    sampler: ObjectSampler,
+    m: int,
+    rng: random.Random,
+) -> PacResult:
+    """Label ``m`` sampled objects with ``target`` and return a consistent
+    hypothesis (the first in enumeration order, as the classic learner may).
+
+    Raises ``RuntimeError`` if no hypothesis is consistent — impossible when
+    ``target`` (or an equivalent) is in the space.
+    """
+    remaining = list(hypotheses)
+    for _ in range(m):
+        obj = sampler(rng)
+        label = target.evaluate(obj)
+        remaining = [h for h in remaining if h.evaluate(obj) == label]
+        if not remaining:
+            raise RuntimeError("hypothesis space exhausted; target not in it")
+    return PacResult(
+        query=remaining[0],
+        samples_used=m,
+        consistent_hypotheses=len(remaining),
+    )
+
+
+def estimate_error(
+    a: QhornQuery,
+    b: QhornQuery,
+    sampler: ObjectSampler,
+    trials: int,
+    rng: random.Random,
+) -> float:
+    """Monte-Carlo disagreement rate of two queries under the distribution."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    disagree = sum(
+        1
+        for _ in range(trials)
+        if a.evaluate(obj := sampler(rng)) != b.evaluate(obj)
+    )
+    return disagree / trials

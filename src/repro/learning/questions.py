@@ -1,0 +1,91 @@
+"""Constructors for the paper's membership-question shapes (§3.1, §3.2).
+
+Each helper builds a :class:`~repro.core.tuples.Question` in O(n) or
+O(n·tuples) time, satisfying the paper's interactive-performance requirement
+that question generation be polynomial (§2.1.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core import tuples as bt
+from repro.core.tuples import Question
+
+__all__ = [
+    "universal_head_question",
+    "universal_dependence_question",
+    "existential_independence_question",
+    "matrix_question",
+    "single_false_question",
+    "two_tuple_question",
+]
+
+
+def universal_head_question(n: int, variable: int) -> Question:
+    """§3.1.1: ``{1^n, tuple with only `variable` false}``.
+
+    A *non-answer* reveals ``variable`` to be a universal head: with all
+    potential body variables true and every other head neutralized, the only
+    way to reject the set is a universal expression on ``variable``.
+    """
+    top = bt.all_true(n)
+    return Question.of(n, [top, bt.with_false(top, [variable])])
+
+
+def universal_dependence_question(
+    n: int, head: int, variables: Iterable[int]
+) -> Question:
+    """Def. 3.1: ``{1^n, tuple with head and V false, rest true}``.
+
+    An *answer* means some body variable of ``head`` lies in ``V`` (the
+    falsified body lets the head go false); a *non-answer* means the head's
+    body avoids ``V`` entirely.
+    """
+    top = bt.all_true(n)
+    t = bt.with_false(top, [head, *variables])
+    return Question.of(n, [top, t])
+
+
+def existential_independence_question(
+    n: int, xs: Iterable[int], ys: Iterable[int]
+) -> Question:
+    """Def. 3.2: two tuples, one with ``X`` false, one with ``Y`` false.
+
+    An *answer* means no existential conjunction straddles ``X`` and ``Y``;
+    a *non-answer* means some conjunction needs a variable from each (the
+    variables "depend on each other").
+    """
+    xs, ys = list(xs), list(ys)
+    if set(xs) & set(ys):
+        raise ValueError("independence question requires disjoint sets")
+    top = bt.all_true(n)
+    return Question.of(n, [bt.with_false(top, xs), bt.with_false(top, ys)])
+
+
+def matrix_question(n: int, variables: Iterable[int]) -> Question:
+    """Def. 3.3: one tuple per variable ``d``, with exactly ``d`` false.
+
+    Over the dependents ``D`` of some variable, an *answer* certifies that
+    ``D`` contains at least two existential head variables (Lemma 3.3).
+    """
+    vs = list(variables)
+    if not vs:
+        raise ValueError("matrix question needs at least one variable")
+    top = bt.all_true(n)
+    return Question.of(n, [bt.with_false(top, [d]) for d in vs])
+
+
+def single_false_question(n: int, variable: int) -> Question:
+    """``{tuple with only `variable` false}`` — a single-tuple question.
+
+    Distinguishes ``∃x`` from "x unconstrained" for a variable that turned
+    out independent of everything else (a case the paper's all-variables-
+    used convention leaves implicit).
+    """
+    return Question.of(n, [bt.with_false(bt.all_true(n), [variable])])
+
+
+def two_tuple_question(n: int, t: int) -> Question:
+    """``{1^n, t}`` — the workhorse of the role-preserving body search."""
+    return Question.of(n, [bt.all_true(n), t])

@@ -1,0 +1,236 @@
+"""Query revision (§6 future work, implemented).
+
+"Given a query which is close to the user's intended query, our goal is to
+determine the intended query through few membership questions — polynomial
+in the distance between the given query and the intended query."
+
+The reviser trusts the given query wherever the user confirms it and
+relearns only the disagreeing parts:
+
+1. **Heads.**  One A4-style probe over all non-heads detects whether the
+   intent has *new* head variables (binary-searched out only if so); one
+   head test per existing head confirms or drops it.
+2. **Universal bodies.**  Each given dominant body is confirmed as a
+   minimal body of the intent with two questions (its N2 and A2 from the
+   verification set); a failed A2 shrinks the body in place.  One combined
+   all-roots probe then certifies that no incomparable body was missed —
+   the full root enumeration runs only when that probe fails.
+3. **Conjunctions.**  After an A1 probe, each given distinguishing tuple is
+   confirmed with one children-replacement question; the lattice walk then
+   runs with the confirmed tuples pre-discovered, so regions the given
+   query already explains are pruned immediately.
+
+When the given query equals the intent, the reviser spends O(n + k)
+questions (vs O(n^{θ+1} + kn lg n) to learn from scratch); the cost grows
+with the revision distance of §6 — experiment E15 measures exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet
+
+from repro.core import tuples as bt
+from repro.core.normalize import canonicalize, r3_closure
+from repro.core.query import QhornQuery
+from repro.core.tuples import Question
+from repro.lattice.boolean_lattice import BodyLattice, compliant_children
+from repro.learning.questions import universal_head_question
+from repro.learning.role_preserving import RolePreservingLearner
+from repro.learning.search import find_all
+from repro.oracle.base import MembershipOracle
+
+__all__ = ["RevisionResult", "QueryReviser", "revise_query"]
+
+
+@dataclass
+class RevisionResult:
+    """Outcome of a revision: the corrected query plus a repair log."""
+
+    query: QhornQuery
+    changed: bool
+    repairs: list[str] = field(default_factory=list)
+
+
+class QueryReviser:
+    """Revises a role-preserving query against a membership oracle."""
+
+    def __init__(self, given: QhornQuery, oracle: MembershipOracle) -> None:
+        if not given.is_role_preserving():
+            raise ValueError("revision is defined for role-preserving qhorn")
+        if given.n != oracle.n:
+            raise ValueError("query and oracle disagree on n")
+        self.given = canonicalize(given)
+        self.oracle = oracle
+        self.n = given.n
+        self.repairs: list[str] = []
+        self._learner = RolePreservingLearner(oracle)
+
+    # ------------------------------------------------------------------
+    def revise(self) -> RevisionResult:
+        heads = self._revise_heads()
+        universals = self._revise_universals(heads)
+        conjunctions = self._revise_conjunctions(universals)
+        query = QhornQuery.build(
+            self.n,
+            universals=[(sorted(u.body), u.head) for u in universals],
+            existentials=[sorted(c) for c in conjunctions],
+        )
+        changed = canonicalize(query) != self.given
+        if not changed:
+            self.repairs.append("confirmed: the given query was correct")
+        return RevisionResult(query=query, changed=changed, repairs=self.repairs)
+
+    # ------------------------------------------------------------------
+    # Step 1 — heads
+    # ------------------------------------------------------------------
+    def _revise_heads(self) -> list[int]:
+        given_heads = sorted({u.head for u in self.given.universals})
+        heads: list[int] = []
+        for h in given_heads:
+            if not self.oracle.ask(universal_head_question(self.n, h)):
+                heads.append(h)
+            else:
+                self.repairs.append(f"dropped head x{h + 1}")
+        non_heads = [v for v in range(self.n) if v not in set(given_heads)]
+        if non_heads:
+            top = bt.all_true(self.n)
+            probe = Question.of(
+                self.n,
+                [top] + [bt.with_false(top, [v]) for v in non_heads],
+            )
+            if not self.oracle.ask(probe):
+                # Some non-head of the given query heads an expression in
+                # the intent: binary-search all of them out (A4 refinement).
+                def contains_head(vs) -> bool:
+                    q = Question.of(
+                        self.n,
+                        [top] + [bt.with_false(top, [v]) for v in vs],
+                    )
+                    return not self.oracle.ask(q)
+
+                new_heads = find_all(contains_head, non_heads)
+                for h in new_heads:
+                    self.repairs.append(f"added head x{h + 1}")
+                heads.extend(new_heads)
+        return sorted(heads)
+
+    # ------------------------------------------------------------------
+    # Step 2 — universal bodies
+    # ------------------------------------------------------------------
+    def _given_bodies(self, head: int) -> list[FrozenSet[int]]:
+        return sorted(
+            (u.body for u in self.given.universals if u.head == head),
+            key=sorted,
+        )
+
+    def _revise_universals(self, heads: list[int]):
+        from repro.core.expressions import UniversalHorn
+
+        universals: list[UniversalHorn] = []
+        for h in heads:
+            verified: list[FrozenSet[int]] = []
+            candidates = [
+                b
+                for b in self._given_bodies(h)
+                if b and b <= frozenset(v for v in range(self.n)
+                                        if v not in set(heads))
+            ]
+            lattice = BodyLattice(self.n, h, heads)
+            for body in candidates:
+                outcome = self._check_body(lattice, body)
+                if outcome is None:
+                    from repro.core.expressions import var_names
+
+                    self.repairs.append(
+                        f"dropped body {var_names(body)} of x{h + 1}"
+                    )
+                    continue
+                if outcome != body:
+                    self.repairs.append(
+                        f"shrank a body of x{h + 1} to "
+                        f"{sorted(v + 1 for v in outcome)}"
+                    )
+                if outcome not in verified:
+                    verified.append(outcome)
+            bodies = self._learner._learn_bodies(
+                h, heads, seed_bodies=verified, probe_roots_first=True
+            )
+            if len(bodies) > len(verified) and bodies != [frozenset()]:
+                self.repairs.append(
+                    f"found {len(bodies) - len(verified)} new bodies for "
+                    f"x{h + 1}"
+                )
+            for b in bodies:
+                universals.append(UniversalHorn(head=h, body=b))
+        # keep only dominant expressions (a shrink may dominate a sibling)
+        probe = QhornQuery(n=self.n, universals=frozenset(universals))
+        return sorted(canonicalize(probe).universals)
+
+    def _check_body(
+        self, lattice: BodyLattice, body: FrozenSet[int]
+    ) -> FrozenSet[int] | None:
+        """Confirm ``body`` as a minimal intent body with two questions;
+        shrink it in place when only a subset is required; ``None`` when
+        the intent has no body inside it at all."""
+        top = bt.all_true(self.n)
+        u_tuple = lattice.embed(body)
+        # N2: a non-answer means some intent body lies within `body`.
+        if self.oracle.ask(Question.of(self.n, [top, u_tuple])):
+            return None
+        # A2: an answer means no intent body is a strict subset.
+        children = [
+            lattice.embed([v for v in body if v != b]) for b in sorted(body)
+        ]
+        if self.oracle.ask(Question.of(self.n, [top, *children])):
+            return body
+        # Shrink: classic greedy minimization restricted to `body` (Alg. 6).
+        kept = list(sorted(body))
+        for x in sorted(body):
+            trial = [v for v in kept if v != x]
+            t = lattice.embed(trial)
+            if not self.oracle.ask(Question.of(self.n, [top, t])):
+                kept = trial
+        return frozenset(kept)
+
+    # ------------------------------------------------------------------
+    # Step 3 — conjunctions
+    # ------------------------------------------------------------------
+    def _revise_conjunctions(self, universals) -> list[FrozenSet[int]]:
+        # Re-close the given conjunctions under the *revised* universals.
+        candidates = sorted(
+            {
+                bt.mask_of(r3_closure(c, universals))
+                for c in self.given.conjunctions
+            }
+        )
+        verified: list[int] = []
+        if candidates and self.oracle.ask(Question.of(self.n, candidates)):
+            # A1 passed: every intent conjunction is covered by some
+            # candidate, so a children-replacement question isolates each.
+            for t in candidates:
+                others = [c for c in candidates if c != t]
+                kids = compliant_children(t, self.n, universals)
+                if not self.oracle.ask(Question.of(self.n, others + kids)):
+                    verified.append(t)
+        dropped = len(candidates) - len(verified)
+        if dropped:
+            self.repairs.append(
+                f"re-deriving {dropped} unconfirmed conjunction(s)"
+            )
+        discovered = self._learner._learn_conjunctions(
+            list(universals), seed_discovered=verified
+        )
+        conjunctions = {bt.true_set(t) for t in discovered}
+        return [
+            c
+            for c in conjunctions
+            if not any(c < other for other in conjunctions)
+        ]
+
+
+def revise_query(
+    given: QhornQuery, oracle: MembershipOracle
+) -> RevisionResult:
+    """Revise ``given`` against the user behind ``oracle`` (§6)."""
+    return QueryReviser(given, oracle).revise()

@@ -1,0 +1,126 @@
+"""Binary-search primitives over membership responses (Algs. 2, 3, 8).
+
+The learning algorithms repeatedly reduce "which variables/tuples matter?"
+to monotone set queries answered by the user:
+
+* :func:`find_one` — Alg. 2 (*Find*): locate one positive item in a set, or
+  report that there is none, with O(lg |V|) questions per item.
+* :func:`find_all` — Alg. 3 (*FindAll*): locate every positive item with
+  O(|found| · lg |V|) questions.
+* :func:`minimal_prefix` — binary search for the shortest prefix satisfying
+  a monotone predicate (the engine behind *GetHead*, Alg. 5).
+* :func:`minimal_satisfying_subset` — Alg. 8 (*Prune*): extract a minimal
+  subset that keeps a monotone predicate true, O(|kept| · lg |V|) questions.
+
+All predicates receive plain sequences; callers translate subsets into
+membership questions.  Each primitive documents its question complexity so
+the learners' totals can be audited against the paper's theorems.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = [
+    "find_one",
+    "find_all",
+    "minimal_prefix",
+    "minimal_satisfying_subset",
+]
+
+
+def find_one(
+    contains: Callable[[Sequence[T]], bool], items: Sequence[T]
+) -> T | None:
+    """Alg. 2 (*Find*): return one item of a non-empty positive subset.
+
+    ``contains(S)`` must be a monotone predicate meaning "``S`` contains at
+    least one target item".  Returns ``None`` when ``contains(items)`` is
+    false.  Asks 1 question when empty-handed, otherwise O(lg |items|): the
+    paper's version re-asks the second half after a failed first half; we
+    use the implied answer instead (one fewer question per level).
+    """
+    items = list(items)
+    if not items:
+        return None
+    if not contains(items):
+        return None
+    while len(items) > 1:
+        mid = len(items) // 2
+        first, second = items[:mid], items[mid:]
+        # By the invariant, a target is in first ∪ second; one question on
+        # the first half decides which half to keep.
+        items = first if contains(first) else second
+    return items[0]
+
+
+def find_all(
+    contains: Callable[[Sequence[T]], bool], items: Sequence[T]
+) -> list[T]:
+    """Alg. 3 (*FindAll*): return every target item in ``items``.
+
+    Recursively splits; a subtree is abandoned after one question whenever it
+    contains no target.  O(m lg |items|) questions for m found items.
+    """
+    items = list(items)
+    if not items:
+        return []
+    if not contains(items):
+        return []
+    if len(items) == 1:
+        return items
+    mid = len(items) // 2
+    return find_all(contains, items[:mid]) + find_all(contains, items[mid:])
+
+
+def minimal_prefix(
+    pred: Callable[[Sequence[T]], bool], items: Sequence[T]
+) -> list[T] | None:
+    """Shortest prefix of ``items`` satisfying monotone ``pred``.
+
+    Returns ``None`` when even the full sequence fails.  O(lg |items|)
+    predicate evaluations (the full-sequence check is reused as the first
+    probe).
+    """
+    items = list(items)
+    if not pred(items):
+        return None
+    lo, hi = 1, len(items)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if pred(items[:mid]):
+            hi = mid
+        else:
+            lo = mid + 1
+    return items[:lo]
+
+
+def minimal_satisfying_subset(
+    pred: Callable[[Sequence[T]], bool], items: Sequence[T]
+) -> list[T]:
+    """Alg. 8 (*Prune*): a minimal subset of ``items`` keeping ``pred`` true.
+
+    ``pred`` must be monotone with ``pred(items)`` true.  Classic minimal
+    witness extraction: repeatedly binary-search the shortest prefix that,
+    together with the already-kept elements, satisfies the predicate; the
+    prefix's last element is necessary.  O(|kept| · lg |items|) predicate
+    evaluations — the "O(lg n) questions for each tuple we need to keep" of
+    §3.2.2.
+    """
+    kept: list[T] = []
+    rest = list(items)
+    while not pred(kept):
+        lo, hi = 1, len(rest)
+        if hi == 0:
+            raise ValueError("pred(items) must hold for minimization")
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if pred(kept + rest[:mid]):
+                hi = mid
+            else:
+                lo = mid + 1
+        kept.append(rest[lo - 1])
+        rest = rest[: lo - 1]
+    return kept

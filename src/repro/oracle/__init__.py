@@ -1,0 +1,25 @@
+"""Membership oracles: simulated users, wrappers, adversaries (§2.1.2)."""
+
+from repro.oracle.adversaries import CandidateEliminationAdversary, max_elimination
+from repro.oracle.base import FunctionOracle, MembershipOracle, QueryOracle
+from repro.oracle.counting import CountingOracle, QuestionStats, RecordingOracle
+from repro.oracle.expression import CountingExpressionOracle, ExpressionOracle
+from repro.oracle.human import HumanOracle
+from repro.oracle.noisy import ExhaustedReplayError, NoisyOracle, ReplayOracle
+
+__all__ = [
+    "CandidateEliminationAdversary",
+    "CountingExpressionOracle",
+    "CountingOracle",
+    "ExpressionOracle",
+    "ExhaustedReplayError",
+    "FunctionOracle",
+    "HumanOracle",
+    "MembershipOracle",
+    "NoisyOracle",
+    "QueryOracle",
+    "QuestionStats",
+    "RecordingOracle",
+    "ReplayOracle",
+    "max_elimination",
+]

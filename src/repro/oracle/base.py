@@ -1,0 +1,61 @@
+"""Membership oracles: the paper's model of the user (§2.1.2).
+
+A membership question is an example object; the user classifies it as an
+*answer* or a *non-answer* for their intended query.  Everything that asks
+questions in this library — learners, verifiers, interactive sessions —
+talks to a :class:`MembershipOracle`, so simulated users, counting wrappers,
+noise injection, adversaries and real humans compose freely.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.core.query import QhornQuery
+from repro.core.tuples import Question
+
+__all__ = ["MembershipOracle", "QueryOracle", "FunctionOracle"]
+
+
+@runtime_checkable
+class MembershipOracle(Protocol):
+    """Anything that can label membership questions."""
+
+    n: int
+
+    def ask(self, question: Question) -> bool:
+        """Return ``True`` for *answer*, ``False`` for *non-answer*."""
+        ...
+
+
+class QueryOracle:
+    """The ideal user: labels questions with a hidden target query.
+
+    This is the ground-truth oracle used by exact-identification experiments;
+    the learner never inspects :attr:`target`, only :meth:`ask`.
+    """
+
+    def __init__(self, target: QhornQuery) -> None:
+        self.target = target
+        self.n = target.n
+
+    def ask(self, question: Question) -> bool:
+        if question.n != self.n:
+            raise ValueError(
+                f"question over n={question.n} variables, oracle has n={self.n}"
+            )
+        return self.target.evaluate(question)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QueryOracle({self.target.shorthand()})"
+
+
+class FunctionOracle:
+    """Adapts a plain callable ``Question -> bool`` to the oracle protocol."""
+
+    def __init__(self, n: int, fn) -> None:
+        self.n = n
+        self._fn = fn
+
+    def ask(self, question: Question) -> bool:
+        return bool(self._fn(question))

@@ -1,0 +1,87 @@
+"""Counting and recording wrappers around membership oracles.
+
+The paper's complexity results are stated in *number of membership questions*
+and *tuples per question* (§2.1.2: question generation must stay polynomial,
+which entails polynomially many tuples per question).  The wrappers here
+measure both, so every theorem becomes a measurable quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.tuples import Question
+from repro.oracle.base import MembershipOracle
+
+__all__ = ["QuestionStats", "CountingOracle", "RecordingOracle"]
+
+
+@dataclass
+class QuestionStats:
+    """Aggregate statistics over the questions asked through an oracle."""
+
+    questions: int = 0
+    tuples: int = 0
+    max_tuples: int = 0
+    answers: int = 0
+    non_answers: int = 0
+    tuples_histogram: dict[int, int] = field(default_factory=dict)
+
+    def record(self, question: Question, response: bool) -> None:
+        self.questions += 1
+        size = question.size
+        self.tuples += size
+        self.max_tuples = max(self.max_tuples, size)
+        self.tuples_histogram[size] = self.tuples_histogram.get(size, 0) + 1
+        if response:
+            self.answers += 1
+        else:
+            self.non_answers += 1
+
+    @property
+    def mean_tuples(self) -> float:
+        return self.tuples / self.questions if self.questions else 0.0
+
+
+class CountingOracle:
+    """Wraps an oracle and tallies every question asked through it."""
+
+    def __init__(self, inner: MembershipOracle) -> None:
+        self.inner = inner
+        self.n = inner.n
+        self.stats = QuestionStats()
+
+    def ask(self, question: Question) -> bool:
+        response = self.inner.ask(question)
+        self.stats.record(question, response)
+        return response
+
+    @property
+    def questions_asked(self) -> int:
+        return self.stats.questions
+
+    def reset(self) -> None:
+        self.stats = QuestionStats()
+
+
+class RecordingOracle:
+    """Wraps an oracle and keeps the full (question, response) transcript.
+
+    The transcript powers the interactive layer's response-correction replay
+    (§5 "Noisy Users"): a learner restarted against a
+    :class:`RecordingOracle` transcript re-receives identical labels up to
+    the corrected point.
+    """
+
+    def __init__(self, inner: MembershipOracle) -> None:
+        self.inner = inner
+        self.n = inner.n
+        self.transcript: list[tuple[Question, bool]] = []
+
+    def ask(self, question: Question) -> bool:
+        response = self.inner.ask(question)
+        self.transcript.append((question, response))
+        return response
+
+    def responses(self) -> list[bool]:
+        return [r for _, r in self.transcript]

@@ -1,0 +1,85 @@
+"""Expression questions: the richer question types of §6 (future work).
+
+"We plan to examine the plausibility of constructing other types of
+questions that provide more information bits but still maintain interface
+usability.  One possibility is to ask questions to directly determine how
+propositions interact such as: 'do you think p1 and p2 both have to be
+satisfied by at least one tuple?' or 'when does p1 have to be satisfied?'"
+
+An :class:`ExpressionOracle` answers exactly those questions about the
+user's intended query:
+
+* :meth:`requires_conjunction` — "must some tuple satisfy all of C?"
+  (does the intent entail ``∃C``);
+* :meth:`requires_implication` — "whenever a tuple satisfies B, must it
+  also satisfy h?" (does the intent entail ``∀B→h``).
+
+Both answers are still single bits, so expression questions cannot beat
+membership questions information-theoretically — experiment E16 measures
+how much the *constants* improve.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.normalize import canonicalize
+from repro.core.query import QhornQuery
+
+__all__ = ["ExpressionOracle", "CountingExpressionOracle"]
+
+
+class ExpressionOracle:
+    """Answers entailment questions about a hidden role-preserving query."""
+
+    def __init__(self, target: QhornQuery) -> None:
+        if not target.is_role_preserving():
+            raise ValueError(
+                "expression oracles are defined for role-preserving targets"
+            )
+        self.n = target.n
+        self._canon = canonicalize(target)
+
+    def requires_conjunction(self, variables: Iterable[int]) -> bool:
+        """"Do you think all of C have to be satisfied by one tuple?"
+
+        Entailment check: the intent implies ``∃C`` iff some dominant
+        conjunction of its canonical form contains C (otherwise the object
+        holding exactly the dominant distinguishing tuples is an accepted
+        counterexample).
+        """
+        wanted = frozenset(variables)
+        if not wanted:
+            return True
+        return any(wanted <= c for c in self._canon.conjunctions)
+
+    def requires_implication(self, body: Iterable[int], head: int) -> bool:
+        """"Whenever a tuple satisfies B, must it satisfy h?"
+
+        The intent implies ``∀B→h`` iff one of its dominant universal
+        expressions on ``h`` has a body contained in B.
+        """
+        body_set = frozenset(body)
+        if head in body_set:
+            return True  # trivially entailed
+        return any(
+            u.head == head and u.body <= body_set
+            for u in self._canon.universals
+        )
+
+
+class CountingExpressionOracle:
+    """Counts expression questions, mirroring :class:`CountingOracle`."""
+
+    def __init__(self, inner: ExpressionOracle) -> None:
+        self.inner = inner
+        self.n = inner.n
+        self.questions_asked = 0
+
+    def requires_conjunction(self, variables: Iterable[int]) -> bool:
+        self.questions_asked += 1
+        return self.inner.requires_conjunction(variables)
+
+    def requires_implication(self, body: Iterable[int], head: int) -> bool:
+        self.questions_asked += 1
+        return self.inner.requires_implication(body, head)

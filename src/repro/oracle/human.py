@@ -1,0 +1,59 @@
+"""A human-in-the-loop oracle for the interactive CLI example.
+
+Renders each membership question (optionally through a data-domain
+vocabulary so the user sees real rows instead of bit strings) and reads an
+answer / non-answer label from a callable — by default, stdin.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.tuples import Question
+
+__all__ = ["HumanOracle"]
+
+_TRUE = {"y", "yes", "a", "answer", "1", "true"}
+_FALSE = {"n", "no", "non-answer", "nonanswer", "0", "false"}
+
+
+class HumanOracle:
+    """Asks a person to label each question.
+
+    Parameters
+    ----------
+    n:
+        Number of Boolean variables.
+    render:
+        Maps a :class:`Question` to the text shown to the user.  Defaults to
+        the paper's bit-string rendering.
+    input_fn / output_fn:
+        Injectable I/O for testing; default to ``input``/``print``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        render: Callable[[Question], str] | None = None,
+        input_fn: Callable[[str], str] = input,
+        output_fn: Callable[[str], None] = print,
+    ) -> None:
+        self.n = n
+        self.render = render or (lambda q: q.format())
+        self.input_fn = input_fn
+        self.output_fn = output_fn
+        self.asked = 0
+
+    def ask(self, question: Question) -> bool:
+        self.asked += 1
+        self.output_fn(f"\n--- membership question #{self.asked} ---")
+        self.output_fn(self.render(question))
+        while True:
+            raw = self.input_fn(
+                "Is this object an answer to your query? [y/n] "
+            ).strip().lower()
+            if raw in _TRUE:
+                return True
+            if raw in _FALSE:
+                return False
+            self.output_fn("please answer 'y' (answer) or 'n' (non-answer)")

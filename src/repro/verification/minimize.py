@@ -1,0 +1,76 @@
+"""Minimizing verification sets against an explicit hypothesis space.
+
+Fig. 6's construction is generic — it must work for every query in the
+class — so for a *specific* query some of its questions are redundant.
+When the hypothesis space is enumerable (n ≤ 3), a minimal detecting
+subset can be computed exactly; together with ``teaching.py`` this
+quantifies the gap between the constructive O(k) sets and the per-query
+optimum (the teaching number).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.normalize import canonicalize
+from repro.core.query import QhornQuery
+from repro.verification.sets import VerificationQuestion, build_verification_set
+
+__all__ = ["redundant_questions", "minimize_verification_set"]
+
+
+def _detects(
+    item: VerificationQuestion, rival: QhornQuery
+) -> bool:
+    return rival.evaluate(item.question) != item.expected
+
+
+def redundant_questions(
+    query: QhornQuery, hypotheses: Sequence[QhornQuery]
+) -> list[VerificationQuestion]:
+    """Questions of ``query``'s verification set that detect no rival the
+    rest of the set misses (over the given hypothesis space)."""
+    vs = build_verification_set(query)
+    target_form = canonicalize(query)
+    rivals = [h for h in hypotheses if canonicalize(h) != target_form]
+    redundant = []
+    for item in vs.questions:
+        others = [q for q in vs.questions if q is not item]
+        exclusively_caught = [
+            r
+            for r in rivals
+            if _detects(item, r)
+            and not any(_detects(o, r) for o in others)
+        ]
+        if not exclusively_caught:
+            redundant.append(item)
+    return redundant
+
+
+def minimize_verification_set(
+    query: QhornQuery, hypotheses: Sequence[QhornQuery]
+) -> list[VerificationQuestion]:
+    """A greedy minimal subset of the verification set that still detects
+    every rival hypothesis (complete relative to ``hypotheses``)."""
+    vs = build_verification_set(query)
+    target_form = canonicalize(query)
+    remaining = [
+        h for h in hypotheses if canonicalize(h) != target_form
+    ]
+    chosen: list[VerificationQuestion] = []
+    pool = list(vs.questions)
+    while remaining:
+        best, caught = None, []
+        for item in pool:
+            hit = [r for r in remaining if _detects(item, r)]
+            if len(hit) > len(caught):
+                best, caught = item, hit
+        if best is None:
+            raise RuntimeError(
+                "verification set cannot detect some rival — outside the "
+                "class this set is complete for"
+            )
+        chosen.append(best)
+        pool.remove(best)
+        remaining = [r for r in remaining if r not in caught]
+    return chosen

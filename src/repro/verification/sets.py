@@ -1,0 +1,241 @@
+"""Verification sets: the O(k) membership questions of §4 (Fig. 6).
+
+Given a user-specified role-preserving query ``qg``, the verifier derives a
+*verification set* — membership questions together with ``qg``'s own labels.
+If the user's intended query ``qi`` differs semantically from ``qg``, at
+least one question is labeled differently by ``qi`` (Theorem 4.2), so the
+user spots the disagreement.
+
+Six question families (Fig. 6), all built from the normalized query's
+distinguishing tuples (§4.1):
+
+====  ========  ==================================================================
+kind  expected  contents
+====  ========  ==================================================================
+A1    answer    all dominant existential distinguishing tuples (guarantees incl.)
+N1    non-ans.  A1 with one non-guarantee distinguishing tuple replaced by its
+                Horn-compliant children (one question per such tuple)
+A2    answer    all-true + the children of a universal distinguishing tuple
+                (one question per dominant universal Horn expression with body)
+N2    non-ans.  all-true + the universal distinguishing tuple itself
+A3    answer    all-true + body search roots inside a dominant conjunction that
+                dominates a guarantee clause (one question per (conjunction,
+                head) pair; catches missing incomparable bodies, Lemma 4.6)
+A4    answer    all-true + one tuple per non-head variable with only it false
+                (catches heads the given query missed, Lemma 4.7)
+====  ========  ==================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import FrozenSet, Sequence
+
+from repro.core import tuples as bt
+from repro.core.expressions import var_name, var_names
+from repro.core.normalize import (
+    CanonicalForm,
+    canonicalize,
+    r3_closure,
+    universal_distinguishing_tuple,
+)
+from repro.core.query import QhornQuery
+from repro.core.tuples import Question
+from repro.lattice.boolean_lattice import compliant_children
+
+__all__ = ["VerificationQuestion", "VerificationSet", "build_verification_set"]
+
+KINDS = ("A1", "N1", "A2", "N2", "A3", "A4")
+
+
+@dataclass(frozen=True)
+class VerificationQuestion:
+    """One membership question of a verification set with its label."""
+
+    kind: str
+    question: Question
+    expected: bool
+    provenance: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown verification question kind {self.kind}")
+
+
+@dataclass
+class VerificationSet:
+    """All verification questions for a given (normalized) query."""
+
+    query: QhornQuery
+    canonical: CanonicalForm
+    questions: list[VerificationQuestion] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.questions)
+
+    def by_kind(self, kind: str) -> list[VerificationQuestion]:
+        return [q for q in self.questions if q.kind == kind]
+
+    def counts(self) -> dict[str, int]:
+        return {k: len(self.by_kind(k)) for k in KINDS}
+
+    def format(self) -> str:
+        """Paper-style rendering (§4.2): one block per question."""
+        lines: list[str] = []
+        for q in self.questions:
+            label = "Answer" if q.expected else "Non-answer"
+            lines.append(f"[{q.kind}] {q.provenance} — expected: {label}")
+            lines.append(q.question.format() or "(empty object)")
+            lines.append("")
+        return "\n".join(lines)
+
+
+def build_verification_set(query: QhornQuery) -> VerificationSet:
+    """Construct the verification set of Fig. 6 for ``query``.
+
+    The query is normalized first (§4.1): dominated expressions contribute
+    only their guarantee clauses, and distinguishing tuples are built from
+    the dominant expressions.
+    """
+    if not query.is_role_preserving():
+        raise ValueError(
+            "verification sets are defined for role-preserving qhorn queries"
+        )
+    canon = canonicalize(query)
+    n = query.n
+    universals = sorted(canon.universals)
+    heads = frozenset(u.head for u in universals)
+    top = bt.all_true(n)
+
+    guarantee_closures = {
+        r3_closure(u.variables, universals) for u in universals
+    }
+    conjunctions = sorted(canon.conjunctions, key=lambda c: (len(c), sorted(c)))
+    ex_tuples = {c: bt.mask_of(c) for c in conjunctions}
+
+    out = VerificationSet(query=query, canonical=canon)
+
+    # ---------------------------------------------------------------- A1
+    out.questions.append(
+        VerificationQuestion(
+            kind="A1",
+            question=Question.of(n, ex_tuples.values()),
+            expected=True,
+            provenance="all dominant existential distinguishing tuples",
+        )
+    )
+
+    # ---------------------------------------------------------------- N1
+    for c in conjunctions:
+        if c in guarantee_closures:
+            continue  # Fig. 6: skip tuples due to guarantee clauses
+        t = ex_tuples[c]
+        others = [m for cc, m in ex_tuples.items() if cc != c]
+        kids = compliant_children(t, n, universals)
+        out.questions.append(
+            VerificationQuestion(
+                kind="N1",
+                question=Question.of(n, others + kids),
+                expected=False,
+                provenance=f"∃{var_names(c)} replaced by its children",
+            )
+        )
+
+    # ------------------------------------------------------------ A2 / N2
+    for u in universals:
+        ud = universal_distinguishing_tuple(u, heads)
+        out.questions.append(
+            VerificationQuestion(
+                kind="N2",
+                question=Question.of(n, [top, ud]),
+                expected=False,
+                provenance=f"distinguishing tuple of {u}",
+            )
+        )
+        if u.is_bodyless:
+            continue  # no children: nothing below ∀h to compare against
+        kids = [bt.with_false(ud, [b]) for b in sorted(u.body)]
+        out.questions.append(
+            VerificationQuestion(
+                kind="A2",
+                question=Question.of(n, [top, *kids]),
+                expected=True,
+                provenance=f"children of the distinguishing tuple of {u}",
+            )
+        )
+
+    # ---------------------------------------------------------------- A3
+    bodies_by_head: dict[int, list[FrozenSet[int]]] = {}
+    for u in universals:
+        bodies_by_head.setdefault(u.head, []).append(u.body)
+    non_heads_mask = bt.mask_of(v for v in range(n) if v not in heads)
+    for c in conjunctions:
+        for h in sorted(heads & c):
+            bodies_in = [b for b in bodies_by_head[h] if b and b <= c]
+            if not bodies_in:
+                continue
+            roots = _a3_roots(n, c, h, bodies_in, bodies_by_head[h])
+            # A root with no true non-head variable cannot witness any
+            # missing body M (Lemma 4.6 needs M's variables true), so such
+            # roots are dropped — this is why Fig. 7's two-variable
+            # verification sets contain no A3 questions.
+            roots = [t for t in roots if t & non_heads_mask]
+            if not roots:
+                continue
+            out.questions.append(
+                VerificationQuestion(
+                    kind="A3",
+                    question=Question.of(n, [top, *roots]),
+                    expected=True,
+                    provenance=(
+                        f"search roots for bodies of {var_name(h)} "
+                        f"inside ∃{var_names(c)}"
+                    ),
+                )
+            )
+
+    # ---------------------------------------------------------------- A4
+    non_heads = [v for v in range(n) if v not in heads]
+    if non_heads:
+        out.questions.append(
+            VerificationQuestion(
+                kind="A4",
+                question=Question.of(
+                    n, [top] + [bt.with_false(top, [v]) for v in non_heads]
+                ),
+                expected=True,
+                provenance="one tuple per non-head variable set false",
+            )
+        )
+    return out
+
+
+def _a3_roots(
+    n: int,
+    conjunction: FrozenSet[int],
+    head: int,
+    bodies_in: Sequence[FrozenSet[int]],
+    all_bodies: Sequence[FrozenSet[int]],
+) -> list[int]:
+    """Search roots of Lemma 4.6: one body variable from each body inside
+    the conjunction falsified, the rest of the conjunction true, the head
+    false, and everything else true unless that would complete another body
+    of the head (those are repaired by falsifying an outside variable,
+    mirroring §3.2.1's root construction)."""
+    roots: list[int] = []
+    seen: set[int] = set()
+    for choice in product(*[sorted(b) for b in bodies_in]):
+        t = bt.with_false(bt.all_true(n), [head, *choice])
+        for body in sorted(all_bodies, key=sorted):
+            body_mask = bt.mask_of(body)
+            if (t & body_mask) == body_mask:
+                outside = sorted(body - conjunction)
+                if not outside:  # body inside c: already hit by the choice
+                    continue
+                t = bt.with_false(t, [outside[0]])
+        if t not in seen:
+            seen.add(t)
+            roots.append(t)
+    return roots

@@ -1,0 +1,124 @@
+"""Teaching sets: minimal example sequences that pin down a query (§5).
+
+The paper relates verification sets to the *teaching sequences* of Goldman
+and Kearns: the smallest sequence of labelled examples that lets any
+consistent learner identify the target concept uniquely.  This module
+computes exact teaching sets over an explicit hypothesis space (feasible
+for the enumerable two/three-variable classes) and measures how close the
+Fig. 6 verification sets come to that optimum — experiment E19.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+from repro.core.normalize import canonicalize, enumerate_objects
+from repro.core.query import QhornQuery
+from repro.core.tuples import Question
+
+__all__ = [
+    "LabelledExample",
+    "teaching_set",
+    "greedy_teaching_set",
+    "verification_set_as_examples",
+    "distinguishes_all",
+]
+
+
+@dataclass(frozen=True)
+class LabelledExample:
+    """One teaching example: an object plus the target's label for it."""
+
+    question: Question
+    label: bool
+
+
+def _eliminates(
+    example: LabelledExample, hypothesis: QhornQuery
+) -> bool:
+    return hypothesis.evaluate(example.question) != example.label
+
+
+def distinguishes_all(
+    examples: Sequence[LabelledExample],
+    target: QhornQuery,
+    hypotheses: Sequence[QhornQuery],
+) -> bool:
+    """Do the examples eliminate every non-equivalent hypothesis?"""
+    target_form = canonicalize(target)
+    for h in hypotheses:
+        if canonicalize(h) == target_form:
+            continue
+        if not any(_eliminates(e, h) for e in examples):
+            return False
+    return True
+
+
+def _example_pool(target: QhornQuery) -> list[LabelledExample]:
+    return [
+        LabelledExample(
+            question=(q := Question.of(target.n, obj)),
+            label=target.evaluate(q),
+        )
+        for obj in enumerate_objects(target.n, include_empty=True)
+    ]
+
+
+def teaching_set(
+    target: QhornQuery,
+    hypotheses: Sequence[QhornQuery],
+    max_size: int = 4,
+) -> list[LabelledExample] | None:
+    """An *exact minimum* teaching set for ``target``, or ``None`` if none
+    of size ≤ ``max_size`` exists.  Exponential in ``max_size``; intended
+    for the n ≤ 3 enumerable classes."""
+    pool = _example_pool(target)
+    # keep only examples that eliminate something (smaller search space)
+    target_form = canonicalize(target)
+    rivals = [h for h in hypotheses if canonicalize(h) != target_form]
+    useful = [
+        e for e in pool if any(_eliminates(e, h) for h in rivals)
+    ]
+    for size in range(0, max_size + 1):
+        for combo in combinations(useful, size):
+            if distinguishes_all(combo, target, hypotheses):
+                return list(combo)
+    return None
+
+
+def greedy_teaching_set(
+    target: QhornQuery, hypotheses: Sequence[QhornQuery]
+) -> list[LabelledExample]:
+    """Greedy set-cover teaching set — near-minimal, fast enough for the
+    full two/three-variable classes."""
+    target_form = canonicalize(target)
+    remaining = [
+        h for h in hypotheses if canonicalize(h) != target_form
+    ]
+    pool = _example_pool(target)
+    chosen: list[LabelledExample] = []
+    while remaining:
+        best, eliminated = None, []
+        for e in pool:
+            hit = [h for h in remaining if _eliminates(e, h)]
+            if len(hit) > len(eliminated):
+                best, eliminated = e, hit
+        if best is None:
+            raise RuntimeError(
+                "hypothesis space contains an indistinguishable rival"
+            )
+        chosen.append(best)
+        remaining = [h for h in remaining if h not in eliminated]
+    return chosen
+
+
+def verification_set_as_examples(target: QhornQuery) -> list[LabelledExample]:
+    """Fig. 6's verification set, viewed as a labelled teaching sequence."""
+    from repro.verification.sets import build_verification_set
+
+    return [
+        LabelledExample(question=item.question, label=item.expected)
+        for item in build_verification_set(target).questions
+    ]

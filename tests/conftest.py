@@ -1,0 +1,28 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.normalize import brute_force_equivalent, canonicalize
+from repro.core.query import QhornQuery
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG; per-test reseeding keeps runs reproducible."""
+    return random.Random(0xC0FFEE)
+
+
+def assert_equivalent(learned: QhornQuery, target: QhornQuery) -> None:
+    """Assert semantic equality, preferring the canonical-form test and
+    falling back to brute force for non-role-preserving queries."""
+    if learned.is_role_preserving() and target.is_role_preserving():
+        assert canonicalize(learned) == canonicalize(target), (
+            f"learned {learned.shorthand()!r} != target {target.shorthand()!r}"
+        )
+    else:
+        assert learned.n <= 4, "brute force requires small n"
+        assert brute_force_equivalent(learned, target)

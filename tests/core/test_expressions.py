@@ -1,0 +1,98 @@
+"""Unit tests for universal Horn expressions and existential conjunctions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.expressions import (
+    ExistentialConjunction,
+    UniversalHorn,
+    var_name,
+    var_names,
+)
+from repro.core.tuples import Question, parse_tuple
+
+
+class TestVarNames:
+    def test_one_based_display(self):
+        assert var_name(0) == "x1"
+        assert var_name(11) == "x12"
+
+    def test_var_names_sorted(self):
+        assert var_names({2, 0}) == "x1x3"
+
+
+class TestUniversalHorn:
+    def test_str_matches_paper_shorthand(self):
+        u = UniversalHorn(head=2, body=frozenset({0, 1}))
+        assert str(u) == "∀x1x2→x3"
+
+    def test_bodyless_str(self):
+        assert str(UniversalHorn(head=3)) == "∀x4"
+
+    def test_head_in_body_rejected(self):
+        with pytest.raises(ValueError):
+            UniversalHorn(head=0, body=frozenset({0, 1}))
+
+    def test_negative_variable_rejected(self):
+        with pytest.raises(ValueError):
+            UniversalHorn(head=-1)
+
+    def test_violated_by_body_true_head_false(self):
+        u = UniversalHorn(head=2, body=frozenset({0, 1}))
+        assert u.violated_by(parse_tuple("110"))
+        assert not u.violated_by(parse_tuple("111"))
+        assert not u.violated_by(parse_tuple("100"))  # body incomplete
+        assert not u.violated_by(parse_tuple("000"))
+
+    def test_bodyless_violated_whenever_head_false(self):
+        u = UniversalHorn(head=0)
+        assert u.violated_by(parse_tuple("011"))
+        assert not u.violated_by(parse_tuple("100"))
+
+    def test_holds_universally_over_question(self):
+        u = UniversalHorn(head=2, body=frozenset({0, 1}))
+        assert u.holds_universally(Question.from_strings("111", "001"))
+        assert not u.holds_universally(Question.from_strings("111", "110"))
+
+    def test_guarantee_clause(self):
+        u = UniversalHorn(head=2, body=frozenset({0, 1}))
+        assert u.guarantee().variables == {0, 1, 2}
+
+    def test_dominance_rule_r2(self):
+        small = UniversalHorn(head=3, body=frozenset({0}))
+        big = UniversalHorn(head=3, body=frozenset({0, 1}))
+        other_head = UniversalHorn(head=2, body=frozenset({0}))
+        assert small.dominates(big)
+        assert not big.dominates(small)
+        assert small.dominates(small)
+        assert not small.dominates(other_head)
+
+
+class TestExistentialConjunction:
+    def test_str(self):
+        assert str(ExistentialConjunction({0, 2})) == "∃x1x3"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ExistentialConjunction(frozenset())
+
+    def test_satisfied_by(self):
+        e = ExistentialConjunction({0, 2})
+        assert e.satisfied_by(parse_tuple("101"))
+        assert e.satisfied_by(parse_tuple("111"))
+        assert not e.satisfied_by(parse_tuple("100"))
+
+    def test_holds_on_question(self):
+        e = ExistentialConjunction({0, 1})
+        assert e.holds_on(Question.from_strings("110", "001"))
+        assert not e.holds_on(Question.from_strings("100", "010"))
+
+    def test_dominance_rule_r1(self):
+        big = ExistentialConjunction({0, 1, 2})
+        small = ExistentialConjunction({0, 1})
+        assert big.dominates(small)
+        assert not small.dominates(big)
+
+    def test_hashable_and_equal(self):
+        assert ExistentialConjunction({0, 1}) == ExistentialConjunction([1, 0])

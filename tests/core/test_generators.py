@@ -1,0 +1,176 @@
+"""Unit tests for query generators and exhaustive enumeration."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.generators import (
+    enumerate_role_preserving,
+    head_pair_query,
+    paper_running_query,
+    random_general_qhorn,
+    random_partition,
+    random_qhorn1,
+    random_role_preserving,
+    theta_body_query,
+    uni_alias_query,
+)
+from repro.core.normalize import canonicalize
+from repro.core.tuples import Question
+
+
+class TestRandomPartition:
+    def test_partition_covers_items(self, rng):
+        items = list(range(20))
+        parts = random_partition(items, rng)
+        flat = sorted(v for p in parts for v in p)
+        assert flat == items
+
+    def test_max_part_respected(self, rng):
+        for _ in range(20):
+            parts = random_partition(list(range(15)), rng, max_part=3)
+            assert all(len(p) <= 3 for p in parts)
+
+
+class TestRandomQhorn1:
+    def test_generated_queries_are_qhorn1(self, rng):
+        for _ in range(50):
+            q = random_qhorn1(rng.randint(1, 12), rng)
+            assert q.is_qhorn1(), q.shorthand()
+
+    def test_uses_all_variables_by_default(self, rng):
+        for _ in range(20):
+            n = rng.randint(2, 10)
+            q = random_qhorn1(n, rng)
+            assert q.variables == set(range(n))
+
+    def test_can_leave_variables_unused(self, rng):
+        sizes = [
+            len(random_qhorn1(10, rng, use_all_variables=False).variables)
+            for _ in range(40)
+        ]
+        assert min(sizes) < 10
+
+    def test_deterministic_given_seed(self):
+        a = random_qhorn1(8, random.Random(9))
+        b = random_qhorn1(8, random.Random(9))
+        assert canonicalize(a) == canonicalize(b)
+
+
+class TestRandomRolePreserving:
+    def test_generated_queries_are_role_preserving(self, rng):
+        for _ in range(50):
+            q = random_role_preserving(rng.randint(2, 10), rng, theta=3)
+            assert q.is_role_preserving(), q.shorthand()
+
+    def test_theta_bound_respected(self, rng):
+        for _ in range(30):
+            q = random_role_preserving(rng.randint(4, 10), rng, theta=2)
+            assert q.causal_density <= 2
+
+    def test_rejects_tiny_n(self, rng):
+        with pytest.raises(ValueError):
+            random_role_preserving(1, rng)
+
+
+class TestRandomGeneralQhorn:
+    def test_generates_some_non_role_preserving(self, rng):
+        found = any(
+            not random_general_qhorn(5, rng).is_role_preserving()
+            for _ in range(60)
+        )
+        assert found
+
+
+class TestLowerBoundFamilies:
+    def test_uni_alias_semantics(self):
+        q = uni_alias_query(4, alias_vars=[1, 3])
+        assert q.evaluate(Question.from_strings("1111"))
+        assert q.evaluate(Question.from_strings("1111", "1010"))
+        assert not q.evaluate(Question.from_strings("1111", "1000"))
+
+    def test_uni_alias_empty_alias_is_pure_uni(self):
+        q = uni_alias_query(3, alias_vars=[])
+        assert len(q.universals) == 3
+        assert q.evaluate(Question.from_strings("111"))
+        assert not q.evaluate(Question.from_strings("110"))
+
+    def test_uni_alias_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            uni_alias_query(3, alias_vars=[5])
+
+    def test_head_pair_query_structure(self):
+        q = head_pair_query(5, 1, 3)
+        assert len(q.existentials) == 2
+        confs = {frozenset(e.variables) for e in q.existentials}
+        assert frozenset({0, 2, 4, 1}) in confs
+        assert frozenset({0, 2, 4, 3}) in confs
+
+    def test_head_pair_rejects_equal_heads(self):
+        with pytest.raises(ValueError):
+            head_pair_query(5, 2, 2)
+
+    def test_theta_body_paper_instance(self):
+        """The paper's n=12, θ=4 example instance of Thm 3.6."""
+        q = theta_body_query(12, 4)
+        assert len(q.universals) == 4
+        sizes = sorted(len(u.body) for u in q.universals)
+        assert sizes == [4, 4, 4, 9]
+        assert q.causal_density == 4  # all four bodies incomparable
+        assert q.is_role_preserving()
+
+    def test_theta_body_validation(self):
+        with pytest.raises(ValueError):
+            theta_body_query(10, 4)  # 10 % 3 != 0
+        with pytest.raises(ValueError):
+            theta_body_query(10, 1)
+
+
+class TestEnumeration:
+    def test_two_variable_count_is_stable(self):
+        queries = enumerate_role_preserving(2)
+        # 11 semantically distinct non-trivial role-preserving queries on
+        # two variables (Fig. 7 lists 7 of them up to variable symmetry).
+        assert len(queries) == 11
+        forms = {canonicalize(q) for q in queries}
+        assert len(forms) == len(queries)
+
+    def test_trivial_query_flag(self):
+        with_trivial = enumerate_role_preserving(2, include_trivial=True)
+        assert len(with_trivial) == 12
+
+    def test_all_enumerated_are_role_preserving(self):
+        for q in enumerate_role_preserving(2):
+            assert q.is_role_preserving()
+
+    def test_pairwise_semantically_distinct_n2(self):
+        from repro.core.normalize import brute_force_equivalent
+
+        queries = enumerate_role_preserving(2)
+        for i, a in enumerate(queries):
+            for b in queries[i + 1 :]:
+                assert not brute_force_equivalent(a, b)
+
+    def test_three_variable_enumeration_runs(self):
+        queries = enumerate_role_preserving(3)
+        # 82 semantically distinct non-trivial role-preserving queries on
+        # three variables (stable under the canonical-form dedup).
+        assert len(queries) == 82
+        forms = {canonicalize(q) for q in queries}
+        assert len(forms) == len(queries)
+
+    def test_n_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_role_preserving(4)
+
+
+class TestPaperRunningQuery:
+    def test_shape(self):
+        q = paper_running_query()
+        assert q.n == 6
+        assert len(q.universals) == 3
+        assert len(q.existentials) == 4
+        assert q.is_role_preserving()
+        assert q.causal_density == 2

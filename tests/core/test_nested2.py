@@ -1,0 +1,122 @@
+"""Tests for two-level nested quantification (§6 future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import tuples as bt
+from repro.core.nested2 import (
+    Nested2Query,
+    NestedExpression,
+    Quantifier,
+    brute_force_equivalent2,
+    count_distinct_objects,
+    enumerate_nested_objects,
+)
+
+A, E = Quantifier.FORALL, Quantifier.EXISTS
+
+
+def expr(outer, inner, body=(), head=None):
+    return NestedExpression(
+        outer=outer, inner=inner, body=frozenset(body), head=head
+    )
+
+
+def obj(*subs):
+    return frozenset(frozenset(bt.parse_tuple(t) for t in sub) for sub in subs)
+
+
+class TestExpressionSemantics:
+    def test_forall_exists_conjunction(self):
+        # ∀s ∃t (x1x2): every sub-object has a tuple with both true.
+        q = Nested2Query(2, {expr(A, E, body=[0, 1])})
+        assert q.evaluate(obj(("11", "00"), ("11",)))
+        assert not q.evaluate(obj(("11",), ("10", "01")))
+        assert q.evaluate(obj())  # vacuous outer ∀
+
+    def test_exists_forall_conjunction(self):
+        # ∃s ∀t (x1): some sub-object is entirely x1-true (and non-empty).
+        q = Nested2Query(2, {expr(E, A, body=[0])})
+        assert q.evaluate(obj(("10", "11"), ("01",)))
+        assert not q.evaluate(obj(("10", "01"),))
+        # an empty sub-object is not a witness (guarantee-style semantics)
+        assert not q.evaluate(obj(()))
+
+    def test_forall_forall_horn(self):
+        # ∀s ∀t (x1 → x2)
+        q = Nested2Query(2, {expr(A, A, body=[0], head=1)})
+        assert q.evaluate(obj(("11", "01"), ("00",)))
+        assert not q.evaluate(obj(("11",), ("10",)))
+
+    def test_exists_exists_horn_needs_witness(self):
+        # ∃s ∃t (x1 → x2) ≡ its guarantee ∃s ∃t (x1 ∧ x2)
+        q = Nested2Query(2, {expr(E, E, body=[0], head=1)})
+        assert q.evaluate(obj(("11",)))
+        assert not q.evaluate(obj(("01", "00"),))
+
+    def test_bodyless_head(self):
+        q = Nested2Query(1, {expr(A, A, head=0)})
+        assert q.evaluate(obj(("1", "1")))
+        assert not q.evaluate(obj(("1", "0")))
+
+    def test_conjunction_of_expressions(self):
+        q = Nested2Query(
+            2, {expr(A, E, body=[0]), expr(E, A, body=[1])}
+        )
+        good = obj(("10", "01"), ("11", "01"))
+        # every sub-object has an x1-tuple? sub2 has 11 ✓ sub1 has 10 ✓
+        # some sub-object is all-x2? sub2: 11, 01 ✓
+        assert q.evaluate(good)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NestedExpression(outer=A, inner=A)  # no body, no head
+        with pytest.raises(ValueError):
+            NestedExpression(outer=A, inner=A, body=frozenset({0}), head=0)
+        with pytest.raises(ValueError):
+            Nested2Query(1, {expr(A, A, body=[3])})
+
+    def test_str_rendering(self):
+        e = expr(A, E, body=[0, 1])
+        assert str(e) == "∀s ∃t x1x2"
+        assert "→x2" in str(expr(A, A, body=[0], head=1))
+
+
+class TestEnumeration:
+    def test_counts(self):
+        # n=1: 2 tuples, 4 sub-objects, 2^4 = 16 objects
+        objs = list(enumerate_nested_objects(1))
+        assert len(objs) == 16
+
+    def test_cap(self):
+        objs = list(enumerate_nested_objects(1, max_subs=1))
+        assert len(objs) == 1 + 4  # empty object + singletons
+
+    def test_guard(self):
+        with pytest.raises(ValueError):
+            list(enumerate_nested_objects(3))
+
+    def test_doubly_exponential_count(self):
+        assert count_distinct_objects(1) == 4
+        assert count_distinct_objects(2) == 16
+        assert count_distinct_objects(3) == 256
+
+
+class TestEquivalence:
+    def test_equivalent_rewrites(self):
+        # ∃s ∃t (x1→x2) is its guarantee ∃s ∃t (x1 ∧ x2)
+        a = Nested2Query(2, {expr(E, E, body=[0], head=1)})
+        b = Nested2Query(2, {expr(E, E, body=[0, 1])})
+        assert brute_force_equivalent2(a, b)
+
+    def test_inequivalent_quantifier_orders(self):
+        # ∀s ∃t (x1) differs from ∃s ∀t (x1)
+        a = Nested2Query(1, {expr(A, E, body=[0])})
+        b = Nested2Query(1, {expr(E, A, body=[0])})
+        assert not brute_force_equivalent2(a, b)
+
+    def test_different_n_not_equivalent(self):
+        a = Nested2Query(1, {expr(A, E, body=[0])})
+        b = Nested2Query(2, {expr(A, E, body=[0])})
+        assert not brute_force_equivalent2(a, b)

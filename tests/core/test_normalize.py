@@ -1,0 +1,185 @@
+"""Unit tests for equivalence rules R1–R3 and canonical forms (§2.1.1, §4.1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import tuples as bt
+from repro.core.expressions import UniversalHorn
+from repro.core.generators import paper_running_query, random_role_preserving
+from repro.core.normalize import (
+    brute_force_equivalent,
+    canonicalize,
+    conjunction_pool,
+    dominant_conjunctions,
+    dominant_universals,
+    distinguishing_profile,
+    enumerate_objects,
+    equivalent,
+    existential_distinguishing_tuple,
+    find_separating_object,
+    normalize,
+    r3_closure,
+    universal_distinguishing_tuple,
+)
+from repro.core.parser import parse_query
+
+
+class TestRuleR1:
+    def test_dominated_conjunctions_removed(self):
+        # ∃x1x2x3 ∃x1x2 ∃x2x3 ≡ ∃x1x2x3 (the paper's R1 example)
+        a = parse_query("∃x1x2x3 ∃x1x2 ∃x2x3")
+        b = parse_query("∃x1x2x3")
+        assert canonicalize(a) == canonicalize(b)
+        assert brute_force_equivalent(a, b)
+
+
+class TestRuleR2:
+    def test_dominated_universal_leaves_guarantee(self):
+        # ∀x1x2x3→h ∀x1x2→h ∀x1→h ≡ ∀x1→h ∃x1x2x3h (paper's R2 example)
+        a = parse_query("∀x1x2x3→x4 ∀x1x2→x4 ∀x1→x4")
+        b = parse_query("∃x1x2x3x4 ∀x1→x4")
+        assert canonicalize(a) == canonicalize(b)
+        assert brute_force_equivalent(a, b)
+
+    def test_dominant_universals_are_minimal_bodies(self):
+        q = parse_query("∀x1x2→x3 ∀x1→x3")
+        assert dominant_universals(q) == {
+            UniversalHorn(head=2, body=frozenset({0}))
+        }
+
+
+class TestRuleR3:
+    def test_closure_adds_implied_heads(self):
+        # ∀x1→h ∃x1x3 ≡ ∀x1→h ∃x1x3h (paper's R3 example)
+        a = parse_query("∀x1→x2 ∃x1x3")
+        b = parse_query("∀x1→x2 ∃x1x2x3")
+        assert canonicalize(a) == canonicalize(b)
+        assert brute_force_equivalent(a, b)
+
+    def test_closure_fixpoint_for_chains(self):
+        # General qhorn: closure iterates through head-as-body chains.
+        us = [
+            UniversalHorn(head=1, body=frozenset({0})),
+            UniversalHorn(head=2, body=frozenset({1})),
+        ]
+        assert r3_closure({0}, us) == {0, 1, 2}
+
+    def test_closure_with_bodyless_head(self):
+        us = [UniversalHorn(head=3)]
+        assert r3_closure({0}, us) == {0, 3}
+
+
+class TestConjunctionPool:
+    def test_guarantees_of_dominated_expressions_survive(self):
+        q = parse_query("∀x1→x4 ∀x1x2x3→x4")
+        pool = conjunction_pool(q)
+        assert frozenset({0, 1, 2, 3}) in pool  # closure of x1x2x3x4
+
+    def test_pool_respects_guarantee_relaxation(self):
+        q = parse_query("∀x1→x2", require_guarantees=False)
+        assert conjunction_pool(q) == frozenset()
+
+    def test_dominant_conjunctions_antichain(self):
+        q = parse_query("∃x1 ∃x1x2 ∃x3")
+        dom = dominant_conjunctions(q)
+        assert dom == {frozenset({0, 1}), frozenset({2})}
+
+
+class TestCanonicalForm:
+    def test_paper_normalized_running_query(self):
+        """§3.2.2: the running query normalizes to five dominant
+        conjunctions (guarantee of ∀x1x4→x5 included)."""
+        canon = canonicalize(paper_running_query())
+        expected = {
+            frozenset({0, 1, 2, 5}),  # ∃x1x2x3x6
+            frozenset({1, 2, 3, 4}),  # ∃x2x3x4x5
+            frozenset({0, 1, 4, 5}),  # ∃x1x2x5x6
+            frozenset({1, 2, 4, 5}),  # ∃x2x3x5x6
+            frozenset({0, 3, 4}),     # ∃x1x4x5 (guarantee)
+        }
+        assert canon.conjunctions == expected
+        assert len(canon.universals) == 3
+
+    def test_as_query_is_equivalent(self):
+        q = paper_running_query()
+        assert equivalent(q, canonicalize(q).as_query())
+
+    def test_normalize_idempotent(self):
+        q = paper_running_query()
+        once = normalize(q)
+        twice = normalize(once)
+        assert canonicalize(once) == canonicalize(twice)
+
+    def test_equivalent_requires_role_preserving(self):
+        cyc = parse_query("∀x1→x2 ∀x2→x1")
+        with pytest.raises(ValueError):
+            equivalent(cyc, cyc)
+
+    def test_different_n_not_equivalent(self):
+        assert not equivalent(parse_query("∃x1"), parse_query("∃x1", n=2))
+
+
+class TestDistinguishingTuples:
+    def test_existential_tuple_closes_under_r3(self):
+        us = [UniversalHorn(head=2, body=frozenset({0}))]
+        t = existential_distinguishing_tuple({0, 1}, us)
+        assert bt.true_set(t) == {0, 1, 2}
+
+    def test_universal_tuple_matches_paper(self):
+        """§4.1.2: ∀x1x4→x5 in the running query ⇒ 100101."""
+        q = paper_running_query()
+        heads = {u.head for u in q.universals}
+        u = UniversalHorn(head=4, body=frozenset({0, 3}))
+        t = universal_distinguishing_tuple(u, heads)
+        assert bt.format_tuple(t, 6) == "100101"
+
+    def test_profile_matches_paper_a1(self):
+        """§4.2 A1: the five dominant existential distinguishing tuples."""
+        uni, exi = distinguishing_profile(paper_running_query())
+        expected = {
+            bt.parse_tuple(s)
+            for s in ("111001", "011110", "110011", "011011", "100110")
+        }
+        assert exi == expected
+        assert uni == {
+            bt.parse_tuple(s) for s in ("100101", "001101", "110010")
+        }
+
+
+class TestBruteForce:
+    def test_enumerate_objects_count(self):
+        assert sum(1 for _ in enumerate_objects(2)) == 2**4 - 1
+        assert sum(1 for _ in enumerate_objects(2, include_empty=True)) == 2**4
+
+    def test_enumerate_objects_guard(self):
+        with pytest.raises(ValueError):
+            list(enumerate_objects(5))
+
+    def test_find_separating_object(self):
+        a = parse_query("∃x1", n=2)
+        b = parse_query("∃x2", n=2)
+        obj = find_separating_object(a, b)
+        assert obj is not None
+        assert a.evaluate(obj) != b.evaluate(obj)
+
+    def test_sampling_path_finds_difference(self):
+        a = parse_query("∃x1x2x3x4x5", n=5)
+        b = parse_query("∃x1x2x3x4", n=5)
+        assert not brute_force_equivalent(a, b, samples=50)
+
+    def test_canonical_equality_matches_brute_force_small_n(self, rng):
+        """Proposition 4.1 on random role-preserving pairs, n <= 3."""
+        queries = [
+            random_role_preserving(3, rng, theta=2) for _ in range(40)
+        ]
+        checked = 0
+        for i in range(0, len(queries) - 1, 2):
+            a, b = queries[i], queries[i + 1]
+            canon_eq = canonicalize(a) == canonicalize(b)
+            truth_eq = brute_force_equivalent(a, b)
+            assert canon_eq == truth_eq, (a.shorthand(), b.shorthand())
+            checked += 1
+        assert checked >= 15

@@ -1,0 +1,93 @@
+"""Unit tests for the query shorthand parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.expressions import ExistentialConjunction, UniversalHorn
+from repro.core.parser import ParseError, parse_query
+
+
+class TestBasicForms:
+    def test_paper_shorthand(self):
+        q = parse_query("∀x1x2→x3 ∀x4 ∃x5")
+        assert UniversalHorn(head=2, body=frozenset({0, 1})) in q.universals
+        assert UniversalHorn(head=3) in q.universals
+        assert ExistentialConjunction({4}) in q.existentials
+        assert q.n == 5
+
+    def test_ascii_arrow_variants(self):
+        for text in ("A x1 x2 -> x3", "forall x1x2 => x3", "∀x1x2→x3"):
+            q = parse_query(text)
+            assert q.universals == {
+                UniversalHorn(head=2, body=frozenset({0, 1}))
+            }
+
+    def test_ascii_existential(self):
+        q = parse_query("E x1 x2")
+        assert q.existentials == {ExistentialConjunction({0, 1})}
+
+    def test_exists_keyword(self):
+        q = parse_query("exists x2 x3")
+        assert q.existentials == {ExistentialConjunction({1, 2})}
+
+    def test_existential_horn_rewritten_to_guarantee(self):
+        # ∃x1x2→x3 is its guarantee conjunction ∃x1x2x3 (§2.1.4)
+        q = parse_query("∃x1x2→x3")
+        assert q.existentials == {ExistentialConjunction({0, 1, 2})}
+        assert not q.universals
+
+    def test_bare_universal_multiple_vars_splits(self):
+        q = parse_query("∀x1x2")
+        assert q.universals == {UniversalHorn(head=0), UniversalHorn(head=1)}
+
+    def test_separators_tolerated(self):
+        q = parse_query("∀x1→x2 ∧ ∃x3; ∃x4 & ∀x5")
+        assert q.size == 4
+
+
+class TestNAndErrors:
+    def test_explicit_n_pads_variables(self):
+        q = parse_query("∃x1", n=4)
+        assert q.n == 4
+
+    def test_n_too_small_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("∃x5", n=3)
+
+    def test_default_n_is_max_index(self):
+        assert parse_query("∃x7").n == 7
+
+    def test_two_heads_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("∀x1→x2 x3")  # trailing garbage after head
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("   ")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("select * from boxes")
+
+    def test_x0_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("∃x0")
+
+    def test_guarantee_flag_forwarded(self):
+        q = parse_query("∀x1", require_guarantees=False)
+        assert not q.require_guarantees
+
+
+class TestRoundTrip:
+    def test_shorthand_roundtrip(self):
+        texts = [
+            "∀x1x2→x3 ∀x4 ∃x5",
+            "∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4",
+            "∃x1",
+        ]
+        for text in texts:
+            q = parse_query(text)
+            q2 = parse_query(q.shorthand())
+            assert q.universals == q2.universals
+            assert q.existentials == q2.existentials

@@ -1,0 +1,181 @@
+"""Unit tests for qhorn query semantics (§2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.core.query import QhornQuery
+from repro.core.tuples import Question
+
+
+def q(text: str, n: int | None = None, **kw) -> QhornQuery:
+    return parse_query(text, n=n, **kw)
+
+
+class TestEvaluation:
+    def test_paper_query_1(self):
+        """§2: ∀c(p1) ∧ ∃c(p2 ∧ p3) on the Fig. 1 boxes."""
+        query = q("∀x1 ∃x2x3")
+        global_ground = Question.from_strings("111", "000", "110")
+        europes_finest = Question.from_strings("100", "110")
+        # Global Ground has a white chocolate (x1 false) -> non-answer.
+        assert not query.evaluate(global_ground)
+        # Europe's Finest is all dark but has no filled Madagascar one.
+        assert not query.evaluate(europes_finest)
+        # All-dark box with a filled Madagascar chocolate -> answer.
+        assert query.evaluate(Question.from_strings("111", "110"))
+
+    def test_universal_violation_rejects(self):
+        query = q("∀x1x2→x3")
+        assert not query.evaluate(Question.from_strings("110", "111"))
+
+    def test_universal_with_guarantee(self):
+        query = q("∀x1x2→x3")
+        # ∀ holds vacuously but the guarantee clause ∃x1x2x3 has no witness.
+        assert not query.evaluate(Question.from_strings("100", "010"))
+        assert query.evaluate(Question.from_strings("111", "010"))
+
+    def test_guarantee_relaxation_footnote_1(self):
+        relaxed = q("∀x1x2→x3", require_guarantees=False)
+        assert relaxed.evaluate(Question.from_strings("100", "010"))
+        assert relaxed.evaluate(Question.of(3, []))  # the empty object
+
+    def test_empty_object_is_non_answer_with_guarantees(self):
+        assert not q("∀x1").evaluate(Question.of(1, []))
+        assert not q("∃x1").evaluate(Question.of(1, []))
+
+    def test_existential_conjunction_needs_single_witness(self):
+        query = q("∃x1x2")
+        # Both variables true somewhere but never together: non-answer.
+        assert not query.evaluate(Question.from_strings("10", "01"))
+        assert query.evaluate(Question.from_strings("11"))
+
+    def test_all_true_object_satisfies_every_query(self):
+        for text in ("∀x1", "∃x1x2", "∀x1x2→x3 ∃x2", "∀x1 ∀x2 ∀x3"):
+            query = q(text, n=3)
+            assert query.evaluate(query.all_true_question())
+
+    def test_callable_sugar(self):
+        query = q("∃x1")
+        assert query(Question.from_strings("1"))
+
+    def test_accepts_raw_iterable_of_masks(self):
+        query = q("∃x1x2")
+        assert query.evaluate({0b11})
+
+    def test_theorem_21_instance(self):
+        """Uni({x1,x3,x5}) ∧ Alias({x2,x4,x6}): only {1^6} and
+        {1^6, 101010} are answers (§2, Thm 2.1)."""
+        from repro.core.generators import uni_alias_query
+
+        query = uni_alias_query(6, alias_vars=[1, 3, 5])
+        assert query.evaluate(Question.from_strings("111111"))
+        assert query.evaluate(Question.from_strings("111111", "101010"))
+        # one alias variable diverging breaks the alias cycle
+        assert not query.evaluate(Question.from_strings("111111", "101011"))
+        assert not query.evaluate(Question.from_strings("111111", "100010"))
+        # dropping the all-true tuple loses the Uni guarantees
+        assert not query.evaluate(Question.from_strings("101010"))
+
+
+class TestValidation:
+    def test_variable_out_of_range(self):
+        with pytest.raises(ValueError):
+            QhornQuery.build(2, universals=[((0,), 5)])
+
+    def test_n_must_be_positive(self):
+        with pytest.raises(ValueError):
+            QhornQuery(n=0)
+
+
+class TestStructuralMeasures:
+    def test_size_counts_expressions(self):
+        query = q("∀x1x2→x3 ∀x4 ∃x5")
+        assert query.size == 3
+
+    def test_causal_density_counts_non_dominated_bodies(self):
+        query = q("∀x1x4→x5 ∀x3x4→x5 ∀x1x2→x6")
+        assert query.causal_density == 2
+
+    def test_causal_density_ignores_dominated(self):
+        query = q("∀x1→x3 ∀x1x2→x3")
+        assert query.causal_density == 1
+
+    def test_causal_density_zero_without_universals(self):
+        assert q("∃x1x2").causal_density == 0
+
+    def test_variable_sets(self):
+        query = q("∀x1x2→x3 ∃x4")
+        assert query.variables == {0, 1, 2, 3}
+        assert query.head_variables == {2}
+        assert query.universal_body_variables == {0, 1}
+
+
+class TestClassMembership:
+    def test_paper_role_preserving_example(self):
+        query = q("∀x1x4→x5 ∀x3x4→x5 ∀x2x4→x6 ∃x1x2x3 ∃x1x2x5x6")
+        assert query.is_role_preserving()
+
+    def test_paper_non_role_preserving_example(self):
+        query = q("∀x1x4→x5 ∀x2x3x5→x6")
+        assert not query.is_role_preserving()
+
+    def test_alias_queries_not_role_preserving(self):
+        from repro.core.generators import uni_alias_query
+
+        assert not uni_alias_query(4, [0, 1]).is_role_preserving()
+
+    def test_qhorn1_fig2_example(self):
+        # Fig. 2: ∀x1x2→x4, ∃x1x2→x5, ∃x3→x6 (existential Horn as conj).
+        query = QhornQuery.build(
+            6,
+            universals=[((0, 1), 3)],
+            existentials=[(0, 1, 4), (2, 5)],
+        )
+        assert query.is_qhorn1()
+        assert query.is_role_preserving()
+
+    def test_qhorn1_rejects_overlapping_bodies(self):
+        query = q("∀x1x2→x3 ∀x2x4→x5")
+        assert not query.is_qhorn1()
+
+    def test_qhorn1_rejects_repeated_head(self):
+        query = q("∀x1→x3 ∀x2→x3")
+        assert not query.is_qhorn1()
+
+    def test_qhorn1_accepts_shared_universal_existential_body(self):
+        # ∀x1→x2 ∃x1x3 is ∃x1→x3 sharing body {x1}: valid qhorn-1 (Fig. 2).
+        assert q("∀x1→x2 ∃x1x3").is_qhorn1()
+
+    def test_qhorn1_rejects_variable_in_two_roles(self):
+        # x2 sits inside the universal body {x1,x2} and in a conjunction
+        # that is not body+fresh-head: a variable repetition.
+        query = q("∀x1x2→x3 ∃x2x4")
+        assert not query.is_qhorn1()
+
+    def test_qhorn1_accepts_shared_body_multiple_heads(self):
+        query = QhornQuery.build(
+            4, universals=[((0, 1), 2)], existentials=[(0, 1, 3)]
+        )
+        assert query.is_qhorn1()
+
+    def test_role_preserving_superset_of_qhorn1(self):
+        query = q("∀x1x2→x3 ∀x1x4→x3 ∃x3x5")  # repetition allowed
+        assert query.is_role_preserving()
+        assert not query.is_qhorn1()
+
+
+class TestPresentation:
+    def test_shorthand_roundtrips_through_parser(self):
+        query = q("∀x1x2→x3 ∀x4 ∃x5x6")
+        again = parse_query(query.shorthand())
+        assert again.universals == query.universals
+        assert again.existentials == query.existentials
+
+    def test_with_helpers(self):
+        query = q("∃x1", n=2)
+        assert (
+            q("∃x1 ∀x2").universals == query.with_universal([], 1).universals
+        )
+        assert len(query.with_existential([1]).existentials) == 2

@@ -1,0 +1,72 @@
+"""Tests for JSON serialization of queries and questions."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.generators import paper_running_query, random_qhorn1
+from repro.core.normalize import canonicalize
+from repro.core.parser import parse_query
+from repro.core.serialize import (
+    query_from_dict,
+    query_from_json,
+    query_to_dict,
+    query_to_json,
+    question_from_dict,
+    question_to_dict,
+)
+from repro.core.tuples import Question
+
+
+class TestQueryRoundTrip:
+    def test_paper_query(self):
+        q = paper_running_query()
+        again = query_from_json(query_to_json(q))
+        assert canonicalize(again) == canonicalize(q)
+        assert again.n == q.n
+
+    def test_random_queries(self, rng):
+        for _ in range(40):
+            q = random_qhorn1(rng.randint(1, 10), rng)
+            again = query_from_dict(query_to_dict(q))
+            assert again.universals == q.universals
+            assert again.existentials == q.existentials
+
+    def test_wire_format_is_one_based(self):
+        q = parse_query("∀x1→x2")
+        data = query_to_dict(q)
+        assert data["universals"] == [{"body": [1], "head": 2}]
+
+    def test_shorthand_included_for_humans(self):
+        data = query_to_dict(parse_query("∃x1x2"))
+        assert data["shorthand"] == "∃x1x2"
+
+    def test_guarantee_flag_preserved(self):
+        q = parse_query("∀x1", require_guarantees=False)
+        assert not query_from_dict(query_to_dict(q)).require_guarantees
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            query_from_dict({"format": "qhorn-query-v999", "n": 1})
+
+    def test_json_is_stable(self):
+        q = paper_running_query()
+        assert query_to_json(q) == query_to_json(q)
+        json.loads(query_to_json(q))  # valid JSON
+
+
+class TestQuestionRoundTrip:
+    def test_roundtrip(self):
+        q = Question.from_strings("1011", "0100")
+        again = question_from_dict(question_to_dict(q))
+        assert again == q
+
+    def test_wire_uses_paper_strings(self):
+        q = Question.from_strings("10")
+        assert question_to_dict(q)["tuples"] == ["10"]
+
+    def test_empty_question(self):
+        q = Question.of(3, [])
+        assert question_from_dict(question_to_dict(q)) == q

@@ -1,0 +1,114 @@
+"""Unit tests for the Boolean tuple and question primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import tuples as bt
+from repro.core.tuples import Question
+
+
+class TestBitmaskHelpers:
+    def test_all_true_has_n_bits(self):
+        assert bt.all_true(1) == 0b1
+        assert bt.all_true(4) == 0b1111
+        assert bt.popcount(bt.all_true(17)) == 17
+
+    def test_all_true_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            bt.all_true(0)
+        with pytest.raises(ValueError):
+            bt.all_true(bt.MAX_VARIABLES + 1)
+
+    def test_mask_of_and_variables_of_roundtrip(self):
+        vs = [0, 3, 5]
+        assert sorted(bt.variables_of(bt.mask_of(vs))) == vs
+
+    def test_mask_of_empty(self):
+        assert bt.mask_of([]) == 0
+        assert list(bt.variables_of(0)) == []
+
+    def test_true_and_false_sets_partition(self):
+        t = bt.parse_tuple("1011")
+        assert bt.true_set(t) == {0, 2, 3}
+        assert bt.false_set(t, 4) == {1}
+
+    def test_with_false_clears_bits(self):
+        t = bt.all_true(5)
+        assert bt.true_set(bt.with_false(t, [1, 3])) == {0, 2, 4}
+
+    def test_with_true_sets_bits(self):
+        assert bt.true_set(bt.with_true(0, [2])) == {2}
+
+    def test_with_false_idempotent(self):
+        t = bt.with_false(bt.all_true(4), [2])
+        assert bt.with_false(t, [2]) == t
+
+    def test_is_subset(self):
+        assert bt.is_subset(0b0010, 0b0110)
+        assert not bt.is_subset(0b1010, 0b0110)
+        assert bt.is_subset(0, 0b1)
+
+
+class TestPaperStringConvention:
+    """The paper writes tuples with x1 leftmost, e.g. 101010 in Thm 2.1."""
+
+    def test_parse_x1_is_leftmost(self):
+        t = bt.parse_tuple("100")
+        assert bt.true_set(t) == {0}
+
+    def test_format_roundtrip(self):
+        for s in ("1011", "0000", "1111", "0101"):
+            assert bt.format_tuple(bt.parse_tuple(s), 4) == s
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            bt.parse_tuple("10x1")
+
+
+class TestQuestion:
+    def test_from_strings(self):
+        q = Question.from_strings("111", "011")
+        assert q.n == 3
+        assert q.size == 2
+
+    def test_from_strings_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            Question.from_strings("111", "01")
+
+    def test_from_strings_requires_rows(self):
+        with pytest.raises(ValueError):
+            Question.from_strings()
+
+    def test_out_of_range_tuple_rejected(self):
+        with pytest.raises(ValueError):
+            Question.of(2, [0b100])
+
+    def test_duplicates_collapse(self):
+        q = Question.of(3, [0b111, 0b111, 0b001])
+        assert q.size == 2
+
+    def test_sorted_tuples_by_popcount_descending(self):
+        q = Question.from_strings("100", "111", "110")
+        pops = [bt.popcount(t) for t in q.sorted_tuples()]
+        assert pops == sorted(pops, reverse=True)
+
+    def test_format_uses_paper_rows(self):
+        q = Question.from_strings("110", "100")
+        assert q.format().splitlines() == ["110", "100"]
+
+    def test_container_protocol(self):
+        q = Question.from_strings("10", "01")
+        assert len(q) == 2
+        assert bt.parse_tuple("10") in q
+        assert set(q) == q.tuples
+
+    def test_hashable_for_memoization(self):
+        a = Question.from_strings("10", "01")
+        b = Question.of(2, [0b01, 0b10])
+        assert a == b and hash(a) == hash(b)
+
+    def test_empty_question_allowed(self):
+        # The footnote-1 relaxation needs the empty object to be askable.
+        q = Question.of(3, [])
+        assert q.size == 0

@@ -1,0 +1,115 @@
+"""Tests for the query engine and example factory over nested data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.core.tuples import Question
+from repro.data import ExampleFactory, QueryEngine
+from repro.data.chocolate import (
+    intro_query,
+    paper_figure1_relation,
+    paper_vocabulary,
+    random_store,
+    storefront_vocabulary,
+)
+
+
+class TestQueryEngine:
+    def test_paper_query_on_fig1_boxes(self):
+        """§2's query (1): every chocolate dark, some filled Madagascar."""
+        engine = QueryEngine(paper_figure1_relation(), paper_vocabulary())
+        query = parse_query("∀x1 ∃x2x3")
+        answers = engine.execute(query)
+        # Global Ground has a white chocolate; Europe's Finest lacks a
+        # filled Madagascar chocolate: neither box matches.
+        assert answers == []
+
+    def test_matching_box(self):
+        rel = paper_figure1_relation()
+        rel.add_object(
+            "Madagascar Select",
+            rows=[
+                dict(origin="Madagascar", isSugarFree=True, isDark=True,
+                     hasFilling=True, hasNuts=False),
+            ],
+        )
+        engine = QueryEngine(rel, paper_vocabulary())
+        answers = engine.execute(parse_query("∀x1 ∃x2x3"))
+        assert [o.key for o in answers] == ["Madagascar Select"]
+
+    def test_intro_scenario_counts(self):
+        store = random_store(60)
+        engine = QueryEngine(store, storefront_vocabulary())
+        answers = engine.execute(intro_query())
+        for box in answers:
+            assert all(r["isDark"] for r in box.rows)
+            assert any(
+                r["isDark"] and r["isSugarFree"] and r["hasNuts"]
+                for r in box.rows
+            )
+
+    def test_width_mismatch_rejected(self):
+        engine = QueryEngine(paper_figure1_relation(), paper_vocabulary())
+        with pytest.raises(ValueError):
+            engine.execute(parse_query("∃x1x2x3x4"))
+
+    def test_explain_reports_every_expression(self):
+        engine = QueryEngine(paper_figure1_relation(), paper_vocabulary())
+        query = parse_query("∀x1 ∃x2x3")
+        box = paper_figure1_relation().get("Global Ground")
+        reports = engine.explain(query, box)
+        assert len(reports) == 2
+        by_expr = {r.expression: r for r in reports}
+        assert not by_expr["∀x1"].satisfied  # white chocolate present
+        assert by_expr["∃x2x3"].satisfied  # Madagascar filled exists
+
+    def test_explain_guarantee_detail(self):
+        engine = QueryEngine(paper_figure1_relation(), paper_vocabulary())
+        query = parse_query("∀x2→x1", n=3)
+        box = paper_figure1_relation().get("Europe's Finest")
+        reports = engine.explain(query, box)
+        # Europe's Finest: 100 and 110 -> implication holds, witness 110.
+        assert reports[0].satisfied
+
+
+class TestExampleFactory:
+    def test_synthesize_matches_question(self):
+        vocab = paper_vocabulary()
+        factory = ExampleFactory(vocab)
+        q = Question.from_strings("111", "011", "000")
+        obj = factory.synthesize(q)
+        assert vocab.abstract_object(obj.rows) == q.tuples
+        assert len(obj.rows) == 3
+
+    def test_keys_unique(self):
+        factory = ExampleFactory(paper_vocabulary())
+        q = Question.from_strings("111")
+        assert factory.synthesize(q).key != factory.synthesize(q).key
+
+    def test_from_database_prefers_real_rows(self):
+        vocab = paper_vocabulary()
+        store = paper_figure1_relation()
+        factory = ExampleFactory(vocab, database=store)
+        q = Question.from_strings("111", "000")
+        obj = factory.from_database(q)
+        assert vocab.abstract_object(obj.rows) == q.tuples
+        # both tuples exist in Fig. 1's data, so rows come from the store
+        store_rows = [tuple(sorted(r.items())) for r in store.all_rows()]
+        for row in obj.rows:
+            assert tuple(sorted(row.items())) in store_rows
+
+    def test_from_database_falls_back_to_synthesis(self):
+        vocab = paper_vocabulary()
+        store = paper_figure1_relation()
+        factory = ExampleFactory(vocab, database=store)
+        q = Question.from_strings("101")  # no such chocolate in Fig. 1
+        obj = factory.from_database(q)
+        assert vocab.abstract_object(obj.rows) == q.tuples
+
+    def test_no_database_degrades_to_synthesis(self):
+        factory = ExampleFactory(paper_vocabulary(), database=None)
+        q = Question.from_strings("110")
+        obj = factory.from_database(q)
+        assert paper_vocabulary().abstract_object(obj.rows) == q.tuples

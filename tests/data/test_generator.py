@@ -1,0 +1,103 @@
+"""Tests for the generic synthetic relation generator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.chocolate import box_schema
+from repro.data.generator import (
+    RelationGenerator,
+    bernoulli,
+    categorical,
+    uniform_float,
+    uniform_int,
+)
+from repro.data.schema import Attribute, FlatSchema, NestedSchema
+
+
+class TestSamplers:
+    def test_bernoulli_bounds(self):
+        rng = random.Random(1)
+        always = bernoulli(1.0)
+        never = bernoulli(0.0)
+        assert all(always(rng) for _ in range(20))
+        assert not any(never(rng) for _ in range(20))
+        with pytest.raises(ValueError):
+            bernoulli(1.5)
+
+    def test_uniform_int_range(self):
+        rng = random.Random(2)
+        s = uniform_int(3, 5)
+        assert all(3 <= s(rng) <= 5 for _ in range(50))
+        with pytest.raises(ValueError):
+            uniform_int(5, 3)
+
+    def test_uniform_float_range(self):
+        rng = random.Random(3)
+        s = uniform_float(0.0, 2.0)
+        assert all(0.0 <= s(rng) <= 2.0 for _ in range(50))
+        with pytest.raises(ValueError):
+            uniform_float(2.0, 0.0)
+
+    def test_categorical_weights(self):
+        rng = random.Random(4)
+        s = categorical({"a": 1.0, "b": 0.0})
+        assert all(s(rng) == "a" for _ in range(30))
+        s2 = categorical(values=("x", "y"))
+        assert {s2(rng) for _ in range(50)} == {"x", "y"}
+        with pytest.raises(ValueError):
+            categorical()
+
+
+class TestRelationGenerator:
+    def test_generates_valid_relation(self):
+        gen = RelationGenerator(box_schema(), rows_per_object=(1, 4))
+        relation = gen.generate(25, random.Random(7))
+        assert len(relation) == 25
+        for obj in relation:
+            assert 1 <= len(obj.rows) <= 4
+
+    def test_seeded_determinism(self):
+        gen = RelationGenerator(box_schema())
+        a = gen.generate(10, random.Random(42))
+        b = gen.generate(10, random.Random(42))
+        assert [o.rows for o in a] == [o.rows for o in b]
+
+    def test_sampler_override(self):
+        gen = RelationGenerator(
+            box_schema(), samplers={"isDark": bernoulli(1.0)}
+        )
+        relation = gen.generate(10, random.Random(5))
+        assert all(r["isDark"] for r in relation.all_rows())
+
+    def test_unknown_sampler_rejected(self):
+        with pytest.raises(ValueError):
+            RelationGenerator(box_schema(), samplers={"ghost": bernoulli()})
+
+    def test_bad_rows_range_rejected(self):
+        with pytest.raises(ValueError):
+            RelationGenerator(box_schema(), rows_per_object=(5, 2))
+
+    def test_default_samplers_cover_all_types(self):
+        schema = NestedSchema(
+            "N",
+            embedded=FlatSchema(
+                "F",
+                (
+                    Attribute.boolean("b"),
+                    Attribute.integer("i"),
+                    Attribute.real("f"),
+                    Attribute.category("c", ("u", "v")),
+                    Attribute.category("open_cat"),
+                ),
+            ),
+            object_attributes=(Attribute.integer("rank"),),
+        )
+        relation = RelationGenerator(schema).generate(5, random.Random(1))
+        for obj in relation:
+            assert "rank" in obj.attributes
+            for row in obj.rows:
+                assert set(row) == {"b", "i", "f", "c", "open_cat"}
+                assert row["c"] in ("u", "v")

@@ -1,0 +1,87 @@
+"""Tests for flat/nested relation instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.chocolate import box_schema, chocolate_schema
+from repro.data.relation import FlatRelation, NestedObject, NestedRelation
+from repro.data.schema import SchemaError
+
+
+def chocolate(**overrides):
+    row = dict(
+        isDark=True, hasFilling=False, isSugarFree=False, hasNuts=False,
+        origin="Belgium",
+    )
+    row.update(overrides)
+    return row
+
+
+class TestFlatRelation:
+    def test_insert_validates(self):
+        rel = FlatRelation(chocolate_schema())
+        rel.insert(chocolate())
+        assert len(rel) == 1
+        with pytest.raises(SchemaError):
+            rel.insert({"isDark": True})
+
+    def test_rows_are_copies(self):
+        rel = FlatRelation(chocolate_schema(), [chocolate()])
+        rel.rows[0]["isDark"] = False
+        assert rel.rows[0]["isDark"] is True
+
+    def test_iteration(self):
+        rel = FlatRelation(chocolate_schema(), [chocolate(), chocolate()])
+        assert sum(1 for _ in rel) == 2
+
+
+class TestNestedRelation:
+    def test_add_object(self):
+        rel = NestedRelation(box_schema())
+        obj = rel.add_object(
+            "gift", rows=[chocolate()], attributes={"name": "gift"}
+        )
+        assert rel.get("gift") is obj
+        assert len(rel) == 1
+
+    def test_duplicate_key_rejected(self):
+        rel = NestedRelation(box_schema())
+        rel.add_object("a", rows=[chocolate()])
+        with pytest.raises(SchemaError):
+            rel.add_object("a", rows=[chocolate()])
+
+    def test_embedded_rows_validated(self):
+        rel = NestedRelation(box_schema())
+        with pytest.raises(SchemaError):
+            rel.add_object("bad", rows=[{"isDark": "yes"}])
+
+    def test_object_attributes_validated(self):
+        rel = NestedRelation(box_schema())
+        with pytest.raises(SchemaError):
+            rel.add_object("bad", rows=[chocolate()], attributes={"name": 7})
+
+    def test_missing_key_raises(self):
+        rel = NestedRelation(box_schema())
+        with pytest.raises(KeyError):
+            rel.get("ghost")
+
+    def test_all_rows_flattens(self):
+        rel = NestedRelation(box_schema())
+        rel.add_object("a", rows=[chocolate(), chocolate(isDark=False)])
+        rel.add_object("b", rows=[chocolate(hasNuts=True)])
+        assert len(rel.all_rows()) == 3
+
+
+class TestNestedObjectFormat:
+    def test_format_contains_rows(self):
+        obj = NestedObject(
+            key="gift", rows=[chocolate(), chocolate(origin="Sweden")]
+        )
+        text = obj.format(columns=["origin", "isDark"])
+        assert "gift:" in text
+        assert "Sweden" in text
+        assert text.count("\n") == 3  # title + header + 2 rows
+
+    def test_empty_object(self):
+        assert "(empty)" in NestedObject(key="box").format()

@@ -1,0 +1,112 @@
+"""Tests for flat/nested schemas (Defs. 2.1–2.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.schema import (
+    Attribute,
+    AttributeType,
+    FlatSchema,
+    NestedSchema,
+    SchemaError,
+)
+
+
+class TestAttributeTypes:
+    def test_boolean_excludes_ints(self):
+        assert AttributeType.BOOLEAN.validate(True)
+        assert not AttributeType.BOOLEAN.validate(1)
+
+    def test_integer_excludes_bools(self):
+        assert AttributeType.INTEGER.validate(3)
+        assert not AttributeType.INTEGER.validate(True)
+        assert not AttributeType.INTEGER.validate(3.5)
+
+    def test_float_accepts_ints(self):
+        assert AttributeType.FLOAT.validate(3)
+        assert AttributeType.FLOAT.validate(3.5)
+        assert not AttributeType.FLOAT.validate("3.5")
+
+    def test_category_is_str(self):
+        assert AttributeType.CATEGORY.validate("Belgium")
+        assert not AttributeType.CATEGORY.validate(7)
+
+
+class TestAttribute:
+    def test_constructors(self):
+        assert Attribute.boolean("isDark").type is AttributeType.BOOLEAN
+        assert Attribute.integer("count").type is AttributeType.INTEGER
+        assert Attribute.real("weight").type is AttributeType.FLOAT
+        cat = Attribute.category("origin", ("Belgium",), open_universe=False)
+        assert cat.universe == ("Belgium",)
+        assert not cat.open_universe
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute.boolean("is dark")
+
+    def test_universe_type_checked(self):
+        with pytest.raises(SchemaError):
+            Attribute.category("origin", universe=(1, 2))
+
+
+class TestFlatSchema:
+    def make(self) -> FlatSchema:
+        return FlatSchema(
+            "Chocolate",
+            (Attribute.boolean("isDark"), Attribute.category("origin")),
+        )
+
+    def test_attribute_lookup(self):
+        s = self.make()
+        assert s.attribute("isDark").name == "isDark"
+        with pytest.raises(SchemaError):
+            s.attribute("nope")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            FlatSchema(
+                "S", (Attribute.boolean("a"), Attribute.integer("a"))
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            FlatSchema("S", ())
+
+    def test_validate_row(self):
+        s = self.make()
+        s.validate_row({"isDark": True, "origin": "Belgium"})
+        with pytest.raises(SchemaError):
+            s.validate_row({"isDark": True})  # missing origin
+        with pytest.raises(SchemaError):
+            s.validate_row({"isDark": 1, "origin": "Belgium"})  # bad type
+        with pytest.raises(SchemaError):
+            s.validate_row(
+                {"isDark": True, "origin": "Belgium", "extra": 1}
+            )
+
+
+class TestNestedSchema:
+    def test_single_level_nesting(self):
+        flat = FlatSchema("Chocolate", (Attribute.boolean("isDark"),))
+        nested = NestedSchema(
+            "Box", embedded=flat, object_attributes=(Attribute.category("name"),)
+        )
+        nested.validate_object_attributes({"name": "sampler"})
+        with pytest.raises(SchemaError):
+            nested.validate_object_attributes({"name": 3})
+        with pytest.raises(SchemaError):
+            nested.validate_object_attributes({"unknown": "x"})
+
+    def test_duplicate_object_attributes_rejected(self):
+        flat = FlatSchema("F", (Attribute.boolean("a"),))
+        with pytest.raises(SchemaError):
+            NestedSchema(
+                "N",
+                embedded=flat,
+                object_attributes=(
+                    Attribute.category("name"),
+                    Attribute.category("name"),
+                ),
+            )

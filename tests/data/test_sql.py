@@ -1,0 +1,170 @@
+"""Tests for SQL compilation and the SQLite execution backend."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.generators import random_role_preserving
+from repro.core.parser import parse_query
+from repro.data import QueryEngine
+from repro.data.chocolate import (
+    chocolate_schema,
+    paper_figure1_relation,
+    paper_vocabulary,
+    random_store,
+    storefront_vocabulary,
+)
+from repro.data.propositions import (
+    Between,
+    BoolIs,
+    Equals,
+    GreaterThan,
+    LessThan,
+    OneOf,
+    Vocabulary,
+)
+from repro.data.schema import Attribute, FlatSchema
+from repro.data.sql import SqlCompileError, SqliteEngine, proposition_to_sql, to_sql
+
+
+class TestPropositionRendering:
+    def test_bool_is(self):
+        assert proposition_to_sql(BoolIs("isDark")) == "r.isDark = 1"
+        assert proposition_to_sql(BoolIs("isDark", value=False)) == (
+            "r.isDark = 0"
+        )
+
+    def test_equals_escapes_quotes(self):
+        sql = proposition_to_sql(Equals("origin", "O'Hare"))
+        assert sql == "r.origin = 'O''Hare'"
+
+    def test_one_of(self):
+        sql = proposition_to_sql(OneOf("origin", {"Belgium", "Sweden"}))
+        assert sql == "r.origin IN ('Belgium', 'Sweden')"
+
+    def test_comparisons(self):
+        assert proposition_to_sql(LessThan("count", 5)) == "r.count < 5"
+        assert proposition_to_sql(GreaterThan("count", 5)) == "r.count > 5"
+        assert (
+            proposition_to_sql(Between("count", 1, 3))
+            == "r.count BETWEEN 1 AND 3"
+        )
+
+    def test_unknown_proposition_rejected(self):
+        class Weird(BoolIs):
+            pass
+
+        class NotAProp:
+            attribute = "isDark"
+
+        with pytest.raises(SqlCompileError):
+            proposition_to_sql(NotAProp())  # type: ignore[arg-type]
+
+
+class TestToSql:
+    def test_universal_becomes_not_exists_plus_guarantee(self):
+        sql = to_sql(parse_query("∀x1", n=3), paper_vocabulary())
+        assert "NOT EXISTS" in sql
+        assert sql.count("EXISTS") == 2  # NOT EXISTS + guarantee witness
+
+    def test_guarantee_relaxation_drops_witness(self):
+        q = parse_query("∀x1", n=3, require_guarantees=False)
+        sql = to_sql(q, paper_vocabulary())
+        assert sql.count("EXISTS") == 1
+
+    def test_existential_becomes_exists(self):
+        sql = to_sql(parse_query("∃x2x3", n=3), paper_vocabulary())
+        assert "NOT EXISTS" not in sql
+        assert "hasFilling = 1" in sql and "origin = 'Madagascar'" in sql
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(SqlCompileError):
+            to_sql(parse_query("∃x1x2x3x4"), paper_vocabulary())
+
+
+class TestSqliteEngine:
+    def test_fig1_boxes(self):
+        engine = SqliteEngine(paper_figure1_relation(), paper_vocabulary())
+        assert engine.execute(parse_query("∀x1 ∃x2x3")) == []
+        # every box has a dark chocolate
+        assert engine.execute(parse_query("∃x1", n=3)) == [
+            "Europe's Finest",
+            "Global Ground",
+        ]
+        engine.close()
+
+    def test_context_manager(self):
+        with SqliteEngine(
+            paper_figure1_relation(), paper_vocabulary()
+        ) as engine:
+            assert engine.execute(parse_query("∃x1", n=3))
+
+    def test_explain_plan_runs(self):
+        with SqliteEngine(
+            paper_figure1_relation(), paper_vocabulary()
+        ) as engine:
+            plan = engine.explain_plan(parse_query("∀x1 ∃x2x3"))
+            assert plan
+
+    def test_cross_check_against_memory_engine(self):
+        """The two evaluators must agree on every random query."""
+        store = random_store(60, random.Random(31))
+        vocab = storefront_vocabulary()
+        memory = QueryEngine(store, vocab)
+        rng = random.Random(17)
+        with SqliteEngine(store, vocab) as sql_engine:
+            for _ in range(40):
+                q = random_role_preserving(4, rng, theta=2)
+                via_sql = sql_engine.execute(q)
+                via_memory = sorted(o.key for o in memory.execute(q))
+                assert via_sql == via_memory, q.shorthand()
+
+    def test_cross_check_with_numeric_vocabulary(self):
+        schema = FlatSchema(
+            "Reading",
+            (
+                Attribute.integer("count"),
+                Attribute.category("kind", ("a", "b")),
+                Attribute.boolean("flag"),
+            ),
+        )
+        vocab = Vocabulary(
+            schema,
+            [
+                LessThan("count", 5),
+                OneOf("kind", {"a"}),
+                BoolIs("flag"),
+            ],
+        )
+        from repro.data.relation import NestedRelation
+        from repro.data.schema import NestedSchema
+
+        relation = NestedRelation(NestedSchema("Batch", embedded=schema))
+        rng = random.Random(4)
+        for i in range(30):
+            rows = [
+                dict(
+                    count=rng.randint(0, 9),
+                    kind=rng.choice(["a", "b"]),
+                    flag=rng.random() < 0.5,
+                )
+                for _ in range(rng.randint(1, 5))
+            ]
+            relation.add_object(f"batch-{i:02d}", rows=rows)
+        memory = QueryEngine(relation, vocab)
+        with SqliteEngine(relation, vocab) as sql_engine:
+            for _ in range(30):
+                q = random_role_preserving(3, rng, theta=1)
+                assert sql_engine.execute(q) == sorted(
+                    o.key for o in memory.execute(q)
+                )
+
+    def test_empty_query_matches_everything(self):
+        from repro.core.query import QhornQuery
+
+        store = random_store(5, random.Random(2))
+        with SqliteEngine(store, storefront_vocabulary()) as engine:
+            q = QhornQuery(n=4)
+            assert len(engine.execute(q)) == 5

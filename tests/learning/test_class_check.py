@@ -1,0 +1,84 @@
+"""Tests for class-membership checking (§6 future work)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.generators import (
+    random_qhorn1,
+    random_role_preserving,
+    uni_alias_query,
+)
+from repro.core.normalize import canonicalize
+from repro.learning.class_check import check_class_membership
+from repro.oracle import QueryOracle
+
+
+class TestConsistentUsers:
+    def test_role_preserving_intent_passes(self, rng):
+        for _ in range(15):
+            target = random_role_preserving(rng.randint(2, 7), rng, theta=2)
+            report = check_class_membership(
+                QueryOracle(target), "role-preserving", probes=60, rng=rng
+            )
+            assert report.consistent, report.describe()
+            assert canonicalize(report.candidate) == canonicalize(target)
+
+    def test_qhorn1_intent_passes(self, rng):
+        for _ in range(15):
+            target = random_qhorn1(rng.randint(2, 8), rng)
+            report = check_class_membership(
+                QueryOracle(target), "qhorn-1", probes=60, rng=rng
+            )
+            assert report.consistent, report.describe()
+
+    def test_report_describe(self, rng):
+        target = random_qhorn1(4, rng)
+        report = check_class_membership(
+            QueryOracle(target), "qhorn-1", probes=10, rng=rng
+        )
+        assert "consistent" in report.describe()
+
+
+class TestInconsistentUsers:
+    def test_alias_intent_detected(self, rng):
+        """Thm 2.1's Uni∧Alias queries are outside role-preserving qhorn;
+        the checker must produce a contradiction certificate."""
+        target = uni_alias_query(5, alias_vars=[1, 3, 4])
+        report = check_class_membership(
+            QueryOracle(target), "role-preserving", probes=400, rng=rng
+        )
+        assert not report.consistent
+        assert report.evidence is not None or report.detail
+
+    def test_role_preserving_but_not_qhorn1_detected(self, rng):
+        """θ=2 queries repeat variables; the qhorn-1 checker must notice."""
+        from repro.core.parser import parse_query
+
+        target = parse_query("∀x1x2→x3 ∀x2x4→x3 ∃x1x4", n=4)
+        assert target.is_role_preserving() and not target.is_qhorn1()
+        report = check_class_membership(
+            QueryOracle(target), "qhorn-1", probes=400, rng=rng
+        )
+        assert not report.consistent
+
+    def test_evidence_object_actually_disagrees(self, rng):
+        target = uni_alias_query(4, alias_vars=[0, 2])
+        oracle = QueryOracle(target)
+        report = check_class_membership(
+            oracle, "role-preserving", probes=400, rng=rng
+        )
+        assert not report.consistent
+        if report.evidence is not None:
+            assert oracle.ask(report.evidence) != report.candidate.evaluate(
+                report.evidence
+            )
+
+
+class TestValidation:
+    def test_unknown_class_rejected(self, rng):
+        target = random_qhorn1(3, rng)
+        with pytest.raises(ValueError):
+            check_class_membership(QueryOracle(target), "horn-zero")

@@ -1,0 +1,102 @@
+"""Tests for the §6 expression-question oracle and learner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generators import paper_running_query, random_role_preserving
+from repro.core.normalize import canonicalize
+from repro.core.parser import parse_query
+from repro.learning.expression_learner import ExpressionLearner
+from repro.oracle.expression import CountingExpressionOracle, ExpressionOracle
+
+
+class TestExpressionOracle:
+    def test_requires_conjunction_entailment(self):
+        oracle = ExpressionOracle(parse_query("∃x1x2 ∀x3", n=3))
+        assert oracle.requires_conjunction([0, 1])
+        assert oracle.requires_conjunction([0])
+        assert oracle.requires_conjunction([2])  # ∀x3's guarantee
+        assert oracle.requires_conjunction([0, 1, 2])  # closure adds x3
+
+    def test_requires_conjunction_negative(self):
+        # ∃x1 ∃x2 does not entail ∃x1x2 (the two-tuple object refutes it).
+        oracle = ExpressionOracle(parse_query("∃x1 ∃x2", n=2))
+        assert not oracle.requires_conjunction([0, 1])
+        assert oracle.requires_conjunction([0])
+
+    def test_requires_conjunction_empty_trivial(self):
+        oracle = ExpressionOracle(parse_query("∃x1"))
+        assert oracle.requires_conjunction([])
+
+    def test_requires_conjunction_respects_r3(self):
+        # ∀x1→x2 ∃x1: the intent entails ∃x1x2 by Rule R3.
+        oracle = ExpressionOracle(parse_query("∀x1→x2 ∃x1"))
+        assert oracle.requires_conjunction([0, 1])
+
+    def test_requires_implication(self):
+        oracle = ExpressionOracle(parse_query("∀x1x2→x3 ∃x4", n=4))
+        assert oracle.requires_implication([0, 1], 2)
+        assert oracle.requires_implication([0, 1, 3], 2)  # superset body
+        assert not oracle.requires_implication([0], 2)
+        assert not oracle.requires_implication([0, 1], 3)
+
+    def test_requires_implication_bodyless(self):
+        oracle = ExpressionOracle(parse_query("∀x1 ∃x2", n=2))
+        assert oracle.requires_implication([], 0)
+        assert oracle.requires_implication([1], 0)
+
+    def test_head_in_body_trivially_entailed(self):
+        oracle = ExpressionOracle(parse_query("∃x1", n=2))
+        assert oracle.requires_implication([1], 1)
+
+    def test_rejects_non_role_preserving(self):
+        with pytest.raises(ValueError):
+            ExpressionOracle(parse_query("∀x1→x2 ∀x2→x1"))
+
+    def test_counting_wrapper(self):
+        oracle = CountingExpressionOracle(
+            ExpressionOracle(parse_query("∃x1x2"))
+        )
+        oracle.requires_conjunction([0])
+        oracle.requires_implication([0], 1)
+        assert oracle.questions_asked == 2
+
+
+class TestExpressionLearner:
+    def test_paper_running_query(self):
+        target = paper_running_query()
+        result = ExpressionLearner(ExpressionOracle(target)).learn()
+        assert canonicalize(result.query) == canonicalize(target)
+        assert result.questions_asked > 0
+
+    @pytest.mark.parametrize(
+        "text,n",
+        [
+            ("∀x1", 1),
+            ("∃x1x2", 2),
+            ("∀x1→x2 ∃x3", 3),
+            ("∀x1x2→x3 ∀x4x5→x3", 5),
+            ("∃x1x2 ∃x2x3 ∃x1x3", 3),
+        ],
+    )
+    def test_fixed_targets(self, text, n):
+        target = parse_query(text, n=n)
+        result = ExpressionLearner(ExpressionOracle(target)).learn()
+        assert canonicalize(result.query) == canonicalize(target)
+
+    def test_random_targets(self, rng):
+        for _ in range(60):
+            target = random_role_preserving(rng.randint(2, 9), rng, theta=2)
+            result = ExpressionLearner(ExpressionOracle(target)).learn()
+            assert canonicalize(result.query) == canonicalize(target)
+
+    def test_question_count_polynomial(self, rng):
+        for _ in range(20):
+            n = rng.randint(3, 9)
+            target = random_role_preserving(n, rng, theta=2)
+            result = ExpressionLearner(ExpressionOracle(target)).learn()
+            k = len(canonicalize(target).conjunctions) + len(
+                canonicalize(target).universals
+            )
+            assert result.questions_asked <= 3 * n * n + 3 * k * n + 10

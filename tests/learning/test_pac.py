@@ -1,0 +1,106 @@
+"""Tests for PAC learning from random examples (§6)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.generators import enumerate_role_preserving
+from repro.core.normalize import brute_force_equivalent
+from repro.learning.pac import (
+    estimate_error,
+    pac_learn,
+    pac_sample_bound,
+    random_object_sampler,
+)
+
+
+class TestSampleBound:
+    def test_formula(self):
+        import math
+
+        m = pac_sample_bound(100, epsilon=0.1, delta=0.05)
+        assert m == math.ceil((math.log(100) + math.log(20)) / 0.1)
+
+    def test_monotone_in_epsilon(self):
+        assert pac_sample_bound(100, 0.01, 0.1) > pac_sample_bound(
+            100, 0.1, 0.1
+        )
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            pac_sample_bound(10, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            pac_sample_bound(10, 0.1, 1.5)
+
+
+class TestSampler:
+    def test_objects_within_width(self, rng):
+        sampler = random_object_sampler(4, max_tuples=3)
+        for _ in range(50):
+            obj = sampler(rng)
+            assert obj.n == 4
+            assert 1 <= obj.size <= 4  # +1 possible boosted all-true
+
+
+class TestPacLearn:
+    def test_consistency_and_error(self):
+        rng = random.Random(17)
+        hypotheses = enumerate_role_preserving(2)
+        sampler = random_object_sampler(2)
+        target = hypotheses[7]
+        m = pac_sample_bound(len(hypotheses), epsilon=0.05, delta=0.1)
+        result = pac_learn(target, hypotheses, sampler, m, rng)
+        error = estimate_error(
+            result.query, target, sampler, trials=2000, rng=rng
+        )
+        assert error <= 0.05
+
+    def test_error_decreases_with_samples(self):
+        rng = random.Random(23)
+        hypotheses = enumerate_role_preserving(2)
+        sampler = random_object_sampler(2)
+        errors = {}
+        for m in (1, 64):
+            total = 0.0
+            for t_idx in (0, 3, 6, 9):
+                target = hypotheses[t_idx]
+                result = pac_learn(target, hypotheses, sampler, m, rng)
+                total += estimate_error(
+                    result.query, target, sampler, trials=800, rng=rng
+                )
+            errors[m] = total / 4
+        assert errors[64] <= errors[1]
+
+    def test_enough_samples_reach_exactness(self):
+        """With many samples the surviving hypotheses are all equivalent."""
+        rng = random.Random(5)
+        hypotheses = enumerate_role_preserving(2)
+        sampler = random_object_sampler(2)
+        for target in hypotheses[:6]:
+            result = pac_learn(target, hypotheses, sampler, 400, rng)
+            assert brute_force_equivalent(result.query, target)
+
+    def test_target_outside_space_detected(self):
+        from repro.core.parser import parse_query
+
+        rng = random.Random(3)
+        target = parse_query("∃x1", n=2)
+        wrong_space = [parse_query("∀x1 ∀x2", n=2)]
+        with pytest.raises(RuntimeError):
+            pac_learn(
+                target, wrong_space, random_object_sampler(2), 200, rng
+            )
+
+    def test_estimate_error_validation(self):
+        from repro.core.parser import parse_query
+
+        with pytest.raises(ValueError):
+            estimate_error(
+                parse_query("∃x1"),
+                parse_query("∃x1"),
+                random_object_sampler(1),
+                trials=0,
+                rng=random.Random(0),
+            )

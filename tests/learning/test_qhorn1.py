@@ -1,0 +1,149 @@
+"""Tests for the qhorn-1 learner (§3.1): exact identification + bounds."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.generators import random_qhorn1
+from repro.core.normalize import canonicalize
+from repro.core.parser import parse_query
+from repro.core.query import QhornQuery
+from repro.learning import Qhorn1Learner, learn_qhorn1
+from repro.oracle import CountingOracle, QueryOracle
+from tests.conftest import assert_equivalent
+
+
+def learn(target: QhornQuery):
+    oracle = CountingOracle(QueryOracle(target))
+    result = Qhorn1Learner(oracle).learn()
+    return result, oracle
+
+
+class TestFixedTargets:
+    @pytest.mark.parametrize(
+        "text,n",
+        [
+            ("∀x1", 1),
+            ("∃x1", 1),
+            ("∀x1 ∃x2", 2),
+            ("∃x1x2", 2),
+            ("∀x1→x2", 2),
+            ("∃x1→x2", 2),
+            ("∀x1x2→x3", 3),
+            ("∃x1x2x3", 3),
+            ("∀x1x2→x3 ∃x4x5 ∀x6", 6),
+            ("∀x3x4→x1 ∃x3x4x2 ∃x5", 5),  # shared body, mixed quantifiers
+            ("∃x1x2x3x4x5x6x7", 7),
+            ("∀x1 ∀x2 ∀x3 ∀x4", 4),
+            ("∃x1 ∃x2 ∃x3 ∃x4", 4),
+        ],
+    )
+    def test_exact_identification(self, text, n):
+        target = parse_query(text, n=n)
+        result, _ = learn(target)
+        assert_equivalent(result.query, target)
+
+    def test_fig2_query(self):
+        """Fig. 2: ∀x1x2→x4 ∃x1x2→x5 ∃x3→x6."""
+        target = QhornQuery.build(
+            6, universals=[((0, 1), 3)], existentials=[(0, 1, 4), (2, 5)]
+        )
+        result, oracle = learn(target)
+        assert_equivalent(result.query, target)
+        assert result.universal_heads == {3}
+
+    def test_partition_construction_example(self):
+        """§2.1.3: ∀x1 ∀x2 ∃x3→x4 ∃x5x6→x7 from x1|x2|x3x4|x5x6x7."""
+        target = parse_query("∀x1 ∀x2 ∃x3x4 ∃x5x6x7")
+        result, _ = learn(target)
+        assert_equivalent(result.query, target)
+
+
+class TestStructuredResult:
+    def test_groups_reflect_partition(self):
+        target = parse_query("∀x1x2→x3 ∃x4x5", n=5)
+        result, _ = learn(target)
+        bodies = {g.body for g in result.groups}
+        assert frozenset({0, 1}) in bodies
+        assert result.unconstrained == frozenset()
+
+    def test_unconstrained_variable_detected(self):
+        # x3 appears nowhere in the target.
+        target = parse_query("∀x1→x2", n=3)
+        result, _ = learn(target)
+        assert result.unconstrained == {2}
+        assert_equivalent(result.query, target)
+
+    def test_lone_existential_vs_unconstrained(self):
+        target = parse_query("∀x1→x2 ∃x3", n=3)
+        result, _ = learn(target)
+        assert result.unconstrained == frozenset()
+        assert_equivalent(result.query, target)
+
+
+class TestRandomizedExactness:
+    def test_random_round_trips(self, rng):
+        for _ in range(120):
+            n = rng.randint(1, 14)
+            target = random_qhorn1(n, rng)
+            result, _ = learn(target)
+            assert_equivalent(result.query, target)
+
+    def test_random_round_trips_with_unused_variables(self, rng):
+        for _ in range(60):
+            n = rng.randint(2, 10)
+            target = random_qhorn1(n, rng, use_all_variables=False)
+            result, _ = learn(target)
+            assert_equivalent(result.query, target)
+
+    def test_learned_query_is_qhorn1(self, rng):
+        for _ in range(40):
+            target = random_qhorn1(rng.randint(2, 10), rng)
+            result, _ = learn(target)
+            assert result.query.is_qhorn1()
+
+
+class TestQuestionComplexity:
+    def test_o_n_log_n_bound(self, rng):
+        """Theorem 3.1 with an explicit constant: <= 12·n·lg n + 12."""
+        for n in (8, 16, 32, 64):
+            worst = 0
+            for _ in range(8):
+                target = random_qhorn1(n, rng)
+                _, oracle = learn(target)
+                worst = max(worst, oracle.questions_asked)
+            assert worst <= 12 * n * math.log2(n) + 12, (n, worst)
+
+    def test_question_tuple_sizes_polynomial(self, rng):
+        """§2.1.2: questions must stay polynomial — here <= n tuples."""
+        for _ in range(20):
+            n = rng.randint(2, 12)
+            target = random_qhorn1(n, rng)
+            _, oracle = learn(target)
+            assert oracle.stats.max_tuples <= n
+
+    def test_growth_is_subquadratic(self, rng):
+        """Question counts grow like n lg n, far below the naive n²."""
+        import statistics
+
+        means = {}
+        for n in (16, 64):
+            counts = []
+            for _ in range(10):
+                target = random_qhorn1(n, rng)
+                _, oracle = learn(target)
+                counts.append(oracle.questions_asked)
+            means[n] = statistics.mean(counts)
+        # quadrupling n should grow questions well under 16x (n² would be 16x)
+        assert means[64] / means[16] < 9
+
+
+class TestConvenienceWrapper:
+    def test_learn_qhorn1(self):
+        target = parse_query("∀x1 ∃x2x3")
+        oracle = QueryOracle(target)
+        result = learn_qhorn1(oracle)
+        assert_equivalent(result.query, target)

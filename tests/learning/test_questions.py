@@ -1,0 +1,122 @@
+"""Unit tests for the membership-question constructors (§3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import tuples as bt
+from repro.core.parser import parse_query
+from repro.learning.questions import (
+    existential_independence_question,
+    matrix_question,
+    single_false_question,
+    two_tuple_question,
+    universal_dependence_question,
+    universal_head_question,
+)
+
+
+class TestUniversalHeadQuestion:
+    def test_shape(self):
+        q = universal_head_question(3, 0)
+        assert q.tuples == {bt.parse_tuple("111"), bt.parse_tuple("011")}
+
+    def test_detects_universal_heads_only(self):
+        """§3.1.1: {111, 011} is a non-answer iff x1 is a universal head."""
+        n = 3
+        head_query = parse_query("∀x2x3→x1", n=n)
+        assert not head_query.evaluate(universal_head_question(n, 0))
+        for text in ("∃x1x2x3", "∀x1→x2 ∃x3", "∃x1"):
+            other = parse_query(text, n=n)
+            assert other.evaluate(universal_head_question(n, 0)), text
+
+    def test_bodyless_head_detected(self):
+        assert not parse_query("∀x1", n=3).evaluate(
+            universal_head_question(3, 0)
+        )
+
+
+class TestUniversalDependenceQuestion:
+    def test_def_31_shape(self):
+        q = universal_dependence_question(4, 0, [2, 3])
+        assert q.tuples == {bt.parse_tuple("1111"), bt.parse_tuple("0100")}
+
+    def test_answer_iff_body_intersects_v(self):
+        target = parse_query("∀x2x3→x1 ∃x4", n=4)
+        # V = {x2}: body intersects -> answer
+        assert target.evaluate(universal_dependence_question(4, 0, [1]))
+        # V = {x4}: body avoids V -> non-answer
+        assert not target.evaluate(universal_dependence_question(4, 0, [3]))
+
+    def test_bodyless_head_never_depends(self):
+        target = parse_query("∀x1 ∃x2 ∃x3", n=3)
+        assert not target.evaluate(
+            universal_dependence_question(3, 0, [1, 2])
+        )
+
+
+class TestExistentialIndependenceQuestion:
+    def test_def_32_shape(self):
+        q = existential_independence_question(4, [0], [2, 3])
+        assert q.tuples == {bt.parse_tuple("0111"), bt.parse_tuple("1100")}
+
+    def test_disjointness_required(self):
+        with pytest.raises(ValueError):
+            existential_independence_question(4, [0, 1], [1, 2])
+
+    def test_dependent_variables_non_answer(self):
+        # x1, x2 in the same conjunction: dependent.
+        target = parse_query("∃x1x2 ∃x3", n=3)
+        assert not target.evaluate(
+            existential_independence_question(3, [0], [1])
+        )
+
+    def test_heads_of_same_body_are_independent(self):
+        # ∃x1→x2, ∃x1→x3: heads x2, x3 are independent (§3.1.3 case 1).
+        target = parse_query("∃x1x2 ∃x1x3", n=3)
+        assert target.evaluate(
+            existential_independence_question(3, [1], [2])
+        )
+
+    def test_unrelated_variables_independent(self):
+        target = parse_query("∃x1 ∃x2", n=2)
+        assert target.evaluate(
+            existential_independence_question(2, [0], [1])
+        )
+
+
+class TestMatrixQuestion:
+    def test_def_33_shape(self):
+        """{1011, 1101, 1110} is the matrix question on D={x2,x3,x4}."""
+        q = matrix_question(4, [1, 2, 3])
+        assert q.tuples == {
+            bt.parse_tuple("1011"),
+            bt.parse_tuple("1101"),
+            bt.parse_tuple("1110"),
+        }
+
+    def test_needs_variables(self):
+        with pytest.raises(ValueError):
+            matrix_question(4, [])
+
+    def test_answer_iff_two_heads(self):
+        """Lemma 3.3: answer iff >= 2 existential heads in D."""
+        n = 4
+        # x2, x4 head x1's body: {1011, 1110} satisfy ∃x1x3→x2, ∃x1x3→x4.
+        two_heads = parse_query("∃x1x3x2 ∃x1x3x4", n=n)
+        assert two_heads.evaluate(matrix_question(n, [1, 2, 3]))
+        one_head = parse_query("∃x1x2x3x4", n=n)
+        assert not one_head.evaluate(matrix_question(n, [1, 2, 3]))
+
+
+class TestSimpleQuestions:
+    def test_single_false_question(self):
+        q = single_false_question(3, 1)
+        assert q.tuples == {bt.parse_tuple("101")}
+        assert not parse_query("∃x2", n=3).evaluate(q)
+        assert parse_query("∃x1", n=3).evaluate(q)
+
+    def test_two_tuple_question(self):
+        t = bt.parse_tuple("0101")
+        q = two_tuple_question(4, t)
+        assert q.tuples == {bt.all_true(4), t}

@@ -1,0 +1,130 @@
+"""Tests for the query revision algorithm (§6 future work, implemented)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import revision_distance
+from repro.core.generators import paper_running_query, random_role_preserving
+from repro.core.normalize import canonicalize
+from repro.core.parser import parse_query
+from repro.learning import RolePreservingLearner, revise_query
+from repro.oracle import CountingOracle, QueryOracle
+
+
+def revise(given, intended):
+    oracle = CountingOracle(QueryOracle(intended))
+    result = revise_query(given, oracle)
+    return result, oracle
+
+
+class TestConfirmation:
+    def test_correct_query_confirmed_unchanged(self):
+        q = paper_running_query()
+        result, oracle = revise(q, q)
+        assert not result.changed
+        assert canonicalize(result.query) == canonicalize(q)
+        assert any("confirmed" in r for r in result.repairs)
+
+    def test_confirmation_cheaper_than_learning(self):
+        q = paper_running_query()
+        _, revise_oracle = revise(q, q)
+        learn_oracle = CountingOracle(QueryOracle(q))
+        RolePreservingLearner(learn_oracle).learn()
+        assert revise_oracle.questions_asked < learn_oracle.questions_asked
+
+    def test_random_confirmations(self, rng):
+        for _ in range(30):
+            q = random_role_preserving(rng.randint(3, 8), rng, theta=2)
+            result, _ = revise(q, q)
+            assert not result.changed
+
+
+class TestRepairs:
+    def test_swapped_body_repaired(self):
+        given = paper_running_query()
+        intended = parse_query(
+            "∀x1x4→x5 ∀x2x3→x5 ∀x1x2→x6 ∃x1x2x3 ∃x2x3x4 ∃x1x2x5 ∃x2x3x5x6"
+        )
+        result, _ = revise(given, intended)
+        assert canonicalize(result.query) == canonicalize(intended)
+        assert result.changed
+        assert any("dropped body" in r for r in result.repairs)
+
+    def test_dropped_head(self):
+        given = parse_query("∀x1 ∃x2", n=2)
+        intended = parse_query("∃x1 ∃x2", n=2)
+        result, _ = revise(given, intended)
+        assert canonicalize(result.query) == canonicalize(intended)
+        assert any("dropped head" in r for r in result.repairs)
+
+    def test_added_head(self):
+        given = parse_query("∃x1 ∃x2", n=2)
+        intended = parse_query("∀x1 ∃x2", n=2)
+        result, _ = revise(given, intended)
+        assert canonicalize(result.query) == canonicalize(intended)
+        assert any("added head" in r for r in result.repairs)
+
+    def test_shrunk_body(self):
+        given = parse_query("∀x1x2→x3", n=3)
+        intended = parse_query("∀x1→x3", n=3)
+        result, _ = revise(given, intended)
+        assert canonicalize(result.query) == canonicalize(intended)
+
+    def test_grown_body(self):
+        given = parse_query("∀x1→x3", n=3)
+        intended = parse_query("∀x1x2→x3", n=3)
+        result, _ = revise(given, intended)
+        assert canonicalize(result.query) == canonicalize(intended)
+
+    def test_conjunction_drift(self):
+        given = parse_query("∃x1x2 ∃x3", n=4)
+        intended = parse_query("∃x1x2x4 ∃x3", n=4)
+        result, _ = revise(given, intended)
+        assert canonicalize(result.query) == canonicalize(intended)
+
+
+class TestExactnessRandom:
+    def test_random_pairs_always_exact(self, rng):
+        for _ in range(80):
+            n = rng.randint(2, 8)
+            given = random_role_preserving(n, rng, theta=2)
+            intended = random_role_preserving(n, rng, theta=2)
+            result, _ = revise(given, intended)
+            assert canonicalize(result.query) == canonicalize(intended), (
+                given.shorthand(),
+                intended.shorthand(),
+            )
+
+    def test_cost_grows_with_distance(self, rng):
+        """Closer queries must be cheaper to revise, on average."""
+        import statistics
+
+        near, far = [], []
+        for _ in range(40):
+            n = 7
+            intended = random_role_preserving(n, rng, theta=2)
+            _, confirm_oracle = revise(intended, intended)
+            near.append(confirm_oracle.questions_asked)
+            other = random_role_preserving(n, rng, theta=2)
+            if canonicalize(other) == canonicalize(intended):
+                continue
+            _, far_oracle = revise(other, intended)
+            far.append(far_oracle.questions_asked)
+        assert statistics.mean(near) < statistics.mean(far)
+
+
+class TestValidation:
+    def test_non_role_preserving_rejected(self):
+        cyc = parse_query("∀x1→x2 ∀x2→x1")
+        with pytest.raises(ValueError):
+            revise_query(cyc, QueryOracle(cyc))
+
+    def test_n_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            revise_query(
+                parse_query("∃x1", n=2),
+                QueryOracle(parse_query("∃x1", n=3)),
+            )

@@ -1,0 +1,174 @@
+"""Tests for the role-preserving learner (§3.2): worked example + bounds."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import tuples as bt
+from repro.core.generators import (
+    paper_running_query,
+    random_qhorn1,
+    random_role_preserving,
+)
+from repro.core.normalize import canonicalize
+from repro.core.parser import parse_query
+from repro.core.query import QhornQuery
+from repro.learning import RolePreservingLearner, learn_role_preserving
+from repro.oracle import CountingOracle, QueryOracle
+from tests.conftest import assert_equivalent
+
+
+def learn(target: QhornQuery):
+    oracle = CountingOracle(QueryOracle(target))
+    result = RolePreservingLearner(oracle).learn()
+    return result, oracle
+
+
+class TestPaperWorkedExample:
+    """§3.2.2's six-variable running query, learned end to end."""
+
+    def test_exact_identification(self):
+        target = paper_running_query()
+        result, _ = learn(target)
+        assert_equivalent(result.query, target)
+
+    def test_heads_found(self):
+        result, _ = learn(paper_running_query())
+        assert result.heads == {4, 5}  # x5, x6
+
+    def test_bodies_found(self):
+        result, _ = learn(paper_running_query())
+        assert set(result.bodies_per_head[4]) == {
+            frozenset({0, 3}),
+            frozenset({2, 3}),
+        }
+        assert set(result.bodies_per_head[5]) == {frozenset({0, 1})}
+
+    def test_terminal_distinguishing_tuples_match_paper(self):
+        """The algorithm terminates with {110011, 100110, 111001, 011011,
+        011110} (end of §3.2.2)."""
+        result, _ = learn(paper_running_query())
+        dominant = {
+            t
+            for t in result.distinguishing_tuples
+            if not any(
+                bt.is_subset(t, o) and t != o
+                for o in result.distinguishing_tuples
+            )
+        }
+        expected = {
+            bt.parse_tuple(s)
+            for s in ("110011", "100110", "111001", "011011", "011110")
+        }
+        assert dominant == expected
+
+    def test_causal_density_measured(self):
+        result, _ = learn(paper_running_query())
+        assert result.causal_density == 2
+
+
+class TestFixedTargets:
+    @pytest.mark.parametrize(
+        "text,n",
+        [
+            ("∀x1", 1),
+            ("∃x1", 1),
+            ("∀x1 ∀x2", 2),
+            ("∀x2→x1 ∃x2", 2),
+            ("∀x1x4→x5 ∀x3x4→x5 ∀x2x4→x6 ∃x1x2x3 ∃x1x2x5x6", 6),
+            ("∀x1x2→x3 ∀x4x5→x3", 5),  # two bodies, one head
+            ("∀x1→x3 ∀x2→x3 ∀x1→x4", 4),  # shared body variables
+            ("∃x1x2 ∃x2x3 ∃x1x3", 3),  # pure existential antichain
+            ("∀x1 ∃x2", 2),
+        ],
+    )
+    def test_exact_identification(self, text, n):
+        target = parse_query(text, n=n)
+        result, _ = learn(target)
+        assert_equivalent(result.query, target)
+
+    def test_bodyless_head_short_circuit(self):
+        target = parse_query("∀x1 ∃x2x3")
+        result, oracle = learn(target)
+        assert result.bodies_per_head[0] == [frozenset()]
+        assert_equivalent(result.query, target)
+
+    def test_empty_frontier_for_variable_free_conjunctions(self):
+        # a query whose only conjunction is the full set
+        target = parse_query("∃x1x2x3")
+        result, _ = learn(target)
+        assert_equivalent(result.query, target)
+
+
+class TestRandomizedExactness:
+    def test_random_round_trips(self, rng):
+        for _ in range(100):
+            n = rng.randint(2, 9)
+            target = random_role_preserving(n, rng, theta=rng.randint(1, 3))
+            result, _ = learn(target)
+            assert_equivalent(result.query, target)
+
+    def test_qhorn1_targets_also_learnable(self, rng):
+        """qhorn-1 ⊂ role-preserving: the lattice learner handles both."""
+        for _ in range(40):
+            n = rng.randint(2, 8)
+            target = random_qhorn1(n, rng)
+            result, _ = learn(target)
+            assert_equivalent(result.query, target)
+
+    def test_learned_query_is_role_preserving(self, rng):
+        for _ in range(30):
+            target = random_role_preserving(rng.randint(2, 8), rng)
+            result, _ = learn(target)
+            assert result.query.is_role_preserving()
+
+    def test_learned_query_is_normalized(self, rng):
+        """The learner outputs dominant expressions only."""
+        for _ in range(30):
+            target = random_role_preserving(rng.randint(2, 8), rng)
+            result, _ = learn(target)
+            canon = canonicalize(result.query)
+            assert canon.universals == result.query.universals
+            assert canon.conjunctions == {
+                e.variables for e in result.query.existentials
+            }
+
+
+class TestQuestionComplexity:
+    def test_polynomial_questions_for_constant_theta(self, rng):
+        """Thm 3.5 + Thm 3.8: O(n^{θ+1} + kn lg n) questions."""
+        import math
+
+        for n in (6, 10, 14):
+            worst = 0
+            for _ in range(6):
+                target = random_role_preserving(n, rng, theta=2)
+                _, oracle = learn(target)
+                worst = max(worst, oracle.questions_asked)
+            k = 2 * n  # generous size bound for these targets
+            bound = 4 * (n**3) + 6 * k * n * math.log2(n) + 40
+            assert worst <= bound, (n, worst, bound)
+
+    def test_question_tuples_polynomial(self, rng):
+        for _ in range(20):
+            n = rng.randint(3, 9)
+            target = random_role_preserving(n, rng, theta=2)
+            _, oracle = learn(target)
+            # frontier + discovered + children stays well under n^2 + k
+            assert oracle.stats.max_tuples <= n * n + 4 * n + 8
+
+
+class TestGuards:
+    def test_max_bodies_cap(self):
+        target = paper_running_query()
+        oracle = QueryOracle(target)
+        result = RolePreservingLearner(oracle, max_bodies_per_head=1).learn()
+        # capped: only one of x5's two bodies is found
+        assert len(result.bodies_per_head[4]) == 1
+
+    def test_convenience_wrapper(self):
+        target = parse_query("∀x1→x2 ∃x3", n=3)
+        result = learn_role_preserving(QueryOracle(target))
+        assert_equivalent(result.query, target)

@@ -1,0 +1,143 @@
+"""Unit tests for the binary-search primitives (Algs. 2, 3, 8)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.learning.search import (
+    find_all,
+    find_one,
+    minimal_prefix,
+    minimal_satisfying_subset,
+)
+
+
+class Counter:
+    """Wraps a predicate and counts evaluations (stand-in for questions)."""
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.calls = 0
+
+    def __call__(self, arg):
+        self.calls += 1
+        return self.fn(arg)
+
+
+class TestFindOne:
+    def test_finds_a_target(self):
+        targets = {7}
+        pred = Counter(lambda s: bool(set(s) & targets))
+        assert find_one(pred, list(range(16))) == 7
+
+    def test_none_when_absent(self):
+        pred = Counter(lambda s: False)
+        assert find_one(pred, list(range(16))) is None
+        assert pred.calls == 1  # one question establishes absence
+
+    def test_empty_items_ask_nothing(self):
+        pred = Counter(lambda s: True)
+        assert find_one(pred, []) is None
+        assert pred.calls == 0
+
+    def test_logarithmic_questions(self):
+        for size in (8, 64, 256):
+            pred = Counter(lambda s: 0 in s)
+            find_one(pred, list(range(size)))
+            assert pred.calls <= 1 + math.ceil(math.log2(size)) + 1
+
+    def test_single_item(self):
+        pred = Counter(lambda s: 3 in s)
+        assert find_one(pred, [3]) == 3
+        assert pred.calls == 1
+
+    def test_finds_some_target_among_many(self):
+        targets = {2, 9, 13}
+        found = find_one(lambda s: bool(set(s) & targets), list(range(16)))
+        assert found in targets
+
+
+class TestFindAll:
+    def test_finds_every_target(self):
+        targets = {1, 5, 11}
+        found = find_all(lambda s: bool(set(s) & targets), list(range(12)))
+        assert set(found) == targets
+
+    def test_empty_result(self):
+        pred = Counter(lambda s: False)
+        assert find_all(pred, list(range(8))) == []
+        assert pred.calls == 1
+
+    def test_question_bound_m_log_n(self):
+        n, targets = 128, {3, 64, 100, 127}
+        pred = Counter(lambda s: bool(set(s) & targets))
+        found = find_all(pred, list(range(n)))
+        assert set(found) == targets
+        # O(m lg n) with a generous constant
+        assert pred.calls <= 2 * len(targets) * (math.log2(n) + 1)
+
+    def test_all_targets(self):
+        items = list(range(4))
+        assert find_all(lambda s: bool(s), items) == items
+
+
+class TestMinimalPrefix:
+    def test_shortest_prefix(self):
+        # pred true once the prefix contains both 2 and 5
+        pred = Counter(lambda s: {2, 5} <= set(s))
+        items = [0, 2, 4, 5, 6]
+        assert minimal_prefix(pred, items) == [0, 2, 4, 5]
+
+    def test_none_when_unsatisfiable(self):
+        assert minimal_prefix(lambda s: False, [1, 2, 3]) is None
+
+    def test_whole_sequence_needed(self):
+        items = [1, 2, 3]
+        assert minimal_prefix(lambda s: len(s) == 3, items) == items
+
+    def test_logarithmic_calls(self):
+        items = list(range(256))
+        pred = Counter(lambda s: 40 in s)
+        minimal_prefix(pred, items)
+        assert pred.calls <= math.ceil(math.log2(256)) + 2
+
+
+class TestMinimalSatisfyingSubset:
+    def test_extracts_exact_witness(self):
+        needed = {2, 9}
+        pred = Counter(lambda s: needed <= set(s))
+        kept = minimal_satisfying_subset(pred, list(range(12)))
+        assert set(kept) == needed
+
+    def test_empty_when_pred_vacuous(self):
+        assert minimal_satisfying_subset(lambda s: True, [1, 2, 3]) == []
+
+    def test_raises_when_unsatisfiable(self):
+        with pytest.raises(ValueError):
+            minimal_satisfying_subset(lambda s: False, [1, 2])
+
+    def test_minimality(self):
+        needed = {0, 5, 7}
+        kept = minimal_satisfying_subset(
+            lambda s: needed <= set(s), list(range(8))
+        )
+        for drop in kept:
+            rest = [x for x in kept if x != drop]
+            assert not needed <= set(rest)
+
+    def test_question_bound(self):
+        n, needed = 128, {1, 60, 100}
+        pred = Counter(lambda s: needed <= set(s))
+        minimal_satisfying_subset(pred, list(range(n)))
+        # |kept| binary searches plus |kept|+1 loop checks
+        bound = (len(needed) + 1) + len(needed) * (math.log2(n) + 1)
+        assert pred.calls <= bound
+
+    def test_monotone_disjunction(self):
+        # pred: contains any of {3, 4}; minimal witness is a single element
+        kept = minimal_satisfying_subset(
+            lambda s: bool(set(s) & {3, 4}), list(range(8))
+        )
+        assert len(kept) == 1 and kept[0] in {3, 4}

@@ -1,0 +1,100 @@
+"""Tests for the version-space assistant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generators import enumerate_role_preserving
+from repro.core.normalize import canonicalize
+from repro.core.parser import parse_query
+from repro.core.tuples import Question
+from repro.learning.version_space import VersionSpace
+from repro.oracle import CountingOracle, QueryOracle
+
+
+@pytest.fixture()
+def space() -> VersionSpace:
+    return VersionSpace.full_role_preserving(2)
+
+
+class TestFiltering:
+    def test_full_space_size(self, space):
+        assert space.size == 11
+        assert space.n == 2
+
+    def test_record_eliminates(self, space):
+        killed = space.record(Question.from_strings("11"), True)
+        # {11} is an answer to some queries, a non-answer to e.g. ∃x1 ∃x2?
+        # no: {11} satisfies everything except... count must be consistent.
+        assert killed + space.size == 11
+
+    def test_inconsistent_history_raises(self, space):
+        q = Question.from_strings("11")
+        # {1^n} is an answer for every qhorn query: claiming non-answer
+        # empties the space.
+        with pytest.raises(ValueError):
+            space.record(q, False)
+
+    def test_empty_space_has_no_n(self):
+        with pytest.raises(ValueError):
+            VersionSpace(candidates=[]).n
+
+
+class TestIdentification:
+    def test_identified_none_initially(self, space):
+        assert space.identified() is None
+
+    def test_run_to_identification_all_targets(self):
+        for target in enumerate_role_preserving(2):
+            space = VersionSpace.full_role_preserving(2)
+            oracle = CountingOracle(QueryOracle(target))
+            found, asked = space.run_to_identification(oracle)
+            assert canonicalize(found) == canonicalize(target)
+            # information floor: lg 11 ≈ 3.5 -> at least 2 questions; the
+            # optimal splitter stays in single digits
+            assert asked <= 8
+
+    def test_history_recorded(self):
+        space = VersionSpace.full_role_preserving(2)
+        target = parse_query("∃x1x2")
+        space.run_to_identification(QueryOracle(target))
+        assert len(space.history) >= 1
+
+
+class TestSplitQuality:
+    def test_split_counts(self, space):
+        split = space.split_quality(Question.from_strings("10"))
+        assert split.answers + split.non_answers == space.size
+        assert split.guaranteed_elimination == min(
+            split.answers, split.non_answers
+        )
+
+    def test_entropy_bounds(self, space):
+        split = space.split_quality(Question.from_strings("10"))
+        assert 0.0 <= split.entropy_bits <= 1.0
+
+    def test_useless_question_zero_entropy(self, space):
+        # {1^n} is an answer to every query: zero information
+        split = space.split_quality(Question.from_strings("11"))
+        assert split.entropy_bits == 0.0
+        assert split.guaranteed_elimination == 0
+
+    def test_best_question_maximizes_elimination(self, space):
+        best = space.best_question()
+        assert best is not None
+        for obj_q in [
+            Question.from_strings("10"),
+            Question.from_strings("01"),
+            Question.from_strings("10", "01"),
+        ]:
+            assert (
+                best.guaranteed_elimination
+                >= space.split_quality(obj_q).guaranteed_elimination
+            )
+
+    def test_best_question_none_when_converged(self):
+        target = parse_query("∃x1x2")
+        space = VersionSpace.full_role_preserving(2)
+        space.run_to_identification(QueryOracle(target))
+        assert space.identified() is not None
+        assert space.best_question() is None

@@ -1,0 +1,64 @@
+"""Hypothesis strategies for qhorn queries, questions and lattice tuples."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.core import tuples as bt
+from repro.core.generators import random_qhorn1, random_role_preserving
+from repro.core.query import QhornQuery
+from repro.core.tuples import Question
+
+
+@st.composite
+def boolean_tuples(draw, n: int | None = None) -> tuple[int, int]:
+    """(n, mask) pairs with n in 1..10."""
+    if n is None:
+        n = draw(st.integers(min_value=1, max_value=10))
+    mask = draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+    return n, mask
+
+
+@st.composite
+def questions(draw, n: int | None = None) -> Question:
+    if n is None:
+        n = draw(st.integers(min_value=1, max_value=8))
+    size = draw(st.integers(min_value=0, max_value=6))
+    tuples = [
+        draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        for _ in range(size)
+    ]
+    return Question.of(n, tuples)
+
+
+@st.composite
+def qhorn1_queries(draw, max_n: int = 12) -> QhornQuery:
+    """Random qhorn-1 queries via the seeded generator (uniform seeds)."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    use_all = draw(st.booleans())
+    return random_qhorn1(n, random.Random(seed), use_all_variables=use_all)
+
+
+@st.composite
+def role_preserving_queries(
+    draw, max_n: int = 9, max_theta: int = 3
+) -> QhornQuery:
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    theta = draw(st.integers(min_value=1, max_value=max_theta))
+    return random_role_preserving(n, random.Random(seed), theta=theta)
+
+
+@st.composite
+def tiny_role_preserving_pairs(draw) -> tuple[QhornQuery, QhornQuery]:
+    """Pairs over the same small n, for brute-force comparisons."""
+    n = draw(st.integers(min_value=2, max_value=3))
+    s1 = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    s2 = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return (
+        random_role_preserving(n, random.Random(s1), theta=2),
+        random_role_preserving(n, random.Random(s2), theta=2),
+    )

@@ -1,0 +1,79 @@
+"""Property-based tests: exact identification is the headline invariant."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+
+from repro.core.normalize import canonicalize
+from repro.learning import (
+    NaiveQhorn1Learner,
+    Qhorn1Learner,
+    RolePreservingLearner,
+)
+from repro.oracle import CountingOracle, QueryOracle
+
+from tests.properties.strategies import qhorn1_queries, role_preserving_queries
+
+
+@given(qhorn1_queries())
+@settings(max_examples=80, deadline=None)
+def test_qhorn1_learner_exact(target):
+    """Theorem 3.1 (exactness half): the learner always terminates with a
+    query canonically equal to the target."""
+    result = Qhorn1Learner(QueryOracle(target)).learn()
+    assert canonicalize(result.query) == canonicalize(target)
+
+
+@given(qhorn1_queries(max_n=10))
+@settings(max_examples=50, deadline=None)
+def test_qhorn1_learner_question_bound(target):
+    """Theorem 3.1 (complexity half) with an explicit constant."""
+    oracle = CountingOracle(QueryOracle(target))
+    Qhorn1Learner(oracle).learn()
+    n = target.n
+    assert oracle.questions_asked <= 12 * n * max(1, math.log2(max(n, 2))) + 12
+
+
+@given(role_preserving_queries())
+@settings(max_examples=60, deadline=None)
+def test_role_preserving_learner_exact(target):
+    """Theorems 3.5 + 3.8 (exactness): lattice learner identifies the
+    target's canonical form."""
+    result = RolePreservingLearner(QueryOracle(target)).learn()
+    assert canonicalize(result.query) == canonicalize(target)
+
+
+@given(qhorn1_queries(max_n=7))
+@settings(max_examples=30, deadline=None)
+def test_learners_agree_on_qhorn1_targets(target):
+    """qhorn-1 ⊂ role-preserving: both learners and the naive baseline must
+    produce the same canonical query."""
+    fast = Qhorn1Learner(QueryOracle(target)).learn()
+    naive = NaiveQhorn1Learner(QueryOracle(target)).learn()
+    lattice = RolePreservingLearner(QueryOracle(target)).learn()
+    assert (
+        canonicalize(fast.query)
+        == canonicalize(naive.query)
+        == canonicalize(lattice.query)
+    )
+
+
+@given(role_preserving_queries(max_n=7))
+@settings(max_examples=40, deadline=None)
+def test_learned_output_is_normalized(target):
+    """The lattice learner emits dominant expressions only — asking it to
+    learn its own output changes nothing."""
+    first = RolePreservingLearner(QueryOracle(target)).learn()
+    second = RolePreservingLearner(QueryOracle(first.query)).learn()
+    assert canonicalize(first.query) == canonicalize(second.query)
+
+
+@given(qhorn1_queries(max_n=10))
+@settings(max_examples=40, deadline=None)
+def test_question_width_stays_polynomial(target):
+    """§2.1.2's interactivity requirement: tuples per question <= n."""
+    oracle = CountingOracle(QueryOracle(target))
+    Qhorn1Learner(oracle).learn()
+    assert oracle.stats.max_tuples <= max(target.n, 2)

@@ -1,0 +1,96 @@
+"""Property-based tests for two-level nested quantification (§6)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nested2 import Nested2Query, NestedExpression, Quantifier
+
+A, E = Quantifier.FORALL, Quantifier.EXISTS
+
+
+@st.composite
+def nested_expressions(draw, n: int = 3) -> NestedExpression:
+    outer = draw(st.sampled_from([A, E]))
+    inner = draw(st.sampled_from([A, E]))
+    vars_ = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=1,
+            max_size=n,
+            unique=True,
+        )
+    )
+    use_head = draw(st.booleans())
+    if use_head:
+        head, *body = vars_
+        return NestedExpression(
+            outer=outer, inner=inner, body=frozenset(body), head=head
+        )
+    return NestedExpression(outer=outer, inner=inner, body=frozenset(vars_))
+
+
+@st.composite
+def nested_objects(draw, n: int = 3):
+    n_subs = draw(st.integers(min_value=0, max_value=4))
+    subs = []
+    for _ in range(n_subs):
+        size = draw(st.integers(min_value=0, max_value=4))
+        subs.append(
+            frozenset(
+                draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+                for _ in range(size)
+            )
+        )
+    return frozenset(subs)
+
+
+@given(nested_expressions(), nested_objects())
+@settings(max_examples=120, deadline=None)
+def test_outer_forall_antimonotone_in_subobjects(expr, obj):
+    """Removing a sub-object can never break an outer-∀ expression."""
+    if expr.outer is not Quantifier.FORALL or not obj:
+        return
+    q = Nested2Query(3, {expr})
+    if q.evaluate(obj):
+        smaller = frozenset(list(obj)[1:])
+        assert q.evaluate(smaller)
+
+
+@given(nested_expressions(), nested_objects(), nested_objects())
+@settings(max_examples=120, deadline=None)
+def test_outer_exists_monotone_in_subobjects(expr, obj, extra):
+    """Adding sub-objects can never break an outer-∃ expression."""
+    if expr.outer is not Quantifier.EXISTS:
+        return
+    q = Nested2Query(3, {expr})
+    if q.evaluate(obj):
+        assert q.evaluate(obj | extra)
+
+
+@given(nested_objects())
+@settings(max_examples=60, deadline=None)
+def test_conjunction_of_expressions_is_intersection(obj):
+    e1 = NestedExpression(outer=A, inner=E, body=frozenset({0}))
+    e2 = NestedExpression(outer=E, inner=A, body=frozenset({1}))
+    both = Nested2Query(3, {e1, e2})
+    assert both.evaluate(obj) == (
+        Nested2Query(3, {e1}).evaluate(obj)
+        and Nested2Query(3, {e2}).evaluate(obj)
+    )
+
+
+@given(nested_expressions())
+@settings(max_examples=60, deadline=None)
+def test_full_object_satisfies_everything(expr):
+    """The object {all sub-objects = {1^n}} satisfies any expression."""
+    q = Nested2Query(3, {expr})
+    top = frozenset({frozenset({0b111})})
+    assert q.evaluate(top)
+
+
+@given(nested_expressions())
+@settings(max_examples=60, deadline=None)
+def test_str_never_crashes(expr):
+    assert str(expr)

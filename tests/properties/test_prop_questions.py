@@ -1,0 +1,101 @@
+"""Property-based tests of the paper's question-semantics claims.
+
+§3.1's algorithms rest on precise claims about what each question shape
+reveals; these tests check the claims themselves against random queries,
+not just the learners built on them.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.normalize import canonicalize
+from repro.learning.questions import (
+    existential_independence_question,
+    universal_dependence_question,
+    universal_head_question,
+)
+
+from tests.properties.strategies import (
+    qhorn1_queries,
+    role_preserving_queries,
+)
+
+
+@given(role_preserving_queries(), st.data())
+@settings(max_examples=100, deadline=None)
+def test_universal_head_question_claim(query, data):
+    """§3.1.1: {1^n, only-v-false} is a non-answer iff v heads a universal
+    expression — for every role-preserving query, not just qhorn-1."""
+    v = data.draw(st.integers(min_value=0, max_value=query.n - 1))
+    is_head = v in {u.head for u in canonicalize(query).universals}
+    response = query.evaluate(universal_head_question(query.n, v))
+    assert response == (not is_head)
+
+
+@given(qhorn1_queries(max_n=10), st.data())
+@settings(max_examples=100, deadline=None)
+def test_universal_dependence_question_claim(query, data):
+    """Def. 3.1: for a universal head h, the dependence question on (h, V)
+    is an answer iff h's body intersects V."""
+    canon = canonicalize(query)
+    heads = sorted({u.head for u in canon.universals})
+    if not heads:
+        return
+    h = data.draw(st.sampled_from(heads))
+    body = next(u.body for u in canon.universals if u.head == h)
+    others = [v for v in range(query.n) if v != h and v not in heads]
+    if not others:
+        return
+    vs = data.draw(
+        st.lists(st.sampled_from(others), min_size=1, max_size=len(others),
+                 unique=True)
+    )
+    response = query.evaluate(
+        universal_dependence_question(query.n, h, vs)
+    )
+    assert response == bool(body & set(vs))
+
+
+@given(qhorn1_queries(max_n=10), st.data())
+@settings(max_examples=100, deadline=None)
+def test_existential_independence_question_claim(query, data):
+    """Def. 3.2 for singletons: x and y 'depend' (non-answer) iff some
+    conjunction of the normalized query contains both."""
+    canon = canonicalize(query)
+    heads = {u.head for u in canon.universals}
+    existential_vars = [v for v in range(query.n) if v not in heads]
+    if len(existential_vars) < 2:
+        return
+    x = data.draw(st.sampled_from(existential_vars))
+    y = data.draw(
+        st.sampled_from([v for v in existential_vars if v != x])
+    )
+    response = query.evaluate(
+        existential_independence_question(query.n, [x], [y])
+    )
+    co_occur = any(
+        x in c and y in c for c in canon.conjunctions
+    )
+    assert response == (not co_occur)
+
+
+@given(role_preserving_queries())
+@settings(max_examples=60, deadline=None)
+def test_verification_questions_never_violate_universals(query):
+    """Every tuple of every verification question is Horn-compliant with
+    the given query's dominant universal expressions (§4.1's footnote)."""
+    from repro.lattice.boolean_lattice import violates_universals
+    from repro.verification import build_verification_set
+
+    canon = canonicalize(query)
+    vs = build_verification_set(query)
+    for item in vs.questions:
+        if item.kind in ("N2",):
+            continue  # N2's distinguishing tuple violates by design
+        for t in item.question.tuples:
+            if item.kind == "N1" or item.kind.startswith("A"):
+                assert not violates_universals(
+                    t, canon.universals
+                ), (item.kind, item.provenance)

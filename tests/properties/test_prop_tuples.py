@@ -1,0 +1,83 @@
+"""Property-based tests: bitmask tuples and lattice invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import tuples as bt
+from repro.lattice import children, downset, level, parents, upset
+
+from tests.properties.strategies import boolean_tuples
+
+
+@given(boolean_tuples())
+def test_format_parse_roundtrip(pair):
+    n, t = pair
+    assert bt.parse_tuple(bt.format_tuple(t, n)) == t
+
+
+@given(boolean_tuples())
+def test_true_false_sets_partition(pair):
+    n, t = pair
+    ts, fs = bt.true_set(t), bt.false_set(t, n)
+    assert ts | fs == set(range(n))
+    assert not ts & fs
+
+
+@given(boolean_tuples())
+def test_with_false_then_true_restores(pair):
+    n, t = pair
+    vs = list(bt.true_set(t))
+    assert bt.with_true(bt.with_false(t, vs), vs) == t
+
+
+@given(boolean_tuples(), boolean_tuples())
+def test_is_subset_antisymmetry(p1, p2):
+    _, a = p1
+    _, b = p2
+    if bt.is_subset(a, b) and bt.is_subset(b, a):
+        assert a == b
+
+
+@given(boolean_tuples())
+def test_children_are_one_level_down(pair):
+    n, t = pair
+    for c in children(t, n):
+        assert level(c, n) == level(t, n) + 1
+        assert bt.is_subset(c, t)
+
+
+@given(boolean_tuples())
+def test_parents_are_one_level_up(pair):
+    n, t = pair
+    for p in parents(t, n):
+        assert level(p, n) == level(t, n) - 1
+        assert bt.is_subset(t, p)
+
+
+@given(boolean_tuples())
+@settings(max_examples=40)
+def test_downset_upset_duality(pair):
+    n, t = pair
+    if n > 6:
+        return  # keep set sizes small
+    for d in downset(t, n):
+        assert t in set(upset(d, n))
+
+
+@given(boolean_tuples())
+@settings(max_examples=40)
+def test_upset_downset_sizes_multiply(pair):
+    n, t = pair
+    if n > 6:
+        return
+    k = bt.popcount(t)
+    assert len(set(downset(t, n))) == 2**k
+    assert len(set(upset(t, n))) == 2 ** (n - k)
+
+
+@given(boolean_tuples())
+def test_popcount_matches_true_set(pair):
+    _, t = pair
+    assert bt.popcount(t) == len(bt.true_set(t))

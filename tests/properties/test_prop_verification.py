@@ -1,0 +1,62 @@
+"""Property-based tests: verification soundness and completeness (Thm 4.2)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.normalize import canonicalize
+from repro.oracle import QueryOracle
+from repro.verification import build_verification_set, verify_query
+
+from tests.properties.strategies import (
+    role_preserving_queries,
+    tiny_role_preserving_pairs,
+)
+
+
+@given(role_preserving_queries())
+@settings(max_examples=80, deadline=None)
+def test_labels_are_the_querys_own(query):
+    """Internal soundness of Fig. 6: each expected label equals the given
+    query's evaluation of its own question."""
+    vs = build_verification_set(query)
+    for item in vs.questions:
+        assert query.evaluate(item.question) == item.expected
+
+
+@given(role_preserving_queries())
+@settings(max_examples=60, deadline=None)
+def test_self_verification_passes(query):
+    assert verify_query(query, QueryOracle(query)).verified
+
+
+@given(tiny_role_preserving_pairs())
+@settings(max_examples=80, deadline=None)
+def test_verification_decides_equivalence(pair):
+    """Theorem 4.2 as a decision procedure: the verification set passes iff
+    the two queries are semantically equal."""
+    given_q, intended = pair
+    outcome = verify_query(given_q, QueryOracle(intended))
+    assert outcome.verified == (
+        canonicalize(given_q) == canonicalize(intended)
+    )
+
+
+@given(role_preserving_queries(max_n=8))
+@settings(max_examples=60, deadline=None)
+def test_question_count_linear_in_k(query):
+    """§4: the verification set stays O(k) for the normalized query."""
+    canon = canonicalize(query)
+    k = len(canon.universals) + len(canon.conjunctions)
+    vs = build_verification_set(query)
+    assert vs.size <= 4 * k + 2
+
+
+@given(role_preserving_queries(max_n=8))
+@settings(max_examples=40, deadline=None)
+def test_verification_set_deterministic(query):
+    a = build_verification_set(query)
+    b = build_verification_set(query)
+    assert [(q.kind, q.question) for q in a.questions] == [
+        (q.kind, q.question) for q in b.questions
+    ]

@@ -1,0 +1,158 @@
+"""Tests for the analysis utilities: fitting, information bounds, tables."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    MODELS,
+    bell_number,
+    best_model,
+    empirical_exponent,
+    existential_bound_bits,
+    existential_bound_closed_form,
+    fit_model,
+    hamming,
+    profile_distance,
+    qhorn1_lower_bound_bits,
+    qhorn1_upper_bound_bits,
+    render_kv,
+    render_table,
+    revision_distance,
+    unrestricted_query_bits,
+)
+from repro.core.parser import parse_query
+
+
+class TestFitting:
+    def test_fit_recovers_linear(self):
+        ns = [4, 8, 16, 32, 64]
+        ys = [3 * n + 7 for n in ns]
+        fit = fit_model(ns, ys, "n")
+        assert fit.a == pytest.approx(3.0)
+        assert fit.b == pytest.approx(7.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_fit_recovers_nlogn(self):
+        ns = [4, 8, 16, 32, 64, 128]
+        ys = [2.5 * n * math.log2(n) + 1 for n in ns]
+        fit = fit_model(ns, ys, "n log n")
+        assert fit.a == pytest.approx(2.5, rel=1e-6)
+        assert fit.r_squared > 0.9999
+
+    def test_best_model_prefers_truth(self):
+        ns = [4, 8, 16, 32, 64, 128]
+        nlogn = [n * math.log2(n) for n in ns]
+        assert best_model(ns, nlogn).model == "n log n"
+        quad = [n * n for n in ns]
+        assert best_model(ns, quad).model == "n^2"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            fit_model([1, 2], [1, 2], "n!")
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_model([1], [1], "n")
+
+    def test_empirical_exponent(self):
+        ns = [4, 8, 16, 32, 64]
+        assert empirical_exponent(ns, [n**2 for n in ns]) == pytest.approx(2.0)
+        assert empirical_exponent(ns, [n for n in ns]) == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_model([2, 4, 8], [4, 8, 16], "n")
+        assert fit.predict(16) == pytest.approx(32.0)
+        assert "R²" in fit.describe()
+
+    def test_model_catalogue(self):
+        assert {"n", "n log n", "n^2", "2^n"} <= set(MODELS)
+
+
+class TestInformationBounds:
+    def test_bell_numbers(self):
+        # OEIS A000110
+        assert [bell_number(i) for i in range(8)] == [
+            1, 1, 2, 5, 15, 52, 203, 877,
+        ]
+
+    def test_bell_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bell_number(-1)
+
+    def test_qhorn1_bounds_sandwich(self):
+        """2.1.3: lg B_n <= lg |qhorn-1| <= 2n + lg B_n, both Θ(n lg n)."""
+        for n in (4, 8, 16, 32):
+            lo = qhorn1_lower_bound_bits(n)
+            hi = qhorn1_upper_bound_bits(n)
+            assert lo < hi
+            # both are Θ(n lg n): ratio to n lg n stays bounded
+            ratio = lo / (n * math.log2(n))
+            assert 0.2 < ratio < 2.0
+
+    def test_unrestricted_is_doubly_exponential(self):
+        assert unrestricted_query_bits(3) == 8
+        assert unrestricted_query_bits(10) == 1024
+
+    def test_existential_bound_exact_vs_closed_form(self):
+        """Thm 3.9: lg C(C(n,n/2), k) >= nk/2 - k lg k."""
+        for n, k in [(8, 2), (10, 4), (12, 6)]:
+            exact = existential_bound_bits(n, k)
+            relaxed = existential_bound_closed_form(n, k)
+            assert exact >= relaxed
+
+    def test_existential_bound_edge_cases(self):
+        assert existential_bound_closed_form(10, 0) == 0.0
+        with pytest.raises(ValueError):
+            existential_bound_bits(4, 100)
+
+
+class TestRevisionDistance:
+    def test_zero_iff_equivalent(self):
+        a = parse_query("∀x1→x3 ∀x1x2→x3 ∃x1")
+        b = parse_query("∀x1→x3 ∃x1x2x3")
+        assert revision_distance(a, b) == 0
+
+    def test_symmetric(self):
+        a = parse_query("∀x1x2→x3 ∃x4", n=4)
+        b = parse_query("∀x1→x3 ∃x4", n=4)
+        assert revision_distance(a, b) == revision_distance(b, a) > 0
+
+    def test_small_edit_small_distance(self):
+        a = parse_query("∃x1x2x3", n=3)
+        b = parse_query("∃x1x2", n=3)
+        assert revision_distance(a, b) == 1
+
+    def test_mismatched_n_rejected(self):
+        with pytest.raises(ValueError):
+            revision_distance(parse_query("∃x1"), parse_query("∃x1", n=2))
+
+    def test_hamming(self):
+        assert hamming(0b1010, 0b0110) == 2
+        assert hamming(5, 5) == 0
+
+    def test_profile_distance_padding(self):
+        assert profile_distance(frozenset({0b11}), frozenset(), 4) == 4
+        assert profile_distance(frozenset(), frozenset(), 4) == 0
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["n", "questions"], [[8, 41], [128, 1000]], title="demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].startswith("n")
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_render_table_floats(self):
+        text = render_table(["v"], [[3.14159]])
+        assert "3.142" in text
+
+    def test_render_kv(self):
+        text = render_kv([("alpha", 1), ("beta", 2.5)], title="stats")
+        assert "alpha" in text and "2.500" in text

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestLearn:
+    def test_learn_exact_exit_zero(self, capsys):
+        assert main(["learn", "∀x1x2→x3 ∃x4", "--learner", "qhorn1"]) == 0
+        out = capsys.readouterr().out
+        assert "exact: True" in out
+        assert "questions:" in out
+
+    def test_learn_role_preserving_default(self, capsys):
+        assert main(["learn", "∀x1x4→x5 ∀x3x4→x5 ∃x1x2"]) == 0
+        assert "exact: True" in capsys.readouterr().out
+
+    def test_learn_json_output(self, capsys):
+        import json
+
+        assert main(["learn", "∃x1x2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["format"] == "qhorn-query-v1"
+
+    def test_ascii_shorthand(self, capsys):
+        assert main(["learn", "A x1 -> x2; E x3", "--learner", "qhorn1"]) == 0
+
+
+class TestVerify:
+    def test_matching_intent_exit_zero(self, capsys):
+        assert main(["verify", "∀x1 ∃x2", "∀x1 ∃x2"]) == 0
+        assert "verified: True" in capsys.readouterr().out
+
+    def test_mismatch_exit_one(self, capsys):
+        assert main(["verify", "∃x1x2", "∃x1 ∃x2"]) == 1
+        out = capsys.readouterr().out
+        assert "verified: False" in out
+        assert "query says" in out
+
+
+class TestRevise:
+    def test_revision_reaches_intent(self, capsys):
+        assert main(["revise", "∀x1x2→x3", "∀x1→x3"]) == 0
+        out = capsys.readouterr().out
+        assert "exact: True" in out
+
+
+class TestSql:
+    def test_sql_output(self, capsys):
+        assert main(["sql", "∀x1 ∃x2x3"]) == 0
+        out = capsys.readouterr().out
+        assert "SELECT o.object_key" in out
+        assert "NOT EXISTS" in out
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "matching boxes" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])

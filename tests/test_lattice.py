@@ -1,0 +1,172 @@
+"""Unit tests for the Boolean lattice (Fig. 4) and its query-aware views."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import tuples as bt
+from repro.core.expressions import UniversalHorn
+from repro.lattice import (
+    BodyLattice,
+    children,
+    compliant_children,
+    downset,
+    is_comparable,
+    level,
+    level_tuples,
+    parents,
+    upset,
+    violates_universals,
+)
+
+
+class TestChildrenParents:
+    def test_children_drop_exactly_one_true_variable(self):
+        t = bt.parse_tuple("1011")
+        kids = set(children(t, 4))
+        assert kids == {
+            bt.parse_tuple("0011"),
+            bt.parse_tuple("1001"),
+            bt.parse_tuple("1010"),
+        }
+
+    def test_out_degree_is_n_minus_level(self):
+        # Fig. 4: tuples at level l have n - l children.
+        n = 5
+        for l in range(n + 1):
+            for t in level_tuples(n, l):
+                assert len(list(children(t, n))) == n - l
+
+    def test_in_degree_is_level(self):
+        n = 5
+        for l in range(n + 1):
+            for t in level_tuples(n, l):
+                assert len(list(parents(t, n))) == l
+
+    def test_children_parents_inverse(self):
+        n = 4
+        for t in level_tuples(n, 2):
+            for c in children(t, n):
+                assert t in set(parents(c, n))
+
+
+class TestLevels:
+    def test_level_counts_false_variables(self):
+        assert level(bt.parse_tuple("1111"), 4) == 0
+        assert level(bt.parse_tuple("0000"), 4) == 4
+        assert level(bt.parse_tuple("0110"), 4) == 2
+
+    def test_level_tuples_binomial_count(self):
+        n = 6
+        for l in range(n + 1):
+            assert sum(1 for _ in level_tuples(n, l)) == math.comb(n, l)
+
+    def test_whole_lattice_size(self):
+        n = 5
+        total = sum(1 for l in range(n + 1) for _ in level_tuples(n, l))
+        assert total == 2**n
+
+
+class TestUpsetDownset:
+    def test_downset_is_subsets(self):
+        t = bt.parse_tuple("1010")
+        ds = set(downset(t, 4))
+        assert ds == {
+            bt.parse_tuple("1010"),
+            bt.parse_tuple("1000"),
+            bt.parse_tuple("0010"),
+            bt.parse_tuple("0000"),
+        }
+
+    def test_upset_is_supersets(self):
+        t = bt.parse_tuple("1010")
+        us = set(upset(t, 4))
+        assert us == {
+            bt.parse_tuple("1010"),
+            bt.parse_tuple("1110"),
+            bt.parse_tuple("1011"),
+            bt.parse_tuple("1111"),
+        }
+
+    def test_strict_variants_exclude_self(self):
+        t = bt.parse_tuple("1010")
+        assert t not in set(downset(t, 4, strict=True))
+        assert t not in set(upset(t, 4, strict=True))
+
+    def test_upset_downset_sizes(self):
+        t = bt.parse_tuple("110010")
+        assert len(set(downset(t, 6))) == 2 ** bt.popcount(t)
+        assert len(set(upset(t, 6))) == 2 ** (6 - bt.popcount(t))
+
+    def test_incomparable(self):
+        assert not is_comparable(bt.parse_tuple("10"), bt.parse_tuple("01"))
+        assert is_comparable(bt.parse_tuple("10"), bt.parse_tuple("11"))
+        assert is_comparable(bt.parse_tuple("10"), bt.parse_tuple("10"))
+
+
+class TestHornCompliance:
+    def test_violating_tuples_detected(self):
+        # §3.2.2: 111110 violates ∀x1x2→x6.
+        u = UniversalHorn(head=5, body=frozenset({0, 1}))
+        assert violates_universals(bt.parse_tuple("111110"), [u])
+        assert not violates_universals(bt.parse_tuple("111111"), [u])
+        assert not violates_universals(bt.parse_tuple("101110"), [u])
+
+    def test_compliant_children_matches_paper_level1(self):
+        """§3.2.2 level 1: children of 111111 minus {111110, 111101}."""
+        us = [
+            UniversalHorn(head=4, body=frozenset({0, 3})),
+            UniversalHorn(head=4, body=frozenset({2, 3})),
+            UniversalHorn(head=5, body=frozenset({0, 1})),
+        ]
+        kids = set(compliant_children(bt.all_true(6), 6, us))
+        expected = {
+            bt.parse_tuple(s)
+            for s in ("111011", "110111", "101111", "011111")
+        }
+        assert kids == expected
+
+    def test_compliant_children_of_111011(self):
+        """§3.2.2 level 2: children of 111011 minus 111010."""
+        us = [
+            UniversalHorn(head=4, body=frozenset({0, 3})),
+            UniversalHorn(head=4, body=frozenset({2, 3})),
+            UniversalHorn(head=5, body=frozenset({0, 1})),
+        ]
+        kids = set(compliant_children(bt.parse_tuple("111011"), 6, us))
+        expected = {
+            bt.parse_tuple(s)
+            for s in ("011011", "101011", "110011", "111001")
+        }
+        assert kids == expected
+
+
+class TestBodyLattice:
+    def test_embedding_fixes_heads(self):
+        """Fig. 5: head x5 false, other head x6 true, non-heads free."""
+        lat = BodyLattice(6, head=4, all_heads=[4, 5])
+        assert lat.non_heads == (0, 1, 2, 3)
+        t = lat.embed([0, 3])
+        assert bt.format_tuple(t, 6) == "100101"
+
+    def test_top_and_bottom(self):
+        lat = BodyLattice(6, head=4, all_heads=[4, 5])
+        assert bt.format_tuple(lat.top(), 6) == "111101"
+        assert bt.format_tuple(lat.bottom(), 6) == "000001"
+
+    def test_distinguishing_tuple_matches_def_34(self):
+        """Fig. 5 marks 100101 and 001101 for x5's two bodies."""
+        lat = BodyLattice(6, head=4, all_heads=[4, 5])
+        assert bt.format_tuple(lat.distinguishing_tuple([0, 3]), 6) == "100101"
+        assert bt.format_tuple(lat.distinguishing_tuple([2, 3]), 6) == "001101"
+
+    def test_head_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            BodyLattice(4, head=7, all_heads=[7])
+
+    def test_head_never_in_other_heads(self):
+        # callers pass the full head list including the head itself
+        lat = BodyLattice(4, head=1, all_heads=[1, 2])
+        assert 1 not in lat.other_heads

@@ -1,0 +1,185 @@
+"""Unit tests for membership oracles, wrappers and adversaries."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.generators import uni_alias_query
+from repro.core.parser import parse_query
+from repro.core.tuples import Question
+from repro.oracle import (
+    CandidateEliminationAdversary,
+    CountingOracle,
+    ExhaustedReplayError,
+    FunctionOracle,
+    HumanOracle,
+    MembershipOracle,
+    NoisyOracle,
+    QueryOracle,
+    RecordingOracle,
+    ReplayOracle,
+    max_elimination,
+)
+
+
+class TestQueryOracle:
+    def test_labels_match_target(self):
+        oracle = QueryOracle(parse_query("∃x1x2"))
+        assert oracle.ask(Question.from_strings("11"))
+        assert not oracle.ask(Question.from_strings("10", "01"))
+
+    def test_rejects_wrong_width(self):
+        oracle = QueryOracle(parse_query("∃x1x2"))
+        with pytest.raises(ValueError):
+            oracle.ask(Question.from_strings("111"))
+
+    def test_satisfies_protocol(self):
+        assert isinstance(QueryOracle(parse_query("∃x1")), MembershipOracle)
+
+
+class TestFunctionOracle:
+    def test_wraps_callable(self):
+        oracle = FunctionOracle(2, lambda q: len(q) > 1)
+        assert oracle.ask(Question.from_strings("10", "01"))
+        assert not oracle.ask(Question.from_strings("11"))
+
+
+class TestCountingOracle:
+    def test_counts_questions_and_tuples(self):
+        oracle = CountingOracle(QueryOracle(parse_query("∃x1x2")))
+        oracle.ask(Question.from_strings("11"))
+        oracle.ask(Question.from_strings("10", "01"))
+        assert oracle.questions_asked == 2
+        assert oracle.stats.tuples == 3
+        assert oracle.stats.max_tuples == 2
+        assert oracle.stats.answers == 1
+        assert oracle.stats.non_answers == 1
+        assert oracle.stats.mean_tuples == pytest.approx(1.5)
+        assert oracle.stats.tuples_histogram == {1: 1, 2: 1}
+
+    def test_reset(self):
+        oracle = CountingOracle(QueryOracle(parse_query("∃x1")))
+        oracle.ask(Question.from_strings("1"))
+        oracle.reset()
+        assert oracle.questions_asked == 0
+
+    def test_empty_stats_mean(self):
+        oracle = CountingOracle(QueryOracle(parse_query("∃x1")))
+        assert oracle.stats.mean_tuples == 0.0
+
+
+class TestRecordingOracle:
+    def test_transcript_order_and_content(self):
+        oracle = RecordingOracle(QueryOracle(parse_query("∃x1")))
+        q1, q2 = Question.from_strings("1"), Question.from_strings("0")
+        oracle.ask(q1)
+        oracle.ask(q2)
+        assert [q for q, _ in oracle.transcript] == [q1, q2]
+        assert oracle.responses() == [True, False]
+
+
+class TestNoisyOracle:
+    def test_zero_noise_is_faithful(self):
+        target = parse_query("∃x1x2")
+        noisy = NoisyOracle(QueryOracle(target), 0.0, random.Random(1))
+        q = Question.from_strings("11")
+        assert noisy.ask(q) == target.evaluate(q)
+        assert noisy.first_error() is None
+
+    def test_full_noise_always_flips(self):
+        target = parse_query("∃x1x2")
+        noisy = NoisyOracle(QueryOracle(target), 1.0, random.Random(1))
+        q = Question.from_strings("11")
+        assert noisy.ask(q) != target.evaluate(q)
+        assert noisy.first_error() == 0
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            NoisyOracle(QueryOracle(parse_query("∃x1")), 1.5, random.Random(1))
+
+
+class TestReplayOracle:
+    def test_replays_prefix_then_live(self):
+        live = QueryOracle(parse_query("∃x1"))
+        replay = ReplayOracle([False, False], live)
+        q_yes = Question.from_strings("1")
+        assert replay.ask(q_yes) is False
+        assert replay.ask(q_yes) is False
+        assert replay.ask(q_yes) is True  # live now
+
+    def test_exhausted_without_live_raises(self):
+        replay = ReplayOracle([True], live=None, n=1)
+        q = Question.from_strings("1")
+        assert replay.ask(q)
+        with pytest.raises(ExhaustedReplayError):
+            replay.ask(q)
+
+    def test_needs_live_or_n(self):
+        with pytest.raises(ValueError):
+            ReplayOracle([True], live=None)
+
+
+class TestHumanOracle:
+    def test_reads_labels(self):
+        answers = iter(["y", "junk", "n"])
+        printed: list[str] = []
+        oracle = HumanOracle(
+            2, input_fn=lambda _: next(answers), output_fn=printed.append
+        )
+        assert oracle.ask(Question.from_strings("11")) is True
+        assert oracle.ask(Question.from_strings("10")) is False
+        assert oracle.asked == 2
+        assert any("membership question" in line for line in printed)
+
+
+class TestAdversary:
+    def test_majority_answers_keep_candidates(self):
+        candidates = [
+            uni_alias_query(3, alias)
+            for alias in ([], [0, 1], [0, 2], [1, 2], [0, 1, 2])
+        ]
+        adv = CandidateEliminationAdversary(candidates)
+        # the {1^n, pattern} question eliminates at most one candidate
+        q = Question.from_strings("111", "011")
+        adv.ask(q)
+        assert adv.remaining >= len(candidates) - 1
+
+    def test_answers_consistent_with_some_candidate(self):
+        candidates = [parse_query("∃x1", n=2), parse_query("∃x2", n=2)]
+        adv = CandidateEliminationAdversary(candidates)
+        response = adv.ask(Question.from_strings("10"))
+        assert any(
+            c.evaluate(Question.from_strings("10")) == response
+            for c in adv.candidates
+        )
+
+    def test_requires_candidates(self):
+        with pytest.raises(ValueError):
+            CandidateEliminationAdversary([])
+
+    def test_requires_common_n(self):
+        with pytest.raises(ValueError):
+            CandidateEliminationAdversary(
+                [parse_query("∃x1"), parse_query("∃x1x2")]
+            )
+
+    def test_max_elimination_theorem21_family(self):
+        """Every question over all n=2 objects eliminates at most one
+        Uni∧Alias candidate — the counting core of Theorem 2.1."""
+        from itertools import chain, combinations
+
+        n = 2
+        candidates = [
+            uni_alias_query(n, list(alias))
+            for alias in chain.from_iterable(
+                combinations(range(n), r) for r in range(n + 1)
+            )
+        ]
+        universe = list(range(1 << n))
+        questions = []
+        for bits in range(1, 1 << len(universe)):
+            tuples = [t for i, t in enumerate(universe) if bits & (1 << i)]
+            questions.append(Question.of(n, tuples))
+        assert max_elimination(candidates, questions) <= 1

@@ -1,0 +1,55 @@
+"""Tests for the results-report stitcher."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.reporting import collect_results, main, write_report
+
+
+@pytest.fixture
+def results_dir(tmp_path) -> pathlib.Path:
+    d = tmp_path / "benchmarks" / "results"
+    d.mkdir(parents=True)
+    (d / "e1_demo.txt").write_text("E1 table\nrow\n")
+    (d / "e2_demo.txt").write_text("E2 table\nrow\n")
+    return d
+
+
+class TestCollect:
+    def test_sorted_pairs(self, results_dir):
+        pairs = collect_results(results_dir)
+        assert [name for name, _ in pairs] == ["e1_demo", "e2_demo"]
+        assert pairs[0][1].startswith("E1 table")
+
+    def test_missing_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_results(tmp_path / "nope")
+
+    def test_empty_dir(self, tmp_path):
+        empty = tmp_path / "results"
+        empty.mkdir()
+        with pytest.raises(FileNotFoundError):
+            collect_results(empty)
+
+
+class TestWrite:
+    def test_report_contains_all_sections(self, results_dir, tmp_path):
+        out = write_report(results_dir, tmp_path / "RESULTS.md")
+        text = out.read_text()
+        assert "## e1_demo" in text and "## e2_demo" in text
+        assert text.count("```") == 4
+
+    def test_main_entry(self, results_dir, tmp_path, capsys):
+        assert main([str(tmp_path)]) == 0
+        assert (tmp_path / "RESULTS.md").exists()
+        assert "2 experiments" in capsys.readouterr().out
+
+    def test_real_results_if_present(self):
+        real = pathlib.Path("benchmarks/results")
+        if not real.is_dir() or not list(real.glob("*.txt")):
+            pytest.skip("no real benchmark results yet")
+        pairs = collect_results(real)
+        assert any(name.startswith("e1") for name, _ in pairs)

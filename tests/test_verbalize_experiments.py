@@ -1,0 +1,110 @@
+"""Tests for query verbalization and the experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_sweep
+from repro.core.expressions import ExistentialConjunction, UniversalHorn
+from repro.core.parser import parse_query
+from repro.core.query import QhornQuery
+from repro.interactive.verbalize import verbalize, verbalize_expression
+
+NAMES = ["dark", "sugar-free", "nutty", "filled"]
+
+
+class TestVerbalizeExpression:
+    def test_bodyless_universal(self):
+        u = UniversalHorn(head=0)
+        assert (
+            verbalize_expression(u, NAMES, noun="chocolate")
+            == "every chocolate is dark"
+        )
+
+    def test_universal_with_body(self):
+        u = UniversalHorn(head=2, body=frozenset({0, 1}))
+        text = verbalize_expression(u, NAMES, noun="chocolate")
+        assert text == (
+            "every chocolate that is dark and sugar-free is also nutty"
+        )
+
+    def test_conjunction(self):
+        e = ExistentialConjunction({1, 2, 3})
+        text = verbalize_expression(e, NAMES)
+        assert text == "at least one tuple is sugar-free, nutty and filled"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            verbalize_expression("∃x1", NAMES)
+
+
+class TestVerbalizeQuery:
+    def test_intro_query(self):
+        q = parse_query("∀x1 ∃x1x2x3", n=4)
+        text = verbalize(q, NAMES, noun="chocolate", group_noun="box")
+        assert text.startswith("a box where ")
+        assert "every chocolate is dark" in text
+        assert "at least one chocolate is dark, sugar-free and nutty" in text
+
+    def test_default_names(self):
+        q = parse_query("∃x1x2")
+        assert "p1 and p2" in verbalize(q)
+
+    def test_empty_query(self):
+        q = QhornQuery(n=2)
+        assert verbalize(q, group_noun="box") == "any box at all"
+
+    def test_wrong_name_count_rejected(self):
+        with pytest.raises(ValueError):
+            verbalize(parse_query("∃x1x2"), names=["only-one"])
+
+
+class TestRunSweep:
+    def test_deterministic_cells(self):
+        a = run_sweep("s", [1, 2], lambda p, rng: p * rng.random(), seeds=5)
+        b = run_sweep("s", [1, 2], lambda p, rng: p * rng.random(), seeds=5)
+        assert a.means() == b.means()
+
+    def test_aggregates(self):
+        result = run_sweep(
+            "constant", [3], lambda p, rng: float(p), seeds=4
+        )
+        (m,) = result.measurements
+        assert m.mean == m.minimum == m.maximum == 3.0
+        assert m.stdev == 0.0
+        assert m.samples == 4
+
+    def test_table_renders(self):
+        result = run_sweep(
+            "demo", [1, 2, 4], lambda p, rng: p * 10.0, seeds=2,
+            parameter_name="n",
+        )
+        text = result.table()
+        assert text.splitlines()[0] == "demo"
+        assert "n" in text
+
+    def test_single_seed_no_stdev_crash(self):
+        result = run_sweep("one", [1], lambda p, rng: 5.0, seeds=1)
+        assert result.measurements[0].stdev == 0.0
+
+    def test_seed_validation(self):
+        with pytest.raises(ValueError):
+            run_sweep("bad", [1], lambda p, rng: 0.0, seeds=0)
+
+    def test_learning_sweep_integration(self):
+        """The runner drives a real learning sweep end to end."""
+        from repro.core.generators import random_qhorn1
+        from repro.learning import Qhorn1Learner
+        from repro.oracle import CountingOracle, QueryOracle
+
+        def questions(n, rng):
+            target = random_qhorn1(n, rng)
+            oracle = CountingOracle(QueryOracle(target))
+            Qhorn1Learner(oracle).learn()
+            return oracle.questions_asked
+
+        result = run_sweep(
+            "qhorn-1 questions", [4, 8, 16], questions, seeds=3,
+            parameter_name="n",
+        )
+        assert result.means()[0] < result.means()[-1]

@@ -1,0 +1,74 @@
+"""Tests for verification-set minimization over enumerable classes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generators import enumerate_role_preserving
+from repro.core.normalize import canonicalize
+from repro.oracle import QueryOracle
+from repro.verification.minimize import (
+    minimize_verification_set,
+    redundant_questions,
+)
+from repro.verification.sets import build_verification_set
+from repro.verification.verifier import detecting_kinds
+
+
+@pytest.fixture(scope="module")
+def two_var_class():
+    return enumerate_role_preserving(2)
+
+
+class TestMinimize:
+    def test_minimized_still_complete(self, two_var_class):
+        for target in two_var_class:
+            minimal = minimize_verification_set(target, two_var_class)
+            target_form = canonicalize(target)
+            for rival in two_var_class:
+                if canonicalize(rival) == target_form:
+                    continue
+                assert any(
+                    rival.evaluate(q.question) != q.expected
+                    for q in minimal
+                ), (target.shorthand(), rival.shorthand())
+
+    def test_minimized_never_larger(self, two_var_class):
+        for target in two_var_class:
+            full = build_verification_set(target)
+            minimal = minimize_verification_set(target, two_var_class)
+            assert len(minimal) <= full.size
+
+    def test_some_query_has_redundancy(self, two_var_class):
+        """Fig. 6 is generic, so at least one two-variable query carries a
+        question that is redundant for this particular class."""
+        assert any(
+            redundant_questions(t, two_var_class) for t in two_var_class
+        )
+
+    def test_redundant_plus_needed_cover_set(self, two_var_class):
+        target = two_var_class[3]
+        full = build_verification_set(target)
+        redundant = redundant_questions(target, two_var_class)
+        assert all(q in full.questions for q in redundant)
+
+    def test_dropping_minimal_question_breaks_completeness(
+        self, two_var_class
+    ):
+        """The greedy minimal set is irredundant in aggregate: removing its
+        largest-coverage question must let some rival slip through."""
+        target = two_var_class[0]
+        minimal = minimize_verification_set(target, two_var_class)
+        if len(minimal) <= 1:
+            pytest.skip("singleton set — nothing to drop")
+        dropped = minimal[1:]
+        target_form = canonicalize(target)
+        slipped = [
+            r
+            for r in two_var_class
+            if canonicalize(r) != target_form
+            and not any(
+                r.evaluate(q.question) != q.expected for q in dropped
+            )
+        ]
+        assert slipped  # the first (largest-coverage) question mattered

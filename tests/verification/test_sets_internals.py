@@ -1,0 +1,108 @@
+"""White-box tests for verification-set internals (A3 roots, edge cases)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import tuples as bt
+from repro.core.parser import parse_query
+from repro.verification.sets import _a3_roots, build_verification_set
+
+
+def strs(masks, n):
+    return {bt.format_tuple(t, n) for t in masks}
+
+
+class TestA3Roots:
+    def test_single_body_two_choices(self):
+        """§4.2: body {x3,x4} inside C={x2,x3,x4,x5}, head x5."""
+        roots = _a3_roots(
+            n=6,
+            conjunction=frozenset({1, 2, 3, 4}),
+            head=4,
+            bodies_in=[frozenset({2, 3})],
+            all_bodies=[frozenset({0, 3}), frozenset({2, 3})],
+        )
+        # the paper's roots: 010101 (x3 knocked out, x1 repaired away
+        # because x4 stays true) and 111001 (x4 knocked out, x1 free)
+        assert strs(roots, 6) == {"010101", "111001"}
+
+    def test_outside_body_repair(self):
+        """A body of the head lying outside C must be deactivated by
+        falsifying one of its outside-C variables."""
+        roots = _a3_roots(
+            n=4,
+            conjunction=frozenset({1, 2, 3}),
+            head=3,
+            bodies_in=[frozenset({1, 2})],
+            all_bodies=[frozenset({0}), frozenset({1, 2})],
+        )
+        for t in roots:
+            # body {x1} lies outside C: x1 must have been falsified
+            assert not t & 0b0001
+
+    def test_cross_product_of_two_bodies(self):
+        roots = _a3_roots(
+            n=6,
+            conjunction=frozenset({0, 1, 2, 3, 5}),
+            head=5,
+            bodies_in=[frozenset({0, 1}), frozenset({2, 3})],
+            all_bodies=[frozenset({0, 1}), frozenset({2, 3})],
+        )
+        assert len(roots) == 4  # 2 choices x 2 choices
+
+    def test_duplicate_roots_collapse(self):
+        roots = _a3_roots(
+            n=3,
+            conjunction=frozenset({0, 1, 2}),
+            head=2,
+            bodies_in=[frozenset({0}), frozenset({0, 1})],
+            all_bodies=[frozenset({0}), frozenset({0, 1})],
+        )
+        assert len(roots) == len(set(roots))
+
+
+class TestVerificationSetEdgeCases:
+    def test_single_variable_universal(self):
+        vs = build_verification_set(parse_query("∀x1"))
+        assert vs.counts()["N2"] == 1
+        assert vs.counts()["A4"] == 0  # no non-head variables
+
+    def test_single_variable_existential(self):
+        vs = build_verification_set(parse_query("∃x1"))
+        assert vs.counts()["A1"] == 1
+        assert vs.counts()["N1"] == 1
+
+    def test_unnormalized_input_is_normalized_first(self):
+        """§4.1: dominated expressions must not generate questions."""
+        vs = build_verification_set(
+            parse_query("∀x1→x3 ∀x1x2→x3 ∃x1 ∃x1x2", n=3)
+        )
+        # only the dominant ∀x1→x3 yields N2/A2 questions
+        assert vs.counts()["N2"] == 1
+        # A1 holds only dominant closed conjunctions
+        (a1,) = vs.by_kind("A1")
+        assert strs(a1.question.tuples, 3) == {"111"}
+
+    def test_all_questions_within_n(self):
+        vs = build_verification_set(parse_query("∀x1x2→x3 ∃x4", n=4))
+        for item in vs.questions:
+            assert item.question.n == 4
+
+    def test_kind_validation(self):
+        from repro.core.tuples import Question
+        from repro.verification.sets import VerificationQuestion
+
+        with pytest.raises(ValueError):
+            VerificationQuestion(
+                kind="Z9",
+                question=Question.of(1, [1]),
+                expected=True,
+                provenance="bad",
+            )
+
+    def test_fully_existential_no_universal_questions(self):
+        vs = build_verification_set(parse_query("∃x1x2 ∃x3", n=3))
+        assert vs.counts()["A2"] == 0
+        assert vs.counts()["N2"] == 0
+        assert vs.counts()["A3"] == 0

@@ -1,0 +1,81 @@
+"""Tests for teaching sets (the §5 Goldman–Kearns connection)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generators import enumerate_role_preserving
+from repro.core.parser import parse_query
+from repro.verification.teaching import (
+    distinguishes_all,
+    greedy_teaching_set,
+    teaching_set,
+    verification_set_as_examples,
+)
+
+
+@pytest.fixture(scope="module")
+def two_var_class():
+    return enumerate_role_preserving(2)
+
+
+class TestGreedyTeachingSets:
+    def test_greedy_always_distinguishes(self, two_var_class):
+        for target in two_var_class:
+            examples = greedy_teaching_set(target, two_var_class)
+            assert distinguishes_all(examples, target, two_var_class)
+
+    def test_greedy_sets_are_small(self, two_var_class):
+        sizes = [
+            len(greedy_teaching_set(t, two_var_class))
+            for t in two_var_class
+        ]
+        assert max(sizes) <= 5
+
+    def test_labels_match_target(self, two_var_class):
+        target = two_var_class[0]
+        for e in greedy_teaching_set(target, two_var_class):
+            assert e.label == target.evaluate(e.question)
+
+
+class TestExactTeachingSets:
+    def test_exact_minimum_at_most_greedy(self, two_var_class):
+        for target in two_var_class[:4]:
+            greedy = greedy_teaching_set(target, two_var_class)
+            exact = teaching_set(
+                target, two_var_class, max_size=len(greedy)
+            )
+            assert exact is not None
+            assert len(exact) <= len(greedy)
+            assert distinguishes_all(exact, target, two_var_class)
+
+    def test_none_when_budget_too_small(self, two_var_class):
+        target = two_var_class[0]
+        assert teaching_set(target, two_var_class, max_size=0) is None
+
+
+class TestVerificationSetsTeach:
+    def test_fig6_sets_are_teaching_sets(self, two_var_class):
+        """Thm 4.2 in teaching terms: the verification set eliminates every
+        rival hypothesis in the class."""
+        for target in two_var_class:
+            examples = verification_set_as_examples(target)
+            assert distinguishes_all(examples, target, two_var_class)
+
+    def test_verification_sets_near_optimal(self, two_var_class):
+        """Fig. 6's sets are within a small factor of the teaching number."""
+        for target in two_var_class[:6]:
+            vs = verification_set_as_examples(target)
+            greedy = greedy_teaching_set(target, two_var_class)
+            assert len(vs) <= 4 * max(1, len(greedy))
+
+
+class TestErrorHandling:
+    def test_indistinguishable_rival_raises(self):
+        a = parse_query("∃x1", n=2)
+        b = parse_query("∃x1", n=2)  # same query twice
+        from repro.core.normalize import canonicalize
+
+        # a rival canonically equal to the target is skipped, not fatal
+        examples = greedy_teaching_set(a, [a, b])
+        assert examples == []

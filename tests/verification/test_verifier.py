@@ -1,0 +1,137 @@
+"""Tests for the verifier: soundness + completeness (Thm 4.2, Figs. 7–8)."""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+import pytest
+
+from repro.core.generators import (
+    enumerate_role_preserving,
+    paper_running_query,
+    random_role_preserving,
+)
+from repro.core.normalize import canonicalize
+from repro.core.parser import parse_query
+from repro.oracle import CountingOracle, QueryOracle
+from repro.verification import Verifier, verify_query
+from repro.verification.verifier import detecting_kinds
+
+
+class TestSoundness:
+    """A correct query must pass its own verification set."""
+
+    def test_paper_query_passes(self):
+        q = paper_running_query()
+        outcome = verify_query(q, QueryOracle(q))
+        assert outcome.verified
+        assert not outcome.disagreements
+
+    def test_equivalent_but_unnormalized_query_passes(self):
+        given = parse_query("∀x1→x3 ∀x1x2→x3 ∃x1")  # dominated + unclosed
+        intended = parse_query("∀x1→x3 ∃x1x2x3")
+        assert canonicalize(given) == canonicalize(intended)
+        assert verify_query(given, QueryOracle(intended)).verified
+
+    def test_random_self_verification(self, rng):
+        for _ in range(60):
+            q = random_role_preserving(rng.randint(2, 8), rng, theta=2)
+            assert verify_query(q, QueryOracle(q)).verified
+
+
+class TestCompleteness:
+    """Semantically different queries must be detected (Thm 4.2)."""
+
+    def test_all_two_variable_pairs_detected(self):
+        """Fig. 8 in full: every ordered pair of distinct two-variable
+        role-preserving queries is caught by some question family."""
+        queries = enumerate_role_preserving(2)
+        for given, intended in permutations(queries, 2):
+            kinds = detecting_kinds(given, intended)
+            assert kinds, (given.shorthand(), intended.shorthand())
+
+    def test_random_pairs_detected(self, rng):
+        found, skipped = 0, 0
+        while found < 60:
+            n = rng.randint(2, 7)
+            a = random_role_preserving(n, rng, theta=2)
+            b = random_role_preserving(n, rng, theta=2)
+            if canonicalize(a) == canonicalize(b):
+                skipped += 1
+                continue
+            found += 1
+            assert detecting_kinds(a, b), (a.shorthand(), b.shorthand())
+
+    def test_missing_universal_detected_by_a3_family(self):
+        """Lemma 4.6's scenario: the intended query has an extra
+        incomparable body hidden inside a dominant conjunction."""
+        given = parse_query("∀x3x4→x5 ∃x2x3x4x5", n=5)
+        intended = parse_query("∀x3x4→x5 ∀x2x3→x5 ∃x2x3x4x5", n=5)
+        kinds = detecting_kinds(given, intended)
+        assert "A3" in kinds
+
+    def test_missing_head_detected_by_a4(self):
+        """Lemma 4.7: x2 heads an expression in the intended query only."""
+        given = parse_query("∃x1x2", n=2)
+        intended = parse_query("∀x1→x2 ∃x1", n=2)
+        assert "A4" in detecting_kinds(given, intended)
+
+    def test_sub_body_detected_by_a2(self):
+        """Lemma 4.4: intended body ⊂ given body."""
+        given = parse_query("∀x1x2→x3", n=3)
+        intended = parse_query("∀x1→x3", n=3)
+        assert "A2" in detecting_kinds(given, intended)
+
+    def test_super_body_detected_by_n2(self):
+        """Lemma 4.5: intended body ⊃ given body."""
+        given = parse_query("∀x1→x3", n=3)
+        intended = parse_query("∀x1x2→x3", n=3)
+        assert "N2" in detecting_kinds(given, intended)
+
+    def test_extra_conjunction_detected(self):
+        given = parse_query("∃x1", n=3)
+        intended = parse_query("∃x1x2", n=3)
+        assert detecting_kinds(given, intended)
+
+    def test_missing_conjunction_detected_by_n1(self):
+        given = parse_query("∃x1x2", n=2)
+        intended = parse_query("∃x1", n=2)
+        assert "N1" in detecting_kinds(given, intended)
+
+
+class TestVerifierMechanics:
+    def test_stop_at_first(self):
+        given = parse_query("∃x1x2", n=2)
+        intended = parse_query("∃x1 ∃x2", n=2)
+        oracle = CountingOracle(QueryOracle(intended))
+        outcome = Verifier(given).run(oracle, stop_at_first=True)
+        assert not outcome.verified
+        assert len(outcome.disagreements) == 1
+        assert oracle.questions_asked == outcome.questions_asked
+
+    def test_question_budget_o_k(self):
+        q = paper_running_query()
+        oracle = CountingOracle(QueryOracle(q))
+        outcome = Verifier(q).run(oracle)
+        assert outcome.questions_asked == oracle.questions_asked <= 20
+
+    def test_disagreement_describe(self):
+        given = parse_query("∃x1x2", n=2)
+        intended = parse_query("∃x1 ∃x2", n=2)
+        outcome = verify_query(given, QueryOracle(intended))
+        assert outcome.disagreements
+        text = outcome.disagreements[0].describe()
+        assert "query says" in text and "user says" in text
+
+    def test_verification_cheaper_than_learning(self, rng):
+        """§4's headline: verifying costs O(k), learning costs
+        O(n^{θ+1} + kn lg n) — measure both on the same targets."""
+        from repro.learning import RolePreservingLearner
+
+        for _ in range(10):
+            target = random_role_preserving(8, rng, theta=2)
+            v_oracle = CountingOracle(QueryOracle(target))
+            verify_query(target, v_oracle)
+            l_oracle = CountingOracle(QueryOracle(target))
+            RolePreservingLearner(l_oracle).learn()
+            assert v_oracle.questions_asked < l_oracle.questions_asked
