@@ -1,16 +1,28 @@
 """Shared infrastructure for the benchmark/experiment suite.
 
-Every experiment (E1–E14, see DESIGN.md §3) regenerates one of the paper's
+Every experiment (E1–E21, see DESIGN.md §3) regenerates one of the paper's
 theorems or figures as a table.  Tables are printed *and* written to
 ``benchmarks/results/<experiment>.txt`` so the numbers survive pytest's
 output capture and can be pasted into EXPERIMENTS.md.
+
+The engine-scale experiments (E13, E21) share session-scoped stores and a
+mixed qhorn workload over the 4-proposition storefront vocabulary, sized
+at 10–100× the seed relation sizes to exercise the batch bitmask path.
 """
 
 from __future__ import annotations
 
 import pathlib
+import random
 
 import pytest
+
+from repro.core.query import QhornQuery
+from repro.data.chocolate import (
+    intro_query,
+    random_store,
+    storefront_vocabulary,
+)
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -32,3 +44,44 @@ def report(results_dir):
         path.write_text(text + "\n")
 
     return write
+
+
+@pytest.fixture(scope="session")
+def storefront_vocab():
+    """The 4-proposition storefront vocabulary shared by E13/E21."""
+    return storefront_vocabulary()
+
+
+@pytest.fixture(scope="session")
+def store_factory():
+    """Session-cached seeded stores: ``store_factory(size)`` builds each
+    (size, seed) store once, so E13 and E21 can share the big relations."""
+    cache: dict[tuple[int, int], object] = {}
+
+    def make(size: int, seed: int = 2100):
+        key = (size, seed)
+        if key not in cache:
+            cache[key] = random_store(size, random.Random(seed + size))
+        return cache[key]
+
+    return make
+
+
+@pytest.fixture(scope="session")
+def engine_workload() -> list[QhornQuery]:
+    """A mixed qhorn workload over the storefront vocabulary (n=4):
+    universal-only, existential-only, combined, bodyless and relaxed
+    (``require_guarantees=False``) shapes — the query mix an interactive
+    learning session sends to the engine."""
+    return [
+        intro_query(),
+        QhornQuery.build(4, universals=[((0,), 1)]),
+        QhornQuery.build(4, existentials=[(2, 3)]),
+        QhornQuery.build(
+            4, universals=[((), 0), ((0,), 3)], existentials=[(1, 2)]
+        ),
+        QhornQuery.build(4, universals=[((1,), 2)], require_guarantees=False),
+        QhornQuery.build(4, existentials=[(0,), (1, 3)]),
+        QhornQuery.build(4, universals=[((2, 3), 0)]),
+        QhornQuery.build(4, universals=[((), 1)], existentials=[(0, 2, 3)]),
+    ]

@@ -4,7 +4,9 @@ learning run in polynomial time.
 pytest-benchmark timings for the operations a DataPlay-style UI performs
 per interaction: building each question shape, evaluating a query over an
 object, one full learning session, one verification session, and the
-Boolean→data synthesis bridge.
+Boolean→data synthesis bridge — plus the batch bitmask engine paths
+(index build, warm batch execution, bulk labeling) at 10× the seed scan
+size.
 """
 
 from __future__ import annotations
@@ -72,3 +74,42 @@ def test_e13_engine_scan(benchmark):
     store = random_store(200, random.Random(9))
     engine = QueryEngine(store, storefront_vocabulary())
     benchmark(engine.execute, intro_query())
+
+
+def test_e13_index_build(benchmark, storefront_vocab, store_factory):
+    from repro.data import RelationIndex
+
+    store = store_factory(2000)  # 10x the seed per-object scan
+    benchmark(lambda: RelationIndex(store, storefront_vocab))
+
+
+def test_e13_engine_batch_scan(benchmark, storefront_vocab, store_factory):
+    from repro.data import QueryEngine
+    from repro.data.chocolate import intro_query
+
+    engine = QueryEngine(store_factory(2000), storefront_vocab)
+    engine.index  # build outside the timed region: warm batch path
+    benchmark(engine.execute_batch, intro_query())
+
+
+def test_e13_engine_matches_many(benchmark, storefront_vocab, store_factory):
+    from repro.data import QueryEngine
+    from repro.data.chocolate import intro_query
+
+    engine = QueryEngine(store_factory(2000), storefront_vocab)
+    engine.index
+    benchmark(engine.matches_many, intro_query())
+
+
+def test_e13_batch_workload(
+    benchmark, storefront_vocab, store_factory, engine_workload
+):
+    from repro.data import QueryEngine
+
+    engine = QueryEngine(store_factory(2000), storefront_vocab)
+    engine.index
+
+    def run():
+        return [len(engine.execute_batch(q)) for q in engine_workload]
+
+    benchmark(run)

@@ -23,7 +23,7 @@ from repro.learning import (
     RolePreservingLearner,
     revise_query,
 )
-from repro.oracle import CountingOracle, QueryOracle
+from repro.oracle import CachingOracle, CountingOracle, QueryOracle
 from repro.verification import Verifier
 
 __all__ = ["main", "build_parser"]
@@ -75,7 +75,8 @@ def _n_for(*queries, explicit: int | None) -> int | None:
 
 def _cmd_learn(args) -> int:
     target = parse_query(args.target, n=args.n)
-    oracle = CountingOracle(QueryOracle(target))
+    cache = CachingOracle(QueryOracle(target))
+    oracle = CountingOracle(cache)
     learner_cls = (
         Qhorn1Learner if args.learner == "qhorn1" else RolePreservingLearner
     )
@@ -86,7 +87,10 @@ def _cmd_learn(args) -> int:
     else:
         print(f"target : {target.shorthand()}")
         print(f"learned: {result.query.shorthand()}")
-        print(f"questions: {oracle.questions_asked}")
+        print(
+            f"questions: {oracle.questions_asked} "
+            f"(distinct: {cache.stats.misses}, cache hits: {cache.stats.hits})"
+        )
         print(f"exact: {exact}")
     return 0 if exact else 1
 
@@ -157,14 +161,17 @@ def _cmd_demo(args) -> int:
     store = random_store(100, random.Random(1304))
     print("propositions:")
     print(vocabulary.legend())
-    oracle = CountingOracle(QueryOracle(intro_query()))
+    cache = CachingOracle(QueryOracle(intro_query()))
+    oracle = CountingOracle(cache)
     result = learn_qhorn1(oracle)
     print(f"\nintended: {intro_query().shorthand()}")
     print(f"learned : {result.query.shorthand()} "
-          f"({oracle.questions_asked} questions)")
+          f"({oracle.questions_asked} questions, "
+          f"{cache.stats.misses} distinct)")
     engine = QueryEngine(store, vocabulary)
-    matches = engine.execute(result.query)
-    print(f"matching boxes: {len(matches)} / {len(store)}")
+    matches = engine.execute_batch(result.query)
+    print(f"matching boxes: {len(matches)} / {len(store)} "
+          f"({engine.index.distinct_masks} distinct masks)")
     for box in matches[:5]:
         print(f"  {box.key}")
     return 0

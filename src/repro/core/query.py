@@ -19,6 +19,7 @@ checks for qhorn-1 (§2.1.3) and role-preserving qhorn (§2.1.4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from itertools import combinations
 from typing import FrozenSet, Iterable, Sequence
 
@@ -30,7 +31,7 @@ from repro.core.expressions import (
 )
 from repro.core.tuples import Question
 
-__all__ = ["QhornQuery"]
+__all__ = ["QhornQuery", "CompiledQuery", "compile_query"]
 
 
 @dataclass(frozen=True)
@@ -121,6 +122,15 @@ class QhornQuery:
 
     def __call__(self, question: Question | Iterable[int]) -> bool:
         return self.evaluate(question)
+
+    def compile(self) -> "CompiledQuery":
+        """The mask-level compilation of this query (cached per query).
+
+        Batch evaluation (``RelationIndex``, ``QueryEngine.execute_batch``)
+        runs on the compiled form; per-object :meth:`evaluate` remains the
+        reference semantics the compiled form must agree with.
+        """
+        return compile_query(self)
 
     # ------------------------------------------------------------------
     # Structural measures
@@ -293,3 +303,60 @@ class QhornQuery:
     def all_true_question(self) -> Question:
         """The single-tuple question ``{1^n}`` — an answer to every query."""
         return Question.of(self.n, [bt.all_true(self.n)])
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """A :class:`QhornQuery` flattened to pure bitmask arithmetic.
+
+    Compilation hoists the per-expression mask computations
+    (``UniversalHorn.body_mask``/``head_mask``, ``ExistentialConjunction
+    .mask``) out of the evaluation loop, so evaluating a compiled query over
+    a mask set touches no expression objects at all.  The expression order
+    is deterministic (sorted), which keeps batch runs reproducible.
+
+    The semantics are exactly those of :meth:`QhornQuery.evaluate`; the
+    differential property suite (``tests/properties/test_prop_engine.py``)
+    asserts the agreement on randomized inputs.
+    """
+
+    n: int
+    #: ``(body_mask, head_mask)`` per universal Horn expression, sorted.
+    universal_masks: tuple[tuple[int, int], ...]
+    #: Conjunction mask per existential expression, sorted.
+    existential_masks: tuple[int, ...]
+    require_guarantees: bool
+
+    def evaluate(self, masks: Iterable[int]) -> bool:
+        """Classify a mask set exactly like :meth:`QhornQuery.evaluate`."""
+        tuples = (
+            masks.tuples if isinstance(masks, Question) else tuple(masks)
+        )
+        for body, head in self.universal_masks:
+            witnessed = not self.require_guarantees
+            for t in tuples:
+                if (t & body) == body:
+                    if not t & head:
+                        return False
+                    witnessed = True
+            if not witnessed:
+                return False
+        for m in self.existential_masks:
+            if not any((t & m) == m for t in tuples):
+                return False
+        return True
+
+    __call__ = evaluate
+
+
+@lru_cache(maxsize=4096)
+def compile_query(query: QhornQuery) -> CompiledQuery:
+    """Compile ``query`` to masks, memoized on the (hashable) query."""
+    return CompiledQuery(
+        n=query.n,
+        universal_masks=tuple(
+            (u.body_mask, u.head_mask) for u in sorted(query.universals)
+        ),
+        existential_masks=tuple(e.mask for e in sorted(query.existentials)),
+        require_guarantees=query.require_guarantees,
+    )

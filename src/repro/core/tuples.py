@@ -31,6 +31,7 @@ __all__ = [
     "format_tuple",
     "popcount",
     "is_subset",
+    "union_masks",
     "Question",
 ]
 
@@ -110,6 +111,19 @@ def popcount(mask: int) -> int:
 def is_subset(a: int, b: int) -> bool:
     """True iff every variable true in ``a`` is true in ``b``."""
     return a & ~b == 0
+
+
+def union_masks(masks: Iterable[int]) -> int:
+    """OR together a collection of bitmasks (empty iterable gives ``0``).
+
+    Used both for variable tuples and for the arbitrary-width
+    object-position bitsets of the batch evaluation engine, which also
+    reuses :func:`variables_of` to enumerate set positions.
+    """
+    out = 0
+    for m in masks:
+        out |= m
+    return out
 
 
 @dataclass(frozen=True)

@@ -5,6 +5,7 @@ Boolean-tuple→row synthesis, question rendering, and a query engine.
 """
 
 from repro.data.engine import ExampleFactory, ExpressionReport, QueryEngine
+from repro.data.index import RelationIndex
 from repro.data.generator import (
     RelationGenerator,
     bernoulli,
@@ -61,6 +62,7 @@ __all__ = [
     "OneOf",
     "Proposition",
     "QueryEngine",
+    "RelationIndex",
     "SchemaError",
     "Vocabulary",
 ]

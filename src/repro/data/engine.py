@@ -6,15 +6,24 @@ data through a vocabulary, and an :class:`ExampleFactory` turns membership
 questions into concrete example objects — synthesizing rows (assumption (i))
 or, as §5 suggests for rich databases, selecting matching rows from an
 actual relation.
+
+Two evaluation paths coexist (DESIGN.md §2): the per-object *reference
+path* (:meth:`QueryEngine.matches` / :meth:`QueryEngine.execute`), which
+abstracts rows on every call, and the *batch path*
+(:meth:`QueryEngine.execute_batch` / :meth:`QueryEngine.matches_many`),
+which evaluates compiled queries against a shared
+:class:`~repro.data.index.RelationIndex`.  Both must return identical
+answers on identical state.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterable
 
 from repro.core.query import QhornQuery
 from repro.core.tuples import Question
+from repro.data.index import RelationIndex
 from repro.data.propositions import Vocabulary
 from repro.data.relation import NestedObject, NestedRelation
 
@@ -31,21 +40,72 @@ class ExpressionReport:
 
 
 class QueryEngine:
-    """Evaluates queries over a nested relation via a vocabulary."""
+    """Evaluates queries over a nested relation via a vocabulary.
 
-    def __init__(self, relation: NestedRelation, vocabulary: Vocabulary) -> None:
+    An optional :class:`RelationIndex` (built lazily on first batch call,
+    or injected to share across engines) backs the batch evaluation
+    methods; the per-object methods keep the seed reference semantics.
+    """
+
+    def __init__(
+        self,
+        relation: NestedRelation,
+        vocabulary: Vocabulary,
+        index: RelationIndex | None = None,
+    ) -> None:
         self.relation = relation
         self.vocabulary = vocabulary
+        if index is not None and index.relation is not relation:
+            raise ValueError("index was built over a different relation")
+        self._index = index
+
+    @property
+    def index(self) -> RelationIndex:
+        """The engine's relation index, built on first access."""
+        if self._index is None:
+            self._index = RelationIndex(self.relation, self.vocabulary)
+        return self._index
 
     def matches(self, query: QhornQuery, obj: NestedObject) -> bool:
-        """Does ``obj`` satisfy ``query``?"""
+        """Does ``obj`` satisfy ``query``?  (Per-object reference path.)"""
         self._check(query)
         return query.evaluate(self.vocabulary.abstract_object(obj.rows))
 
     def execute(self, query: QhornQuery) -> list[NestedObject]:
-        """All objects of the relation that are answers to ``query``."""
+        """All objects of the relation that are answers to ``query``.
+
+        Per-object reference path: validates the query once, then
+        re-abstracts each object's rows and evaluates directly (the seed
+        re-ran the validation through ``matches()`` for every object).
+        """
         self._check(query)
-        return [o for o in self.relation if self.matches(query, o)]
+        abstract = self.vocabulary.abstract_object
+        evaluate = query.evaluate
+        return [o for o in self.relation if evaluate(abstract(o.rows))]
+
+    def execute_batch(self, query: QhornQuery) -> list[NestedObject]:
+        """All answers to ``query`` via the batch bitmask index.
+
+        Identical answers to :meth:`execute`; the index amortizes row
+        abstraction across calls and evaluates the compiled query over
+        distinct masks only (DESIGN.md §2).
+        """
+        self._check(query)
+        return self.index.execute(query)
+
+    def matches_many(
+        self,
+        query: QhornQuery,
+        objects: Iterable[NestedObject] | None = None,
+    ) -> list[bool]:
+        """Answer labels for many objects at once via the index.
+
+        ``objects=None`` labels every object of the relation in relation
+        order; otherwise labels the given objects (foreign objects are
+        abstracted once and evaluated through the compiled query).
+        """
+        self._check(query)
+        return self.index.matches_many(query, objects)
 
     def explain(self, query: QhornQuery, obj: NestedObject) -> list[ExpressionReport]:
         """Per-expression satisfaction report for ``obj`` (UI affordance)."""
@@ -105,10 +165,32 @@ class ExampleFactory:
         self.key_prefix = key_prefix
         self._counter = 0
         self._row_index: dict[int, list[dict[str, Any]]] | None = None
+        self._row_index_version: int | None = None
 
     def _next_key(self) -> str:
         self._counter += 1
         return f"{self.key_prefix}-{self._counter}"
+
+    def refresh(self) -> None:
+        """Drop the mask→rows index so the next question rebuilds it.
+
+        Only needed after mutating database rows in place; plain
+        ``insert``/``add_object`` calls bump the relation's ``version``
+        counter and invalidate the index automatically.
+        """
+        self._row_index = None
+        self._row_index_version = None
+
+    def _database_index(self) -> dict[int, list[dict[str, Any]]]:
+        version = getattr(self.database, "version", None)
+        if self._row_index is None or version != self._row_index_version:
+            index: dict[int, list[dict[str, Any]]] = {}
+            for row in self.database.all_rows():
+                mask = self.vocabulary.boolean_tuple(row)
+                index.setdefault(mask, []).append(row)
+            self._row_index = index
+            self._row_index_version = version
+        return self._row_index
 
     def synthesize(self, question: Question) -> NestedObject:
         """Assumption (i): build rows directly from the Boolean tuples."""
@@ -121,14 +203,10 @@ class ExampleFactory:
         tuples the database cannot exhibit."""
         if self.database is None:
             return self.synthesize(question)
-        if self._row_index is None:
-            self._row_index = {}
-            for row in self.database.all_rows():
-                mask = self.vocabulary.boolean_tuple(row)
-                self._row_index.setdefault(mask, []).append(row)
+        row_index = self._database_index()
         rows: list[dict[str, Any]] = []
         for t in question.sorted_tuples():
-            matches = self._row_index.get(t)
+            matches = row_index.get(t)
             if matches:
                 rows.append(dict(matches[0]))
             else:

@@ -254,6 +254,10 @@ class Vocabulary:
         self._by_attribute: dict[str, list[tuple[int, Proposition]]] = {}
         for i, p in enumerate(self.propositions):
             self._by_attribute.setdefault(p.attribute, []).append((i, p))
+        # Hoisted (bit, evaluator) pairs for the hot abstraction path.
+        self._evaluators = tuple(
+            (1 << i, p.evaluate) for i, p in enumerate(self.propositions)
+        )
         if check:
             reports = self.check_interference()
             if reports:
@@ -272,14 +276,26 @@ class Vocabulary:
     def boolean_tuple(self, row: Mapping[str, Any]) -> int:
         """Abstract one data row into a Boolean tuple bitmask."""
         mask = 0
-        for i, p in enumerate(self.propositions):
-            if p.evaluate(row):
-                mask |= 1 << i
+        for bit, evaluate in self._evaluators:
+            if evaluate(row):
+                mask |= bit
         return mask
+
+    def boolean_tuples(self, rows: Iterable[Mapping[str, Any]]) -> list[int]:
+        """Abstract rows into bitmasks, preserving order and multiplicity."""
+        evaluators = self._evaluators
+        out: list[int] = []
+        for row in rows:
+            mask = 0
+            for bit, evaluate in evaluators:
+                if evaluate(row):
+                    mask |= bit
+            out.append(mask)
+        return out
 
     def abstract_object(self, rows: Iterable[Mapping[str, Any]]) -> frozenset[int]:
         """Abstract an object's rows into its set of Boolean tuples."""
-        return frozenset(self.boolean_tuple(r) for r in rows)
+        return frozenset(self.boolean_tuples(rows))
 
     # ------------------------------------------------------------------
     # Boolean -> Data (assumption (i))

@@ -23,12 +23,20 @@ class FlatRelation:
     ) -> None:
         self.schema = schema
         self._rows: list[dict[str, Any]] = []
+        self._version = 0
         for row in rows:
             self.insert(row)
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every mutation; index/cache layers
+        compare it to detect staleness."""
+        return self._version
 
     def insert(self, row: Mapping[str, Any]) -> None:
         self.schema.validate_row(row)
         self._rows.append(dict(row))
+        self._version += 1
 
     @property
     def rows(self) -> list[dict[str, Any]]:
@@ -84,8 +92,17 @@ class NestedRelation:
     ) -> None:
         self.schema = schema
         self._objects: list[NestedObject] = []
+        self._version = 0
         for obj in objects:
             self.insert(obj)
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every mutation; index/cache layers
+        (``RelationIndex``, ``ExampleFactory``) compare it to detect
+        staleness.  In-place edits to an object's ``rows`` bypass it — use
+        the explicit ``refresh()`` of the dependent layer in that case."""
+        return self._version
 
     def insert(self, obj: NestedObject) -> None:
         if any(o.key == obj.key for o in self._objects):
@@ -94,6 +111,7 @@ class NestedRelation:
         for row in obj.rows:
             self.schema.embedded.validate_row(row)
         self._objects.append(obj)
+        self._version += 1
 
     def add_object(
         self,

@@ -2,12 +2,15 @@
 
 from repro.oracle.adversaries import CandidateEliminationAdversary, max_elimination
 from repro.oracle.base import FunctionOracle, MembershipOracle, QueryOracle
+from repro.oracle.caching import CacheStats, CachingOracle
 from repro.oracle.counting import CountingOracle, QuestionStats, RecordingOracle
 from repro.oracle.expression import CountingExpressionOracle, ExpressionOracle
 from repro.oracle.human import HumanOracle
 from repro.oracle.noisy import ExhaustedReplayError, NoisyOracle, ReplayOracle
 
 __all__ = [
+    "CacheStats",
+    "CachingOracle",
     "CandidateEliminationAdversary",
     "CountingExpressionOracle",
     "CountingOracle",

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.core.parser import parse_query
 from repro.core.tuples import Question
-from repro.data import ExampleFactory, QueryEngine
+from repro.data import ExampleFactory, QueryEngine, RelationIndex
 from repro.data.chocolate import (
     intro_query,
     paper_figure1_relation,
@@ -74,6 +76,86 @@ class TestQueryEngine:
         assert reports[0].satisfied
 
 
+class TestBatchEngine:
+    def test_execute_batch_matches_execute(self):
+        store = random_store(80, random.Random(3))
+        engine = QueryEngine(store, storefront_vocabulary())
+        for shorthand in ("∀x1 ∃x1x2x3", "∀x2→x1", "∃x3x4", "∀x1x2→x4 ∃x3"):
+            query = parse_query(shorthand, n=4)
+            assert [o.key for o in engine.execute_batch(query)] == [
+                o.key for o in engine.execute(query)
+            ]
+
+    def test_matches_many_whole_relation(self):
+        store = random_store(40, random.Random(4))
+        engine = QueryEngine(store, storefront_vocabulary())
+        labels = engine.matches_many(intro_query())
+        assert labels == [engine.matches(intro_query(), o) for o in store]
+
+    def test_matches_many_foreign_object(self):
+        engine = QueryEngine(paper_figure1_relation(), paper_vocabulary())
+        query = parse_query("∀x1 ∃x2x3")
+        foreign = paper_figure1_relation().get("Global Ground")
+        # Same key as an indexed object but a different instance: must be
+        # abstracted on the fly, not looked up by key alone.
+        (label,) = engine.matches_many(query, [foreign])
+        assert label == engine.matches(query, foreign)
+
+    def test_index_auto_refresh_on_insert(self):
+        rel = paper_figure1_relation()
+        engine = QueryEngine(rel, paper_vocabulary())
+        query = parse_query("∀x1 ∃x2x3")
+        assert engine.execute_batch(query) == []
+        rel.add_object(
+            "Madagascar Select",
+            rows=[
+                dict(origin="Madagascar", isSugarFree=True, isDark=True,
+                     hasFilling=True, hasNuts=False),
+            ],
+        )
+        assert engine.index.is_stale
+        assert [o.key for o in engine.execute_batch(query)] == [
+            "Madagascar Select"
+        ]
+        assert not engine.index.is_stale
+
+    def test_shared_index_across_engines(self):
+        store = random_store(30, random.Random(5))
+        vocab = storefront_vocabulary()
+        index = RelationIndex(store, vocab)
+        a = QueryEngine(store, vocab, index=index)
+        b = QueryEngine(store, vocab, index=index)
+        assert a.index is b.index
+        assert [o.key for o in a.execute_batch(intro_query())] == [
+            o.key for o in b.execute_batch(intro_query())
+        ]
+
+    def test_index_rejects_foreign_relation(self):
+        vocab = storefront_vocabulary()
+        index = RelationIndex(random_store(5, random.Random(6)), vocab)
+        with pytest.raises(ValueError):
+            QueryEngine(random_store(5, random.Random(8)), vocab, index=index)
+
+    def test_batch_width_mismatch_rejected(self):
+        engine = QueryEngine(paper_figure1_relation(), paper_vocabulary())
+        with pytest.raises(ValueError):
+            engine.execute_batch(parse_query("∃x1x2x3x4"))
+        with pytest.raises(ValueError):
+            engine.matches_many(parse_query("∃x1x2x3x4"))
+
+    def test_execute_validates_once(self, monkeypatch):
+        engine = QueryEngine(random_store(20), storefront_vocabulary())
+        calls = []
+        original = QueryEngine._check
+        monkeypatch.setattr(
+            QueryEngine,
+            "_check",
+            lambda self, query: (calls.append(1), original(self, query))[1],
+        )
+        engine.execute(intro_query())
+        assert len(calls) == 1
+
+
 class TestExampleFactory:
     def test_synthesize_matches_question(self):
         vocab = paper_vocabulary()
@@ -113,3 +195,38 @@ class TestExampleFactory:
         q = Question.from_strings("110")
         obj = factory.from_database(q)
         assert paper_vocabulary().abstract_object(obj.rows) == q.tuples
+
+    def test_from_database_sees_rows_inserted_later(self):
+        """Regression: the mask→rows index was built lazily once and never
+        invalidated, so objects appended after the first ``from_database``
+        call were silently ignored."""
+        vocab = paper_vocabulary()
+        store = paper_figure1_relation()
+        factory = ExampleFactory(vocab, database=store)
+        q = Question.from_strings("101")  # no such chocolate in Fig. 1 yet
+        factory.from_database(q)  # builds the index without 101
+        late_row = dict(origin="Madagascar", isSugarFree=False, isDark=True,
+                        hasFilling=False, hasNuts=True)
+        assert vocab.boolean_tuple(late_row) == Question.from_strings(
+            "101"
+        ).sorted_tuples()[0]
+        store.add_object("Late Arrival", rows=[late_row])
+        obj = factory.from_database(q)
+        assert obj.rows == [late_row]  # the real row, not a synthetic one
+
+    def test_refresh_forces_reindex_after_inplace_edit(self):
+        vocab = paper_vocabulary()
+        store = paper_figure1_relation()
+        factory = ExampleFactory(vocab, database=store)
+        q = Question.from_strings("101")
+        factory.from_database(q)
+        # In-place row mutation bypasses the version counter...
+        target = store.get("Global Ground")
+        target.rows.append(
+            dict(origin="Madagascar", isSugarFree=False, isDark=True,
+                 hasFilling=False, hasNuts=True)
+        )
+        # ...so an explicit refresh is required to pick it up.
+        factory.refresh()
+        obj = factory.from_database(q)
+        assert obj.rows == [target.rows[-1]]

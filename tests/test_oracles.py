@@ -6,10 +6,11 @@ import random
 
 import pytest
 
-from repro.core.generators import uni_alias_query
+from repro.core.generators import random_qhorn1, uni_alias_query
 from repro.core.parser import parse_query
 from repro.core.tuples import Question
 from repro.oracle import (
+    CachingOracle,
     CandidateEliminationAdversary,
     CountingOracle,
     ExhaustedReplayError,
@@ -68,6 +69,86 @@ class TestCountingOracle:
     def test_empty_stats_mean(self):
         oracle = CountingOracle(QueryOracle(parse_query("∃x1")))
         assert oracle.stats.mean_tuples == 0.0
+
+
+class TestCachingOracle:
+    def test_caches_both_labels(self):
+        inner = CountingOracle(QueryOracle(parse_query("∃x1x2")))
+        cached = CachingOracle(inner)
+        q_yes, q_no = Question.from_strings("11"), Question.from_strings("10")
+        assert cached.ask(q_yes) and cached.ask(q_yes)
+        assert not cached.ask(q_no) and not cached.ask(q_no)
+        assert inner.questions_asked == 2
+        assert cached.stats.hits == 2
+        assert cached.stats.misses == 2
+        assert cached.stats.questions == 4
+        assert cached.stats.hit_rate == pytest.approx(0.5)
+        assert len(cached) == 2 and q_yes in cached
+
+    def test_lru_eviction(self):
+        cached = CachingOracle(QueryOracle(parse_query("∃x1")), maxsize=2)
+        q1 = Question.of(1, [0])
+        q2 = Question.of(1, [1])
+        q3 = Question.of(1, [0, 1])
+        cached.ask(q1)
+        cached.ask(q2)
+        cached.ask(q3)  # evicts q1 (least recently asked)
+        assert cached.stats.evictions == 1
+        assert q1 not in cached and q2 in cached and q3 in cached
+        cached.ask(q1)  # a miss again
+        assert cached.stats.misses == 4
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            CachingOracle(QueryOracle(parse_query("∃x1")), maxsize=0)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(
+            CachingOracle(QueryOracle(parse_query("∃x1"))), MembershipOracle
+        )
+
+    def test_cold_learner_counts_match_oracle_observed(self):
+        """Question counts reported through the learner's CountingOracle
+        equal the caching oracle's observed totals on a cache-cold run,
+        and the inner oracle answers exactly the misses."""
+        from repro.learning import Qhorn1Learner
+
+        target = random_qhorn1(8, random.Random(3))
+        inner = CountingOracle(QueryOracle(target))
+        cached = CachingOracle(inner)
+        counting = CountingOracle(cached)
+        Qhorn1Learner(counting).learn()
+        assert counting.questions_asked == cached.stats.questions
+        assert inner.questions_asked == cached.stats.misses
+        assert cached.stats.misses > 0
+
+    def test_warm_rerun_drops_oracle_calls(self):
+        """Re-running the (deterministic) learner against a warm cache asks
+        the same questions but reaches the inner oracle zero more times."""
+        from repro.learning import Qhorn1Learner
+
+        target = random_qhorn1(8, random.Random(3))
+        inner = CountingOracle(QueryOracle(target))
+        cached = CachingOracle(inner)
+        first = Qhorn1Learner(CountingOracle(cached)).learn()
+        cold_misses = cached.stats.misses
+        warm_counting = CountingOracle(cached)
+        second = Qhorn1Learner(warm_counting).learn()
+        assert cached.stats.misses == cold_misses  # no new oracle work
+        assert cached.stats.hits >= warm_counting.questions_asked
+        assert second.query == first.query
+
+    def test_clear_and_reset_stats(self):
+        cached = CachingOracle(QueryOracle(parse_query("∃x1")))
+        q = Question.from_strings("1")
+        cached.ask(q)
+        cached.reset_stats()
+        assert cached.stats.questions == 0
+        assert cached.stats.resident_histogram == {1: 1}
+        cached.clear()
+        assert len(cached) == 0
+        cached.ask(q)
+        assert cached.stats.misses == 1
 
 
 class TestRecordingOracle:
