@@ -1,9 +1,13 @@
 """Shared infrastructure for the benchmark/experiment suite.
 
-Every experiment (E1–E21, see DESIGN.md §3) regenerates one of the paper's
-theorems or figures as a table.  Tables are printed *and* written to
-``benchmarks/results/<experiment>.txt`` so the numbers survive pytest's
-output capture and can be pasted into EXPERIMENTS.md.
+Every experiment (E1–E22, see DESIGN.md §3) regenerates one of the paper's
+theorems or figures as a table.  Tables are printed *and* written to disk
+so the numbers survive pytest's output capture and can be pasted into
+EXPERIMENTS.md.  By default they land in the untracked
+``benchmarks/out/`` directory; only an explicit ``--update-results`` run
+refreshes the committed tables under ``benchmarks/results/`` — so routine
+local runs and CI never churn the committed tables (CI asserts they stay
+byte-identical).
 
 The engine-scale experiments (E13, E21) share session-scoped stores and a
 mixed qhorn workload over the 4-proposition storefront vocabulary, sized
@@ -25,12 +29,18 @@ from repro.data.chocolate import (
 )
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+OUT_DIR = pathlib.Path(__file__).parent / "out"
 
 
 @pytest.fixture(scope="session")
-def results_dir() -> pathlib.Path:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    return RESULTS_DIR
+def results_dir(request) -> pathlib.Path:
+    target = (
+        RESULTS_DIR
+        if request.config.getoption("--update-results")
+        else OUT_DIR
+    )
+    target.mkdir(exist_ok=True)
+    return target
 
 
 @pytest.fixture

@@ -91,6 +91,11 @@ def _cmd_learn(args) -> int:
             f"questions: {oracle.questions_asked} "
             f"(distinct: {cache.stats.misses}, cache hits: {cache.stats.hits})"
         )
+        print(
+            f"rounds: {oracle.stats.rounds} "
+            f"(mean batch: {oracle.stats.mean_batch:.1f}, "
+            f"largest: {oracle.stats.largest_batch})"
+        )
         print(f"exact: {exact}")
     return 0 if exact else 1
 
@@ -122,7 +127,10 @@ def _cmd_revise(args) -> int:
     exact = canonicalize(result.query) == canonicalize(intended)
     print(f"given  : {given.shorthand()}")
     print(f"revised: {result.query.shorthand()}")
-    print(f"questions: {oracle.questions_asked}")
+    print(
+        f"questions: {oracle.questions_asked} "
+        f"in {oracle.stats.rounds} rounds"
+    )
     for r in result.repairs:
         print(f"  {r}")
     print(f"exact: {exact}")
@@ -167,7 +175,8 @@ def _cmd_demo(args) -> int:
     print(f"\nintended: {intro_query().shorthand()}")
     print(f"learned : {result.query.shorthand()} "
           f"({oracle.questions_asked} questions, "
-          f"{cache.stats.misses} distinct)")
+          f"{cache.stats.misses} distinct, "
+          f"{oracle.stats.rounds} rounds)")
     engine = QueryEngine(store, vocabulary)
     matches = engine.execute_batch(result.query)
     print(f"matching boxes: {len(matches)} / {len(store)} "

@@ -146,6 +146,13 @@ class Question:
                 raise ValueError(
                     f"tuple {t:#x} uses variables beyond n={self.n}"
                 )
+        # Questions key every oracle-side dict (response caches, batch
+        # dedup); precomputing the hash keeps those lookups O(1) instead
+        # of re-hashing the tuple set on every probe.
+        object.__setattr__(self, "_hash", hash((self.n, self.tuples)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @classmethod
     def of(cls, n: int, tuples: Iterable[int]) -> "Question":

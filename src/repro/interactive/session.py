@@ -21,7 +21,7 @@ from typing import Callable
 from repro.core.query import QhornQuery
 from repro.core.tuples import Question
 from repro.interactive.transcript import Transcript
-from repro.oracle.base import MembershipOracle, QueryOracle
+from repro.oracle.base import MembershipOracle, QueryOracle, ask_all
 from repro.oracle.noisy import NoisyOracle, ReplayOracle
 from repro.verification.verifier import VerificationOutcome, verify_query
 
@@ -48,6 +48,16 @@ class _TranscriptOracle:
         response = self.inner.ask(question)
         self.transcript.record(question, response, self.renderer)
         return response
+
+    def ask_many(self, questions) -> list[bool]:
+        """Forward the batch and record every exchange in question order,
+        so the replay/correction machinery sees the same positional
+        transcript as a sequential run."""
+        questions = list(questions)
+        responses = ask_all(self.inner, questions)
+        for question, response in zip(questions, responses):
+            self.transcript.record(question, response, self.renderer)
+        return responses
 
 
 @dataclass

@@ -28,7 +28,7 @@ from repro.learning.questions import (
     universal_dependence_question,
     universal_head_question,
 )
-from repro.oracle.base import MembershipOracle
+from repro.oracle.base import MembershipOracle, ask_all
 
 __all__ = ["NaiveQhorn1Learner", "BruteForceLearner", "HeadPairLearner"]
 
@@ -40,6 +40,11 @@ class NaiveQhorn1Learner:
     each variable e ∈ E") and its existential analogue: a full pairwise
     dependence graph over the existential variables, from which groups,
     bodies and heads are read off combinatorially.
+
+    Every scan is non-adaptive — the whole question set is fixed upfront —
+    so the learner emits exactly three batch rounds (heads, universal
+    dependences, the pairwise graph).  It stays Θ(n²) in the paper's
+    question count; batching only collapses the round-trips.
     """
 
     def __init__(self, oracle: MembershipOracle) -> None:
@@ -48,10 +53,12 @@ class NaiveQhorn1Learner:
 
     def learn(self) -> Qhorn1Result:
         n = self.n
+        head_answers = ask_all(
+            self.oracle,
+            [universal_head_question(n, v) for v in range(n)],
+        )
         universal_heads = [
-            v
-            for v in range(n)
-            if not self.oracle.ask(universal_head_question(n, v))
+            v for v, is_answer in enumerate(head_answers) if not is_answer
         ]
         existential_vars = [
             v for v in range(n) if v not in set(universal_heads)
@@ -64,27 +71,44 @@ class NaiveQhorn1Learner:
                 groups[body] = Qhorn1Group(body=body)
             return groups[body]
 
-        # Universal bodies: one dependence question per (head, variable).
+        # Universal bodies: one dependence question per (head, variable),
+        # all |heads|·|E| of them in one round.
+        pairs = [(h, e) for h in universal_heads for e in existential_vars]
+        dependence = dict(
+            zip(
+                pairs,
+                ask_all(
+                    self.oracle,
+                    [
+                        universal_dependence_question(n, h, [e])
+                        for h, e in pairs
+                    ],
+                ),
+            )
+        )
         universal_bodies: list[frozenset[int]] = []
         for h in universal_heads:
             body = frozenset(
-                e
-                for e in existential_vars
-                if self.oracle.ask(
-                    universal_dependence_question(n, h, [e])
-                )
+                e for e in existential_vars if dependence[(h, e)]
             )
             group_for(body).universal_heads.add(h)
             if body and body not in universal_bodies:
                 universal_bodies.append(body)
         universal_body_vars = {v for b in universal_bodies for v in b}
 
-        # Full pairwise dependence graph over the existential variables.
-        depends: dict[int, set[int]] = {v: set() for v in existential_vars}
-        for u, v in combinations(existential_vars, 2):
-            if not self.oracle.ask(
+        # Full pairwise dependence graph over the existential variables,
+        # C(|E|, 2) questions in one round.
+        edges = list(combinations(existential_vars, 2))
+        edge_answers = ask_all(
+            self.oracle,
+            [
                 existential_independence_question(n, [u], [v])
-            ):
+                for u, v in edges
+            ],
+        )
+        depends: dict[int, set[int]] = {v: set() for v in existential_vars}
+        for (u, v), independent in zip(edges, edge_answers):
+            if not independent:
                 depends[u].add(v)
                 depends[v].add(u)
 

@@ -26,6 +26,7 @@ from typing import Callable, Sequence
 from repro.core import tuples as bt
 from repro.core.query import QhornQuery
 from repro.core.tuples import Question
+from repro.oracle.base import QueryOracle
 
 __all__ = [
     "ObjectSampler",
@@ -88,16 +89,31 @@ def pac_learn(
     """Label ``m`` sampled objects with ``target`` and return a consistent
     hypothesis (the first in enumeration order, as the classic learner may).
 
+    Batch-first (DESIGN.md §2b): the whole sample is drawn upfront (same
+    RNG stream as the sequential draw-filter loop, which never touches the
+    RNG between draws) and labeled in one mask-native
+    :meth:`~repro.oracle.base.QueryOracle.ask_many` round — one compile of
+    the target, one evaluation per *distinct* sampled object.  Hypothesis
+    filtering then runs per compiled hypothesis over the shared labels;
+    consistency is order-independent, so the surviving set, the returned
+    hypothesis and the exhaustion error match the sequential formulation
+    exactly.
+
     Raises ``RuntimeError`` if no hypothesis is consistent — impossible when
     ``target`` (or an equivalent) is in the space.
     """
-    remaining = list(hypotheses)
-    for _ in range(m):
-        obj = sampler(rng)
-        label = target.evaluate(obj)
-        remaining = [h for h in remaining if h.evaluate(obj) == label]
-        if not remaining:
-            raise RuntimeError("hypothesis space exhausted; target not in it")
+    objects = [sampler(rng) for _ in range(m)]
+    labels = QueryOracle(target).ask_many(objects)
+    samples = list(zip(objects, labels))
+    remaining = []
+    for h in hypotheses:
+        compiled = h.compile()
+        if all(
+            compiled.evaluate(obj.tuples) == label for obj, label in samples
+        ):
+            remaining.append(h)
+    if not remaining:
+        raise RuntimeError("hypothesis space exhausted; target not in it")
     return PacResult(
         query=remaining[0],
         samples_used=m,
@@ -112,12 +128,16 @@ def estimate_error(
     trials: int,
     rng: random.Random,
 ) -> float:
-    """Monte-Carlo disagreement rate of two queries under the distribution."""
+    """Monte-Carlo disagreement rate of two queries under the distribution.
+
+    Both queries evaluate through their compiled forms over the batch of
+    sampled objects (identical answers to the reference path, DESIGN.md §2).
+    """
     if trials <= 0:
         raise ValueError("trials must be positive")
+    objects = [sampler(rng) for _ in range(trials)]
+    ca, cb = a.compile(), b.compile()
     disagree = sum(
-        1
-        for _ in range(trials)
-        if a.evaluate(obj := sampler(rng)) != b.evaluate(obj)
+        1 for obj in objects if ca.evaluate(obj.tuples) != cb.evaluate(obj.tuples)
     )
     return disagree / trials

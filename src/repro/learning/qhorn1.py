@@ -21,6 +21,16 @@ the O(n lg n) bound.
 
 The learner asks O(n lg n) questions with at most O(n) tuples each and runs
 in polynomial time (Theorem 3.1).
+
+The pipeline is *batch-first* (DESIGN.md §2b): every phase whose question
+set does not depend on its own answers is emitted as one
+:func:`~repro.oracle.base.ask_all` round — the universal-head scan is one
+batch of ``n`` questions, each FindAll of dependence probes batches level
+by level (:func:`~repro.learning.search.find_all_batch`), and the pairwise
+head-splitting classification is one batch per group.  The adaptive
+binary-search chains (*Find*, *GetHead*) remain sequential by necessity.
+Question multiset and the learned query are identical to the sequential
+formulation; only the number of oracle round-trips drops.
 """
 
 from __future__ import annotations
@@ -36,8 +46,8 @@ from repro.learning.questions import (
     universal_dependence_question,
     universal_head_question,
 )
-from repro.learning.search import find_all, find_one, minimal_prefix
-from repro.oracle.base import MembershipOracle
+from repro.learning.search import find_all_batch, find_one, minimal_prefix
+from repro.oracle.base import MembershipOracle, ask_all
 
 __all__ = ["Qhorn1Group", "Qhorn1Result", "Qhorn1Learner", "learn_qhorn1"]
 
@@ -82,13 +92,22 @@ class Qhorn1Learner:
         self.use_shared_body_shortcut = use_shared_body_shortcut
 
     # -- question predicates ------------------------------------------------
-    def _is_universal_head(self, v: int) -> bool:
-        return not self.oracle.ask(universal_head_question(self.n, v))
-
     def _depends_universally(self, head: int, vs: Sequence[int]) -> bool:
         """Answer to a universal dependence question = body intersects vs."""
         return self.oracle.ask(
             universal_dependence_question(self.n, head, vs)
+        )
+
+    def _depends_universally_each(
+        self, head: int, subsets: Sequence[Sequence[int]]
+    ) -> list[bool]:
+        """One batch of universal dependence questions for ``head``."""
+        return ask_all(
+            self.oracle,
+            [
+                universal_dependence_question(self.n, head, vs)
+                for vs in subsets
+            ],
         )
 
     def _depends_existentially(self, x: int, vs: Sequence[int]) -> bool:
@@ -98,13 +117,32 @@ class Qhorn1Learner:
             existential_independence_question(self.n, [x], vs)
         )
 
+    def _depends_existentially_each(
+        self, x: int, subsets: Sequence[Sequence[int]]
+    ) -> list[bool]:
+        """One batch of existential independence questions around ``x``."""
+        answers = ask_all(
+            self.oracle,
+            [
+                existential_independence_question(self.n, [x], vs)
+                for vs in subsets
+            ],
+        )
+        return [not a for a in answers]
+
     def _matrix_is_answer(self, vs: Sequence[int]) -> bool:
         return self.oracle.ask(matrix_question(self.n, vs))
 
     # -- learning tasks -----------------------------------------------------
     def learn(self) -> Qhorn1Result:
+        # Task 1 (§3.1.1): the universal-head scan is one bulk round — the
+        # n head questions are fixed upfront and independent of each other.
+        head_answers = ask_all(
+            self.oracle,
+            [universal_head_question(self.n, v) for v in range(self.n)],
+        )
         universal_heads = [
-            v for v in range(self.n) if self._is_universal_head(v)
+            v for v, is_answer in enumerate(head_answers) if not is_answer
         ]
         existential_vars = [
             v for v in range(self.n) if v not in set(universal_heads)
@@ -143,8 +181,9 @@ class Qhorn1Learner:
             remaining = [
                 v for v in available if v not in processed
             ]
-            dependents = find_all(
-                lambda vs: self._depends_existentially(e, vs), remaining
+            dependents = find_all_batch(
+                lambda subsets: self._depends_existentially_each(e, subsets),
+                remaining,
             )
             if not dependents:
                 if self.oracle.ask(single_false_question(self.n, e)):
@@ -181,10 +220,14 @@ class Qhorn1Learner:
         existential_vars: Sequence[int],
         known_bodies: list[FrozenSet[int]],
     ) -> FrozenSet[int]:
-        """Alg. 1: search known bodies first, then FindAll a fresh body."""
+        """Alg. 1: search known bodies first, then FindAll a fresh body.
+
+        The shared-body shortcut's binary search (*Find*) is adaptive and
+        stays sequential; both FindAll variants batch level by level.
+        """
         if not self.use_shared_body_shortcut:
-            body = find_all(
-                lambda vs: self._depends_universally(head, vs),
+            body = find_all_batch(
+                lambda subsets: self._depends_universally_each(head, subsets),
                 list(existential_vars),
             )
             return frozenset(body)
@@ -197,8 +240,9 @@ class Qhorn1Learner:
                 return next(body for body in known_bodies if b in body)
         known = set(known_vars)
         fresh_candidates = [v for v in existential_vars if v not in known]
-        body = find_all(
-            lambda vs: self._depends_universally(head, vs), fresh_candidates
+        body = find_all_batch(
+            lambda subsets: self._depends_universally_each(head, subsets),
+            fresh_candidates,
         )
         return frozenset(body)
 
@@ -227,10 +271,13 @@ class Qhorn1Learner:
             return frozenset()
         h1 = prefix[-1]
         heads = {h1}
-        for d in dependents:
-            if d == h1:
-                continue
-            if not self._depends_existentially(h1, [d]):
+        # Pairwise classification against h1 (Lemma 3.3): the |D|-1
+        # questions are fixed once h1 is known — one bulk round.
+        others = [d for d in dependents if d != h1]
+        for d, depends in zip(
+            others, self._depends_existentially_each(h1, [[d] for d in others])
+        ):
+            if not depends:
                 heads.add(d)
         return frozenset(heads)
 

@@ -37,8 +37,8 @@ from repro.core.tuples import Question
 from repro.lattice.boolean_lattice import BodyLattice, compliant_children
 from repro.learning.questions import universal_head_question
 from repro.learning.role_preserving import RolePreservingLearner
-from repro.learning.search import find_all
-from repro.oracle.base import MembershipOracle
+from repro.learning.search import find_all_batch
+from repro.oracle.base import MembershipOracle, ask_all
 
 __all__ = ["RevisionResult", "QueryReviser", "revise_query"]
 
@@ -87,8 +87,14 @@ class QueryReviser:
     def _revise_heads(self) -> list[int]:
         given_heads = sorted({u.head for u in self.given.universals})
         heads: list[int] = []
-        for h in given_heads:
-            if not self.oracle.ask(universal_head_question(self.n, h)):
+        # One bulk round: the per-given-head confirmation questions are
+        # fixed upfront and independent of each other.
+        confirmations = ask_all(
+            self.oracle,
+            [universal_head_question(self.n, h) for h in given_heads],
+        )
+        for h, is_answer in zip(given_heads, confirmations):
+            if not is_answer:
                 heads.append(h)
             else:
                 self.repairs.append(f"dropped head x{h + 1}")
@@ -101,15 +107,23 @@ class QueryReviser:
             )
             if not self.oracle.ask(probe):
                 # Some non-head of the given query heads an expression in
-                # the intent: binary-search all of them out (A4 refinement).
-                def contains_head(vs) -> bool:
-                    q = Question.of(
-                        self.n,
-                        [top] + [bt.with_false(top, [v]) for v in vs],
+                # the intent: binary-search all of them out (A4 refinement),
+                # batching each FindAll level into one round.
+                def contains_head_each(subsets) -> list[bool]:
+                    answers = ask_all(
+                        self.oracle,
+                        [
+                            Question.of(
+                                self.n,
+                                [top]
+                                + [bt.with_false(top, [v]) for v in vs],
+                            )
+                            for vs in subsets
+                        ],
                     )
-                    return not self.oracle.ask(q)
+                    return [not a for a in answers]
 
-                new_heads = find_all(contains_head, non_heads)
+                new_heads = find_all_batch(contains_head_each, non_heads)
                 for h in new_heads:
                     self.repairs.append(f"added head x{h + 1}")
                 heads.extend(new_heads)
@@ -208,10 +222,20 @@ class QueryReviser:
         if candidates and self.oracle.ask(Question.of(self.n, candidates)):
             # A1 passed: every intent conjunction is covered by some
             # candidate, so a children-replacement question isolates each.
-            for t in candidates:
-                others = [c for c in candidates if c != t]
-                kids = compliant_children(t, self.n, universals)
-                if not self.oracle.ask(Question.of(self.n, others + kids)):
+            # The per-candidate questions are fixed once A1 passes — one
+            # bulk round.
+            replacements = [
+                Question.of(
+                    self.n,
+                    [c for c in candidates if c != t]
+                    + compliant_children(t, self.n, universals),
+                )
+                for t in candidates
+            ]
+            for t, is_answer in zip(
+                candidates, ask_all(self.oracle, replacements)
+            ):
+                if not is_answer:
                     verified.append(t)
         dropped = len(candidates) - len(verified)
         if dropped:

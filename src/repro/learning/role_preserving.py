@@ -39,7 +39,7 @@ from repro.core.tuples import Question
 from repro.lattice.boolean_lattice import BodyLattice, compliant_children
 from repro.learning.questions import two_tuple_question, universal_head_question
 from repro.learning.search import minimal_satisfying_subset
-from repro.oracle.base import MembershipOracle
+from repro.oracle.base import MembershipOracle, ask_all
 
 __all__ = [
     "RolePreservingResult",
@@ -90,15 +90,29 @@ class RolePreservingLearner:
 
     # ------------------------------------------------------------------
     def learn(self) -> RolePreservingResult:
-        heads = [
-            v
-            for v in range(self.n)
-            if not self.oracle.ask(universal_head_question(self.n, v))
-        ]
+        # Bulk round 1 (§3.1.1): all n head questions are fixed upfront.
+        head_answers = ask_all(
+            self.oracle,
+            [universal_head_question(self.n, v) for v in range(self.n)],
+        )
+        heads = [v for v, is_answer in enumerate(head_answers) if not is_answer]
+        # Bulk round 2: one bodyless test per head — the {1^n, bottom}
+        # questions depend only on the head set, not on each other.
+        bottom_answers = ask_all(
+            self.oracle,
+            [
+                two_tuple_question(
+                    self.n, BodyLattice(self.n, h, heads).bottom()
+                )
+                for h in heads
+            ],
+        )
         bodies_per_head: dict[int, list[FrozenSet[int]]] = {}
         universals: list[UniversalHorn] = []
-        for h in heads:
-            bodies = self._learn_bodies(h, heads)
+        for h, bottom_is_answer in zip(heads, bottom_answers):
+            bodies = self._learn_bodies(
+                h, heads, bottom_is_answer=bottom_is_answer
+            )
             bodies_per_head[h] = bodies
             universals.extend(
                 UniversalHorn(head=h, body=body) for body in bodies
@@ -129,6 +143,7 @@ class RolePreservingLearner:
         all_heads: Sequence[int],
         seed_bodies: Sequence[FrozenSet[int]] = (),
         probe_roots_first: bool = False,
+        bottom_is_answer: bool | None = None,
     ) -> list[FrozenSet[int]]:
         """Find all dominant bodies of ``head``.
 
@@ -138,12 +153,20 @@ class RolePreservingLearner:
         ``probe_roots_first`` a single combined question over all current
         roots is asked first — if it is an answer, no further body exists
         and the search ends after one question (the A3 trick of §4).
+        ``bottom_is_answer`` injects a pre-batched answer to the bodyless
+        test (:meth:`learn` asks one batch for all heads); when ``None``
+        the question is asked here.  The root exploration itself stays
+        sequential: each discovered body rewrites the pending root set, so
+        batching roots would ask questions the sequential search never
+        pays for.
         """
         lattice = BodyLattice(self.n, head, all_heads)
         # Bodyless test: {1^n, tuple with h and all non-heads false}.
-        if not self.oracle.ask(
-            two_tuple_question(self.n, lattice.bottom())
-        ):
+        if bottom_is_answer is None:
+            bottom_is_answer = self.oracle.ask(
+                two_tuple_question(self.n, lattice.bottom())
+            )
+        if not bottom_is_answer:
             return [frozenset()]
         non_heads = list(lattice.non_heads)
         bodies: list[FrozenSet[int]] = [frozenset(b) for b in seed_bodies]

@@ -7,6 +7,8 @@ to monotone set queries answered by the user:
   report that there is none, with O(lg |V|) questions per item.
 * :func:`find_all` — Alg. 3 (*FindAll*): locate every positive item with
   O(|found| · lg |V|) questions.
+* :func:`find_all_batch` — batch-first FindAll: the same questions, asked
+  level by level so each round is one oracle batch.
 * :func:`minimal_prefix` — binary search for the shortest prefix satisfying
   a monotone predicate (the engine behind *GetHead*, Alg. 5).
 * :func:`minimal_satisfying_subset` — Alg. 8 (*Prune*): extract a minimal
@@ -15,6 +17,11 @@ to monotone set queries answered by the user:
 All predicates receive plain sequences; callers translate subsets into
 membership questions.  Each primitive documents its question complexity so
 the learners' totals can be audited against the paper's theorems.
+
+:func:`find_one`, :func:`minimal_prefix` and
+:func:`minimal_satisfying_subset` are inherently *adaptive* — every
+question depends on the previous answer — so they have no batch form; only
+FindAll's recursion tree contains independent questions to batch.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ T = TypeVar("T")
 __all__ = [
     "find_one",
     "find_all",
+    "find_all_batch",
     "minimal_prefix",
     "minimal_satisfying_subset",
 ]
@@ -73,6 +81,43 @@ def find_all(
         return items
     mid = len(items) // 2
     return find_all(contains, items[:mid]) + find_all(contains, items[mid:])
+
+
+def find_all_batch(
+    contains_each: Callable[[Sequence[Sequence[T]]], Sequence[bool]],
+    items: Sequence[T],
+) -> list[T]:
+    """Alg. 3 (*FindAll*), batch-first: one oracle round per tree level.
+
+    ``contains_each(subsets)`` answers the containment question for every
+    subset in one batch.  A node's question depends only on its own
+    ancestors' answers — sibling subtrees are independent — so walking the
+    recursion tree level by level asks exactly the questions of the
+    sequential :func:`find_all` (same multiset, O(lg |items|) rounds of at
+    most 2·|found| questions each) and returns the same items in the same
+    left-to-right order.
+    """
+    items = list(items)
+    if not items:
+        return []
+    found_positions: list[int] = []
+    frontier: list[list[int]] = [list(range(len(items)))]
+    while frontier:
+        answers = contains_each(
+            [[items[i] for i in subset] for subset in frontier]
+        )
+        next_frontier: list[list[int]] = []
+        for subset, positive in zip(frontier, answers):
+            if not positive:
+                continue
+            if len(subset) == 1:
+                found_positions.append(subset[0])
+                continue
+            mid = len(subset) // 2
+            next_frontier.append(subset[:mid])
+            next_frontier.append(subset[mid:])
+        frontier = next_frontier
+    return [items[i] for i in sorted(found_positions)]
 
 
 def minimal_prefix(

@@ -10,17 +10,26 @@ It also implements the information-optimal *next question* (the object
 whose answer halves the remaining candidates), which lets E20 measure how
 close the paper's structured learners come to the information-theoretic
 floor on the enumerable class.
+
+Candidate filtering is mask-native: every evaluation goes through the
+candidates' :class:`~repro.core.query.CompiledQuery` forms (memoized per
+query), and :meth:`VersionSpace.record_many` /
+:meth:`VersionSpace.record_from` consume a whole response batch — e.g. a
+verification set answered in one :func:`~repro.oracle.base.ask_all` round
+— in a single filtering pass.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.normalize import canonicalize, enumerate_objects
 from repro.core.generators import enumerate_role_preserving
 from repro.core.query import QhornQuery
 from repro.core.tuples import Question
+from repro.oracle.base import ask_all
 
 __all__ = ["VersionSpace", "SplitQuality"]
 
@@ -71,16 +80,41 @@ class VersionSpace:
 
     def record(self, question: Question, response: bool) -> int:
         """Filter by one response; returns how many candidates died."""
+        return self.record_many([question], [response])
+
+    def record_many(
+        self, questions: Sequence[Question], responses: Sequence[bool]
+    ) -> int:
+        """Filter by a whole response batch in one pass; returns how many
+        candidates died.
+
+        Equivalent to recording each (question, response) pair in order —
+        consistency with a conjunction of constraints is order-independent
+        — but each candidate compiles once and every question's mask set
+        is shared across candidates.
+        """
+        if len(questions) != len(responses):
+            raise ValueError("questions and responses must align")
         before = len(self.candidates)
-        self.candidates = [
-            c for c in self.candidates if c.evaluate(question) == response
-        ]
-        self.history.append((question, response))
+        pairs = [(q.tuples, r) for q, r in zip(questions, responses)]
+        survivors = []
+        for c in self.candidates:
+            compiled = c.compile()
+            if all(compiled.evaluate(masks) == r for masks, r in pairs):
+                survivors.append(c)
+        self.candidates = survivors
+        self.history.extend(zip(questions, responses))
         if not self.candidates:
             raise ValueError(
                 "responses are inconsistent with every class member"
             )
         return before - len(self.candidates)
+
+    def record_from(
+        self, oracle, questions: Sequence[Question]
+    ) -> int:
+        """Ask ``questions`` as one batch and record every response."""
+        return self.record_many(questions, ask_all(oracle, questions))
 
     def identified(self) -> QhornQuery | None:
         """The unique remaining query, if the space has converged."""
@@ -90,7 +124,8 @@ class VersionSpace:
         return None
 
     def split_quality(self, question: Question) -> SplitQuality:
-        yes = sum(1 for c in self.candidates if c.evaluate(question))
+        masks = question.tuples
+        yes = sum(1 for c in self.candidates if c.compile().evaluate(masks))
         return SplitQuality(
             question=question,
             answers=yes,

@@ -1,7 +1,7 @@
 """Membership oracles: simulated users, wrappers, adversaries (§2.1.2)."""
 
 from repro.oracle.adversaries import CandidateEliminationAdversary, max_elimination
-from repro.oracle.base import FunctionOracle, MembershipOracle, QueryOracle
+from repro.oracle.base import FunctionOracle, MembershipOracle, QueryOracle, ask_all
 from repro.oracle.caching import CacheStats, CachingOracle
 from repro.oracle.counting import CountingOracle, QuestionStats, RecordingOracle
 from repro.oracle.expression import CountingExpressionOracle, ExpressionOracle
@@ -24,5 +24,6 @@ __all__ = [
     "QuestionStats",
     "RecordingOracle",
     "ReplayOracle",
+    "ask_all",
     "max_elimination",
 ]

@@ -57,6 +57,12 @@ class CandidateEliminationAdversary:
         self.candidates = yes
         return True
 
+    def ask_many(self, questions) -> list[bool]:
+        """The adversary's answers are history-dependent by construction
+        (each shrinks the candidate set), so the batch is processed
+        strictly in order — batching never weakens the adversary."""
+        return [self.ask(q) for q in questions]
+
     def is_identified(self) -> bool:
         return len(self.candidates) == 1
 

@@ -5,16 +5,34 @@ A membership question is an example object; the user classifies it as an
 questions in this library — learners, verifiers, interactive sessions —
 talks to a :class:`MembershipOracle`, so simulated users, counting wrappers,
 noise injection, adversaries and real humans compose freely.
+
+The protocol is *batch-first* (DESIGN.md §2b): next to the per-question
+:meth:`~MembershipOracle.ask`, every oracle answers
+:meth:`~MembershipOracle.ask_many`, which labels a whole question list in
+one round.  The contract is strict sequential equivalence — on identical
+oracle state, ``ask_many(qs)`` returns exactly ``[ask(q) for q in qs]``
+with identical side effects (statistics, noise draws, replay positions) —
+so batching is purely a latency/evaluation optimization, never a semantic
+one.  Question-asking layers route batches through :func:`ask_all`, which
+falls back to a sequential loop for ask-only user oracles.
+
+The equivalence is promised for batches that complete.  When answering
+*raises* (exhausted replay, width mismatch), a batch is atomic at each
+wrapper: no per-question statistics or transcript entries are recorded
+for the failed call, while the sequential loop records the prefix it
+answered before the error (and inner state, e.g. a replay position, may
+have advanced either way).  Error paths abort the interaction; they are
+not part of the question-count cost model.
 """
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import Iterable, Protocol, Sequence, runtime_checkable
 
 from repro.core.query import QhornQuery
 from repro.core.tuples import Question
 
-__all__ = ["MembershipOracle", "QueryOracle", "FunctionOracle"]
+__all__ = ["MembershipOracle", "QueryOracle", "FunctionOracle", "ask_all"]
 
 
 @runtime_checkable
@@ -27,24 +45,78 @@ class MembershipOracle(Protocol):
         """Return ``True`` for *answer*, ``False`` for *non-answer*."""
         ...
 
+    def ask_many(self, questions: Sequence[Question]) -> list[bool]:
+        """Label a batch of questions; positionally equivalent to asking
+        each question in order through :meth:`ask`."""
+        ...
+
+
+def ask_all(
+    oracle: MembershipOracle, questions: Iterable[Question]
+) -> list[bool]:
+    """Ask a batch through ``oracle``, whatever protocol it speaks.
+
+    Uses the oracle's :meth:`~MembershipOracle.ask_many` when it has one
+    and otherwise degrades to a sequential :meth:`~MembershipOracle.ask`
+    loop, so ad-hoc user oracles that only implement ``ask`` (stateful
+    simulations, humans, test doubles) keep their exact sequential
+    semantics.  All batch-emitting layers go through this helper rather
+    than calling ``ask_many`` directly.
+    """
+    questions = list(questions)
+    if not questions:
+        return []
+    ask_many = getattr(oracle, "ask_many", None)
+    if ask_many is not None:
+        return list(ask_many(questions))
+    return [oracle.ask(q) for q in questions]
+
 
 class QueryOracle:
     """The ideal user: labels questions with a hidden target query.
 
     This is the ground-truth oracle used by exact-identification experiments;
-    the learner never inspects :attr:`target`, only :meth:`ask`.
+    the learner never inspects :attr:`target`, only :meth:`ask` /
+    :meth:`ask_many`.
     """
 
     def __init__(self, target: QhornQuery) -> None:
         self.target = target
         self.n = target.n
 
-    def ask(self, question: Question) -> bool:
+    def _check(self, question: Question) -> None:
         if question.n != self.n:
             raise ValueError(
                 f"question over n={question.n} variables, oracle has n={self.n}"
             )
+
+    def ask(self, question: Question) -> bool:
+        self._check(question)
         return self.target.evaluate(question)
+
+    def ask_many(self, questions: Sequence[Question]) -> list[bool]:
+        """Mask-native batch answering: one compile, one evaluation per
+        *distinct* question.
+
+        The target compiles once (memoized) and each distinct question's
+        mask set is evaluated through the compiled form exactly once;
+        duplicate questions reuse the answer.  ``CompiledQuery.evaluate``
+        agrees with ``QhornQuery.evaluate`` by the batch-evaluation
+        contract (DESIGN.md §2), so the responses are identical to a
+        sequential :meth:`ask` loop.
+        """
+        compiled = self.target.compile()
+        evaluate = compiled.evaluate
+        answers: dict[Question, bool] = {}
+        get = answers.get
+        out: list[bool] = []
+        for q in questions:
+            cached = get(q)
+            if cached is None:
+                self._check(q)  # width-checked once per distinct question
+                cached = answers[q] = evaluate(q.tuples)
+            out.append(cached)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"QueryOracle({self.target.shorthand()})"
@@ -59,3 +131,7 @@ class FunctionOracle:
 
     def ask(self, question: Question) -> bool:
         return bool(self._fn(question))
+
+    def ask_many(self, questions: Sequence[Question]) -> list[bool]:
+        """Sequential application: a plain callable has no batch form."""
+        return [bool(self._fn(q)) for q in questions]

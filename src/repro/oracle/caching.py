@@ -26,9 +26,10 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.tuples import Question
-from repro.oracle.base import MembershipOracle
+from repro.oracle.base import MembershipOracle, ask_all
 
 __all__ = ["CacheStats", "CachingOracle"]
 
@@ -85,6 +86,52 @@ class CachingOracle:
             self.stats.hits += 1
             return cached  # type: ignore[return-value]
         response = self.inner.ask(question)
+        self._store(question, response)
+        return response
+
+    def ask_many(self, questions: Sequence[Question]) -> list[bool]:
+        """Answer hits from the cache and forward only the misses, in one
+        batch, to the inner oracle.
+
+        Sequential equivalence is exact, including the awkward cases: a
+        duplicate of an uncached question is a *hit* from its second
+        occurrence on (the first occurrence populates the cache), unless an
+        eviction inside the batch pushed it out again first — then it is
+        re-forwarded, exactly as a sequential loop would re-ask.  The first
+        pass below replays the LRU key dynamics (hit reorderings, inserts,
+        evictions) without answers to derive the precise miss sequence the
+        inner oracle must see; the second pass fills in responses and
+        updates the real cache and statistics per question, in order.
+        """
+        questions = list(questions)
+        simulated: OrderedDict[Question, None] = OrderedDict.fromkeys(
+            self._cache
+        )
+        missing: list[Question] = []
+        for q in questions:
+            if q in simulated:
+                simulated.move_to_end(q)
+                continue
+            missing.append(q)
+            simulated[q] = None
+            if self.maxsize is not None and len(simulated) > self.maxsize:
+                simulated.popitem(last=False)
+        responses = iter(ask_all(self.inner, missing))
+        out: list[bool] = []
+        for q in questions:
+            cached = self._cache.get(q, _MISSING)
+            if cached is not _MISSING:
+                self._cache.move_to_end(q)
+                self.stats.hits += 1
+                out.append(cached)  # type: ignore[arg-type]
+                continue
+            response = next(responses)
+            self._store(q, response)
+            out.append(response)
+        return out
+
+    def _store(self, question: Question, response: bool) -> None:
+        """Record one answered miss: stats, insertion, LRU eviction."""
         self.stats.misses += 1
         self._cache[question] = response
         hist = self.stats.resident_histogram
@@ -95,7 +142,6 @@ class CachingOracle:
             hist[evicted.size] -= 1
             if not hist[evicted.size]:
                 del hist[evicted.size]
-        return response
 
     def __len__(self) -> int:
         """Number of resident cached questions."""

@@ -4,14 +4,21 @@ The paper's complexity results are stated in *number of membership questions*
 and *tuples per question* (§2.1.2: question generation must stay polynomial,
 which entails polynomially many tuples per question).  The wrappers here
 measure both, so every theorem becomes a measurable quantity.
+
+With the batch-first protocol (DESIGN.md §2b) a third quantity matters:
+how many *rounds* of interaction the questions arrived in.  A batch of N
+questions through :meth:`CountingOracle.ask_many` counts as N questions
+(the paper's cost model is untouched) but only one round; the per-round
+statistics quantify how much latency the batching saves.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.tuples import Question
-from repro.oracle.base import MembershipOracle
+from repro.oracle.base import MembershipOracle, ask_all
 
 __all__ = ["QuestionStats", "CountingOracle", "RecordingOracle"]
 
@@ -26,6 +33,12 @@ class QuestionStats:
     answers: int = 0
     non_answers: int = 0
     tuples_histogram: dict[int, int] = field(default_factory=dict)
+    #: Interaction rounds: one per ``ask`` call, one per ``ask_many`` batch.
+    rounds: int = 0
+    #: Questions that arrived inside an ``ask_many`` batch.
+    batched_questions: int = 0
+    #: Size of the largest single batch seen.
+    largest_batch: int = 0
 
     def record(self, question: Question, response: bool) -> None:
         self.questions += 1
@@ -38,9 +51,21 @@ class QuestionStats:
         else:
             self.non_answers += 1
 
+    def record_round(self, batch_size: int, batched: bool) -> None:
+        """Tally one interaction round of ``batch_size`` questions."""
+        self.rounds += 1
+        if batched:
+            self.batched_questions += batch_size
+        self.largest_batch = max(self.largest_batch, batch_size)
+
     @property
     def mean_tuples(self) -> float:
         return self.tuples / self.questions if self.questions else 0.0
+
+    @property
+    def mean_batch(self) -> float:
+        """Mean questions per interaction round."""
+        return self.questions / self.rounds if self.rounds else 0.0
 
 
 class CountingOracle:
@@ -54,7 +79,23 @@ class CountingOracle:
     def ask(self, question: Question) -> bool:
         response = self.inner.ask(question)
         self.stats.record(question, response)
+        self.stats.record_round(1, batched=False)
         return response
+
+    def ask_many(self, questions: Sequence[Question]) -> list[bool]:
+        """Forward the batch, then count each question individually.
+
+        Question/tuple/answer statistics equal a sequential :meth:`ask`
+        loop exactly; only the round bookkeeping differs (one round for
+        the whole batch).
+        """
+        questions = list(questions)
+        responses = ask_all(self.inner, questions)
+        for question, response in zip(questions, responses):
+            self.stats.record(question, response)
+        if questions:
+            self.stats.record_round(len(questions), batched=True)
+        return responses
 
     @property
     def questions_asked(self) -> int:
@@ -82,6 +123,13 @@ class RecordingOracle:
         response = self.inner.ask(question)
         self.transcript.append((question, response))
         return response
+
+    def ask_many(self, questions: Sequence[Question]) -> list[bool]:
+        """Forward the batch and append each exchange in question order."""
+        questions = list(questions)
+        responses = ask_all(self.inner, questions)
+        self.transcript.extend(zip(questions, responses))
+        return responses
 
     def responses(self) -> list[bool]:
         return [r for _, r in self.transcript]

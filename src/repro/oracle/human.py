@@ -7,7 +7,7 @@ answer / non-answer label from a callable — by default, stdin.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.core.tuples import Question
 
@@ -57,3 +57,12 @@ class HumanOracle:
             if raw in _FALSE:
                 return False
             self.output_fn("please answer 'y' (answer) or 'n' (non-answer)")
+
+    def ask_many(self, questions: Sequence[Question]) -> list[bool]:
+        """A person labels one question at a time: fall back to a loop.
+
+        Batching cannot change what a human sees, so the batched protocol
+        degrades to the sequential prompts — the terminal is the latency
+        floor here, not the oracle.
+        """
+        return [self.ask(q) for q in questions]

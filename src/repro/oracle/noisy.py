@@ -12,9 +12,10 @@ restart mechanism the paper sketches.
 from __future__ import annotations
 
 import random
+from typing import Sequence
 
 from repro.core.tuples import Question
-from repro.oracle.base import MembershipOracle
+from repro.oracle.base import MembershipOracle, ask_all
 
 __all__ = ["NoisyOracle", "ReplayOracle", "ExhaustedReplayError"]
 
@@ -40,6 +41,21 @@ class NoisyOracle:
 
     def ask(self, question: Question) -> bool:
         true_response = self.inner.ask(question)
+        return self._corrupt(true_response)
+
+    def ask_many(self, questions: Sequence[Question]) -> list[bool]:
+        """Batch the inner oracle, then flip per question in list order.
+
+        One seeded ``rng.random()`` draw per question, in question order —
+        exactly the draws a sequential :meth:`ask` loop consumes — so the
+        flip pattern is identical whether a learner batches or not.  (The
+        guarantee assumes the inner oracle does not consume the same
+        ``rng`` instance, which no provided oracle does.)
+        """
+        true_responses = ask_all(self.inner, questions)
+        return [self._corrupt(t) for t in true_responses]
+
+    def _corrupt(self, true_response: bool) -> bool:
         response = (
             not true_response if self.rng.random() < self.p_flip else true_response
         )
@@ -90,3 +106,26 @@ class ReplayOracle:
                 "replay prefix exhausted and no live oracle attached"
             )
         return self.live.ask(question)
+
+    def ask_many(self, questions: Sequence[Question]) -> list[bool]:
+        """Serve the batch from the prefix, then forward the remainder to
+        the live oracle in one sub-batch.
+
+        Replay order is positional, exactly as sequential :meth:`ask`
+        calls: the first ``len(prefix) - position`` questions consume
+        recorded responses, everything after goes live.  Running past the
+        prefix without a live oracle raises :class:`ExhaustedReplayError`
+        just as the sequential loop would at that question.
+        """
+        questions = list(questions)
+        take = min(len(questions), len(self.prefix) - self.position)
+        out: list[bool] = self.prefix[self.position : self.position + take]
+        self.position += take
+        rest = questions[take:]
+        if rest:
+            if self.live is None:
+                raise ExhaustedReplayError(
+                    "replay prefix exhausted and no live oracle attached"
+                )
+            out.extend(ask_all(self.live, rest))
+        return out

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.query import QhornQuery
-from repro.oracle.base import MembershipOracle, QueryOracle
+from repro.oracle.base import MembershipOracle, QueryOracle, ask_all
 from repro.verification.sets import (
     VerificationQuestion,
     VerificationSet,
@@ -66,18 +66,32 @@ class Verifier:
         ``stop_at_first`` aborts on the first disagreement, the interactive
         behaviour; the default asks all O(k) questions so experiments can
         report every detecting family.
+
+        The verification set is fixed before the first answer arrives, so
+        the full run is one oracle batch; only ``stop_at_first`` keeps the
+        sequential loop (batching would spend questions past the abort,
+        changing the paper's question count).
         """
         disagreements: list[Disagreement] = []
-        asked = 0
-        for item in self.verification_set.questions:
-            response = oracle.ask(item.question)
-            asked += 1
-            if response != item.expected:
-                disagreements.append(
-                    Disagreement(item=item, user_response=response)
-                )
-                if stop_at_first:
+        items = self.verification_set.questions
+        if stop_at_first:
+            asked = 0
+            for item in items:
+                response = oracle.ask(item.question)
+                asked += 1
+                if response != item.expected:
+                    disagreements.append(
+                        Disagreement(item=item, user_response=response)
+                    )
                     break
+        else:
+            responses = ask_all(oracle, [item.question for item in items])
+            asked = len(items)
+            disagreements = [
+                Disagreement(item=item, user_response=response)
+                for item, response in zip(items, responses)
+                if response != item.expected
+            ]
         return VerificationOutcome(
             verified=not disagreements,
             questions_asked=asked,

@@ -1,0 +1,412 @@
+"""Differential properties: batched ``ask_many`` vs sequential ``ask``.
+
+The batched-oracle contract (DESIGN.md §2b) demands strict sequential
+equivalence for every oracle and wrapper: on identical starting state,
+``ask_many(qs)`` returns exactly ``[ask(q) for q in qs]`` — pointwise,
+for shuffled and duplicated question lists, with identical side effects
+(cache stats and residency, counting stats, transcripts, seeded noise
+flips, replay positions).  This suite checks the contract two ways:
+
+* hypothesis properties over random question lists and wrapper stacks;
+* a seeded exhaustive sweep of ≥ 1000 (oracle stack, question list)
+  cases, so the agreement count demanded by the acceptance criteria is
+  explicit.
+
+Each case builds two *independent* copies of the same oracle stack from
+the same seeds, drives one sequentially and one in batches, and compares
+responses plus all observable state.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import tuples as bt
+from repro.core.generators import random_qhorn1, random_role_preserving
+from repro.core.normalize import canonicalize
+from repro.core.query import QhornQuery
+from repro.core.tuples import Question
+from repro.oracle import (
+    CachingOracle,
+    CandidateEliminationAdversary,
+    CountingOracle,
+    FunctionOracle,
+    NoisyOracle,
+    QueryOracle,
+    RecordingOracle,
+    ReplayOracle,
+    ask_all,
+)
+
+MAX_N = 6
+
+
+def random_query(rng: random.Random, n: int) -> QhornQuery:
+    """A general qhorn query (same shape space as the engine suite)."""
+    universals = []
+    for _ in range(rng.randrange(0, 4)):
+        head = rng.randrange(n)
+        others = [v for v in range(n) if v != head]
+        body = rng.sample(others, rng.randrange(0, min(3, len(others)) + 1))
+        universals.append((body, head))
+    existentials = [
+        rng.sample(range(n), rng.randrange(1, min(3, n) + 1))
+        for _ in range(rng.randrange(0, 3))
+    ]
+    return QhornQuery.build(
+        n,
+        universals=universals,
+        existentials=existentials,
+        require_guarantees=rng.random() < 0.5,
+    )
+
+
+def random_questions(rng: random.Random, n: int, count: int) -> list[Question]:
+    """A question list with deliberate duplication and shuffling."""
+    distinct = max(1, count // 2)
+    pool = [
+        Question.of(
+            n, [rng.randrange(1 << n) for _ in range(rng.randrange(1, 5))]
+        )
+        for _ in range(distinct)
+    ]
+    questions = [rng.choice(pool) for _ in range(count)]
+    rng.shuffle(questions)
+    return questions
+
+
+# ----------------------------------------------------------------------
+# Stack builders: each returns a fresh, identically seeded oracle
+# ----------------------------------------------------------------------
+
+
+def _build_stack(kind: str, rng_seed: int, n: int, target: QhornQuery):
+    """One of the wrapper configurations under test, freshly constructed."""
+    base = QueryOracle(target)
+    if kind == "query":
+        return base
+    if kind == "function":
+        return FunctionOracle(n, target.evaluate)
+    if kind == "counting":
+        return CountingOracle(base)
+    if kind == "recording":
+        return RecordingOracle(base)
+    if kind == "caching":
+        return CachingOracle(base)
+    if kind == "caching-tiny":
+        # A tiny LRU forces evictions *inside* a batch, covering the
+        # re-forwarded-duplicate path.
+        return CachingOracle(base, maxsize=2)
+    if kind == "noisy":
+        return NoisyOracle(base, 0.3, random.Random(rng_seed))
+    if kind == "replay":
+        prefix_rng = random.Random(rng_seed)
+        prefix = [prefix_rng.random() < 0.5 for _ in range(5)]
+        return ReplayOracle(prefix, base)
+    if kind == "stacked":
+        return CountingOracle(
+            CachingOracle(
+                NoisyOracle(base, 0.2, random.Random(rng_seed)), maxsize=3
+            )
+        )
+    if kind == "adversary":
+        gen = random.Random(rng_seed)
+        return CandidateEliminationAdversary(
+            [random_query(gen, n) for _ in range(4)]
+        )
+    raise AssertionError(kind)
+
+
+KINDS = (
+    "query",
+    "function",
+    "counting",
+    "recording",
+    "caching",
+    "caching-tiny",
+    "noisy",
+    "replay",
+    "stacked",
+    "adversary",
+)
+
+
+def _observable_state(kind: str, oracle) -> tuple:
+    """Everything the contract says must match a sequential run."""
+    if kind == "counting":
+        s = oracle.stats
+        return (s.questions, s.tuples, s.answers, s.tuples_histogram)
+    if kind == "recording":
+        return tuple(oracle.transcript)
+    if kind in ("caching", "caching-tiny"):
+        s = oracle.stats
+        return (
+            s.hits,
+            s.misses,
+            s.evictions,
+            dict(s.resident_histogram),
+            list(oracle._cache.items()),
+        )
+    if kind == "noisy":
+        return (tuple(oracle.given), tuple(oracle.truth))
+    if kind == "replay":
+        return (oracle.position,)
+    if kind == "stacked":
+        inner = oracle.inner
+        return (
+            oracle.stats.questions,
+            inner.stats.hits,
+            inner.stats.misses,
+            inner.stats.evictions,
+            tuple(inner.inner.given),
+        )
+    if kind == "adversary":
+        return (oracle.questions_asked, tuple(oracle.candidates))
+    return ()
+
+
+def assert_batch_equals_sequential(
+    kind: str, seed: int, n: int, questions: list[Question]
+) -> None:
+    rng = random.Random(seed)
+    target = random_query(rng, n)
+    sequential = _build_stack(kind, seed, n, target)
+    batched = _build_stack(kind, seed, n, target)
+
+    expected = [sequential.ask(q) for q in questions]
+    got = batched.ask_many(questions)
+
+    assert got == expected
+    assert _observable_state(kind, batched) == _observable_state(
+        kind, sequential
+    )
+
+
+# ----------------------------------------------------------------------
+# Hypothesis properties
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def oracle_cases(draw):
+    kind = draw(st.sampled_from(KINDS))
+    n = draw(st.integers(min_value=1, max_value=MAX_N))
+    count = draw(st.integers(min_value=0, max_value=20))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return kind, n, count, seed
+
+
+@given(oracle_cases())
+def test_ask_many_agrees_with_sequential_ask(case):
+    kind, n, count, seed = case
+    questions = random_questions(random.Random(seed ^ 0xA5A5), n, count)
+    assert_batch_equals_sequential(kind, seed, n, questions)
+
+
+@given(oracle_cases())
+def test_chunked_batches_agree_with_one_batch(case):
+    """Splitting a question list into arbitrary consecutive chunks and
+    asking each chunk through ``ask_many`` equals one big batch (and hence
+    the sequential loop) — batching boundaries are unobservable."""
+    kind, n, count, seed = case
+    rng = random.Random(seed ^ 0x5A5A)
+    questions = random_questions(rng, n, count)
+    target = random_query(random.Random(seed), n)
+    whole = _build_stack(kind, seed, n, target)
+    chunked = _build_stack(kind, seed, n, target)
+
+    expected = whole.ask_many(questions)
+    got: list[bool] = []
+    i = 0
+    while i < len(questions):
+        step = rng.randint(1, 5)
+        got.extend(chunked.ask_many(questions[i : i + step]))
+        i += step
+    assert got == expected
+    assert _observable_state(kind, chunked) == _observable_state(kind, whole)
+
+
+@given(oracle_cases())
+def test_ask_all_falls_back_for_ask_only_oracles(case):
+    """`ask_all` must preserve exact sequential semantics for user oracles
+    that only implement ``ask`` — including stateful, order-dependent
+    ones, modeled here by an oracle that flips every third response."""
+    _, n, count, seed = case
+    questions = random_questions(random.Random(seed), n, count)
+    target = random_query(random.Random(seed), n)
+
+    class Moody:
+        def __init__(self) -> None:
+            self.n = n
+            self.calls = 0
+
+        def ask(self, q: Question) -> bool:
+            self.calls += 1
+            truthful = target.evaluate(q)
+            return not truthful if self.calls % 3 == 0 else truthful
+
+    reference, via_helper = Moody(), Moody()
+    expected = [reference.ask(q) for q in questions]
+    assert ask_all(via_helper, questions) == expected
+    assert via_helper.calls == reference.calls
+
+
+# ----------------------------------------------------------------------
+# Seeded exhaustive sweep (the acceptance criterion's ≥ 1000 cases)
+# ----------------------------------------------------------------------
+
+
+def test_differential_thousand_cases():
+    rng = random.Random(20130624)
+    cases = 0
+    for i in range(110):
+        for kind in KINDS:
+            n = rng.randrange(1, MAX_N + 1)
+            count = rng.randrange(0, 24)
+            seed = rng.randrange(2**32)
+            questions = random_questions(random.Random(seed), n, count)
+            assert_batch_equals_sequential(kind, seed, n, questions)
+            cases += 1
+    assert cases >= 1000
+
+
+# ----------------------------------------------------------------------
+# Learner / verifier differential: batched path ≡ sequential-ask path
+# ----------------------------------------------------------------------
+
+
+class AskOnly:
+    """Strips the batch protocol off an oracle, forcing every batch
+    emitted by a learner through the sequential :func:`ask_all` fallback
+    — the "sequential ask" side of the acceptance criterion."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.n = inner.n
+
+    def ask(self, question: Question) -> bool:
+        return self.inner.ask(question)
+
+
+def _run_learner(make_learner, target: QhornQuery, batched: bool):
+    counting = CountingOracle(QueryOracle(target))
+    oracle = counting if batched else AskOnly(counting)
+    result = make_learner(oracle).learn()
+    return result.query, counting.stats
+
+
+def test_learners_identical_through_batched_and_sequential_paths():
+    """Identical learned queries, question counts and question multisets
+    whether the oracle speaks the batch protocol or only sequential
+    ``ask`` (question *order* may differ: batched FindAll walks its
+    recursion tree level by level)."""
+    from repro.learning import Qhorn1Learner, RolePreservingLearner
+    from repro.learning.baselines import NaiveQhorn1Learner
+
+    for seed in range(12):
+        rng = random.Random(900 + seed)
+        q1_target = random_qhorn1(7, rng)
+        rp_target = random_role_preserving(5, rng)
+        for make, target in (
+            (Qhorn1Learner, q1_target),
+            (NaiveQhorn1Learner, q1_target),
+            (RolePreservingLearner, rp_target),
+        ):
+            batched_query, batched_stats = _run_learner(make, target, True)
+            seq_query, seq_stats = _run_learner(make, target, False)
+            assert canonicalize(batched_query) == canonicalize(seq_query)
+            assert canonicalize(batched_query) == canonicalize(target)
+            assert batched_stats.questions == seq_stats.questions
+            assert batched_stats.tuples_histogram == seq_stats.tuples_histogram
+            assert batched_stats.rounds < seq_stats.rounds  # batching is real
+
+
+def test_reviser_identical_through_both_paths():
+    from repro.learning.revision import QueryReviser
+
+    for seed in range(8):
+        rng = random.Random(1700 + seed)
+        intended = random_role_preserving(5, rng)
+        given = random_role_preserving(5, rng)
+        results = []
+        for batched in (True, False):
+            counting = CountingOracle(QueryOracle(intended))
+            oracle = counting if batched else AskOnly(counting)
+            out = QueryReviser(given, oracle).revise()
+            results.append((canonicalize(out.query), counting.stats.questions))
+        assert results[0] == results[1]
+        assert results[0][0] == canonicalize(intended)
+
+
+def test_verifier_identical_through_both_paths():
+    from repro.verification import Verifier, build_verification_set
+
+    for seed in range(10):
+        rng = random.Random(2600 + seed)
+        given = random_role_preserving(5, rng)
+        intended = random_role_preserving(5, rng)
+        # The verification set itself is deterministic in the given query.
+        set_a = build_verification_set(given)
+        set_b = build_verification_set(given)
+        assert [
+            (q.kind, q.question, q.expected) for q in set_a.questions
+        ] == [(q.kind, q.question, q.expected) for q in set_b.questions]
+        outcomes = []
+        for batched in (True, False):
+            counting = CountingOracle(QueryOracle(intended))
+            oracle = counting if batched else AskOnly(counting)
+            out = Verifier(given).run(oracle)
+            outcomes.append(
+                (
+                    out.verified,
+                    out.questions_asked,
+                    [(d.item.kind, d.item.question) for d in out.disagreements],
+                    counting.stats.questions,
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+
+def test_verification_set_question_multiset_stable():
+    """`build_verification_set` feeds the batched Verifier; its questions
+    must not depend on evaluation-path side effects (compile caches etc.).
+    Compare a fresh construction after compiled evaluation ran."""
+    for seed in range(6):
+        rng = random.Random(3100 + seed)
+        query = random_role_preserving(5, rng)
+        before = Counter(
+            (q.kind, q.question) for q in build_verification_set_of(query)
+        )
+        QueryOracle(query).ask_many(
+            [q.question for q in build_verification_set_of(query)]
+        )
+        after = Counter(
+            (q.kind, q.question) for q in build_verification_set_of(query)
+        )
+        assert before == after
+
+
+def build_verification_set_of(query):
+    from repro.verification import build_verification_set
+
+    return build_verification_set(query).questions
+
+
+def test_replay_exhaustion_raises_identically():
+    """Past-prefix batches without a live oracle raise in both modes."""
+    import pytest
+
+    from repro.oracle import ExhaustedReplayError
+
+    q = Question.of(2, [bt.all_true(2)])
+    sequential = ReplayOracle([True, False], live=None, n=2)
+    batched = ReplayOracle([True, False], live=None, n=2)
+    assert [sequential.ask(q), sequential.ask(q)] == batched.ask_many([q, q])
+    with pytest.raises(ExhaustedReplayError):
+        sequential.ask(q)
+    with pytest.raises(ExhaustedReplayError):
+        batched.ask_many([q])

@@ -151,6 +151,123 @@ class TestCachingOracle:
         assert cached.stats.misses == 1
 
 
+class _BatchSpy:
+    """Inner oracle that records how questions arrive (calls + batches)."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.n = inner.n
+        self.ask_calls = 0
+        self.batches: list[list[Question]] = []
+
+    def ask(self, q):
+        self.ask_calls += 1
+        return self.inner.ask(q)
+
+    def ask_many(self, questions):
+        self.batches.append(list(questions))
+        return self.inner.ask_many(questions)
+
+
+class TestCachingOracleBatching:
+    def test_batch_hits_misses_exact_with_duplicates_and_cached(self):
+        """A batch mixing already-cached questions, fresh questions and
+        duplicates of fresh questions produces exactly the sequential
+        hit/miss tallies: first occurrence of an uncached question is the
+        only miss, duplicates and pre-cached entries are hits."""
+        target = parse_query("∃x1x2")
+        spy = _BatchSpy(QueryOracle(target))
+        cached = CachingOracle(spy)
+        q_old = Question.from_strings("11")
+        q_new1 = Question.from_strings("10")
+        q_new2 = Question.from_strings("01", "10")
+        cached.ask(q_old)  # pre-cache
+
+        batch = [q_old, q_new1, q_new1, q_old, q_new2, q_new1]
+        responses = cached.ask_many(batch)
+
+        assert responses == [target.evaluate(q) for q in batch]
+        assert cached.stats.misses == 3  # q_old (pre-batch), q_new1, q_new2
+        assert cached.stats.hits == 4  # q_old ×2, q_new1 duplicates ×2
+        assert cached.stats.questions == 7
+        # The inner oracle saw exactly one batch with only the two misses.
+        assert spy.batches == [[q_new1, q_new2]]
+        assert spy.ask_calls == 1  # only the pre-cache ask
+
+    def test_batch_eviction_reforwards_duplicates(self):
+        """With a tiny LRU, a duplicate whose first occurrence was evicted
+        mid-batch is re-forwarded, exactly like the sequential loop."""
+        target = parse_query("∃x1")
+        spy = _BatchSpy(QueryOracle(target))
+        cached = CachingOracle(spy, maxsize=1)
+        q1, q2 = Question.of(1, [1]), Question.of(1, [0])
+
+        responses = cached.ask_many([q1, q2, q1])
+
+        assert responses == [True, False, True]
+        assert cached.stats.misses == 3  # q1, q2 (evicts q1), q1 again
+        assert cached.stats.hits == 0
+        assert cached.stats.evictions == 2
+        assert spy.batches == [[q1, q2, q1]]
+
+    def test_batch_matches_fresh_sequential_run_state(self):
+        """Final cache contents, order and stats equal a sequential run."""
+        target = parse_query("∀x1→x2 ∃x3")
+        rng = random.Random(5)
+        questions = [
+            Question.of(3, [rng.randrange(8) for _ in range(rng.randint(1, 3))])
+            for _ in range(40)
+        ]
+        questions = [rng.choice(questions) for _ in range(120)]
+        sequential = CachingOracle(QueryOracle(target), maxsize=8)
+        batched = CachingOracle(QueryOracle(target), maxsize=8)
+        expected = [sequential.ask(q) for q in questions]
+        assert batched.ask_many(questions) == expected
+        assert batched.stats.hits == sequential.stats.hits
+        assert batched.stats.misses == sequential.stats.misses
+        assert batched.stats.evictions == sequential.stats.evictions
+        assert batched._cache == sequential._cache
+        assert list(batched._cache) == list(sequential._cache)  # LRU order
+
+    def test_empty_batch_is_free(self):
+        cached = CachingOracle(QueryOracle(parse_query("∃x1")))
+        assert cached.ask_many([]) == []
+        assert cached.stats.questions == 0
+
+
+class TestCountingOracleBatching:
+    def test_round_stats_separate_batched_from_sequential(self):
+        oracle = CountingOracle(QueryOracle(parse_query("∃x1x2")))
+        q = Question.from_strings("11")
+        oracle.ask(q)
+        oracle.ask_many([q, q, q])
+        assert oracle.questions_asked == 4
+        assert oracle.stats.rounds == 2
+        assert oracle.stats.batched_questions == 3
+        assert oracle.stats.largest_batch == 3
+        assert oracle.stats.mean_batch == pytest.approx(2.0)
+
+
+class TestQueryOracleBatching:
+    def test_ask_many_dedups_but_answers_pointwise(self):
+        target = parse_query("∀x1→x2")
+        oracle = QueryOracle(target)
+        a = Question.from_strings("11")
+        b = Question.from_strings("10")
+        assert oracle.ask_many([a, b, a, a, b]) == [
+            True,
+            False,
+            True,
+            True,
+            False,
+        ]
+
+    def test_ask_many_rejects_wrong_width(self):
+        oracle = QueryOracle(parse_query("∃x1x2"))
+        with pytest.raises(ValueError):
+            oracle.ask_many([Question.from_strings("111")])
+
+
 class TestRecordingOracle:
     def test_transcript_order_and_content(self):
         oracle = RecordingOracle(QueryOracle(parse_query("∃x1")))
