@@ -1,0 +1,132 @@
+"""E23 — evaluation backends at scale: single bitmask index vs sharded
+blocks vs SQL batch execution.
+
+Not a paper experiment, but the measurement the `EvaluationBackend` seam
+(DESIGN.md §2c) exists to answer: which backend serves an oracle-style
+workload — build the evaluation structure, then label **every object of
+the relation** for each query of the 8-query mixed workload — fastest as
+the relation grows?
+
+The single :class:`RelationIndex` pays two super-linear costs at scale:
+building accumulates ``1 << position`` into relation-width big-int
+bitsets (`O(W²)`-flavoured), and a full labeling pass extracts ``W`` bits
+from a ``W``-bit integer with ``O(W)`` shifts.  The sharded backend
+bounds every bitset to ``shard_size`` bits, making both linear; SQL runs
+the workload in SQLite round trips.  Answers are asserted identical
+across all three on every tier (the differential contract).
+
+Acceptance gate: on the largest tier (≥ 10× the seed benchmark size)
+the sharded backend's end-to-end throughput (build + labeling) is ≥ 2×
+the single index's.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import render_table
+from repro.data import create_backend
+from repro.data.chocolate import intro_query
+
+SEED_STORE_BOXES = 400  # the seed E21 benchmark store size
+SIZES = (4000, 20000, 40000)
+SHARDED_SPEEDUP_FLOOR = 2.0
+
+BACKENDS = (
+    ("bitmask", {}),
+    ("sharded", {}),  # DEFAULT_SHARD_SIZE blocks
+    ("sql", {}),
+)
+
+
+def _measure(backend, workload):
+    """(build_ms, label_ms, labels): cold build + full-relation labeling.
+
+    The labeling pass is taken best-of-two so a one-off scheduler hiccup
+    cannot flip the gate; answers come from the first pass.
+    """
+    t0 = time.perf_counter()
+    backend.refresh(force=True)
+    build_ms = (time.perf_counter() - t0) * 1000
+    passes = []
+    labels = None
+    for attempt in range(2):
+        t0 = time.perf_counter()
+        run = [backend.matches_many(q) for q in workload]
+        passes.append((time.perf_counter() - t0) * 1000)
+        if labels is None:
+            labels = run
+    return build_ms, min(passes), labels
+
+
+def test_e23_backend_scaling(
+    report, benchmark, storefront_vocab, store_factory, engine_workload
+):
+    rows = []
+    sharded_backend = None
+    for size in SIZES:
+        store = store_factory(size)
+        timings = {}
+        reference_labels = None
+        for name, options in BACKENDS:
+            backend = create_backend(
+                name, store, storefront_vocab, **options
+            )
+            build_ms, label_ms, labels = _measure(backend, engine_workload)
+            if reference_labels is None:
+                reference_labels = labels
+            # Identical answers on identical state, whatever the backend.
+            assert labels == reference_labels, name
+            timings[name] = (build_ms, label_ms)
+            if name == "sharded":
+                sharded_backend = backend
+
+        single_total = sum(timings["bitmask"])
+        sharded_total = sum(timings["sharded"])
+        sharded_speedup = single_total / sharded_total
+        # The gate applies to the largest tier (well beyond 10x the seed
+        # benchmark size); smaller tiers chart the crossover region.
+        if size == max(SIZES):
+            assert size >= 10 * SEED_STORE_BOXES
+            assert sharded_speedup >= SHARDED_SPEEDUP_FLOOR, (
+                f"sharded backend only {sharded_speedup:.1f}x faster than the "
+                f"single index at {size} boxes "
+                f"(floor {SHARDED_SPEEDUP_FLOOR}x)"
+            )
+        answers = sum(reference_labels[0])
+        rows.append(
+            [
+                size,
+                answers,
+                f"{timings['bitmask'][0]:.1f}",
+                f"{timings['bitmask'][1]:.1f}",
+                f"{timings['sharded'][0]:.1f}",
+                f"{timings['sharded'][1]:.1f}",
+                f"{timings['sql'][0]:.1f}",
+                f"{timings['sql'][1]:.1f}",
+                f"{sharded_speedup:.1f}x",
+            ]
+        )
+    table = render_table(
+        [
+            "boxes",
+            "answers(q0)",
+            "single build ms",
+            "single label ms",
+            "sharded build ms",
+            "sharded label ms",
+            "sql build ms",
+            "sql label ms",
+            "sharded speedup",
+        ],
+        rows,
+        title=(
+            "E23 — backend throughput on the oracle workload (cold build + "
+            "full-relation labeling of the 8-query mix; answers identical "
+            "across backends; speedup = single-index total / sharded total)"
+        ),
+    )
+    report("e23_backend_scale", table)
+
+    # pytest-benchmark on the warm sharded labeling path, largest store.
+    benchmark(sharded_backend.matches_many, intro_query())

@@ -7,7 +7,23 @@ CI never churn the committed tables under ``benchmarks/results/``; with
 it, the committed tables are refreshed in place.  The option must be
 registered here (the rootdir conftest) so it exists regardless of which
 test directory is selected on the command line.
+
+Also registers ``--backend``: tests parametrized over the evaluation
+backends (they request the ``backend_name`` fixture) normally run once
+per registered backend; ``--backend sql`` restricts them to a single
+backend, which is how CI exercises the SQL path on a fast tier-1 subset.
 """
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent / "src"))
+
+from repro.data.backends import BACKENDS  # noqa: E402
+
+# Derived from the registry so a newly registered backend is picked up by
+# every backend-parametrized test without touching this file.
+ALL_BACKENDS = tuple(sorted(BACKENDS))
 
 
 def pytest_addoption(parser):
@@ -18,3 +34,17 @@ def pytest_addoption(parser):
         help="rewrite the committed benchmark tables under "
         "benchmarks/results/ (default: write to benchmarks/out/)",
     )
+    parser.addoption(
+        "--backend",
+        choices=ALL_BACKENDS,
+        default=None,
+        help="restrict backend-parametrized tests to one evaluation "
+        "backend (default: run them against every registered backend)",
+    )
+
+
+def pytest_generate_tests(metafunc):
+    if "backend_name" in metafunc.fixturenames:
+        choice = metafunc.config.getoption("--backend")
+        names = (choice,) if choice else ALL_BACKENDS
+        metafunc.parametrize("backend_name", names)

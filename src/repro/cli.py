@@ -23,10 +23,25 @@ from repro.learning import (
     RolePreservingLearner,
     revise_query,
 )
-from repro.oracle import CachingOracle, CountingOracle, QueryOracle
+from repro.oracle import CachingOracle, CountingOracle, QueryOracle, SqlQueryOracle
 from repro.verification import Verifier
 
 __all__ = ["main", "build_parser"]
+
+#: Backend-selection guide shown in ``--help`` (DESIGN.md §2c).
+BACKEND_GUIDE = """\
+evaluation backends (--backend):
+  bitmask   one in-process inverted bitmask index over the whole relation;
+            the default — fastest for small/medium relations and the
+            mask-native oracle for learn/verify
+  sharded   the bitmask index partitioned into object-position blocks with
+            bounded bitset widths; pick for relations beyond ~10k objects
+            (linear builds and full-relation labeling, parallel-capable)
+  sql       queries compile to SQL once and run on SQLite; pick when a
+            real database should answer — batches are one round trip, and
+            learn/verify answer membership questions through the database
+All backends return identical answers on identical state (DESIGN.md §2c).
+"""
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,8 +49,21 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="qhorn: learn and verify quantified Boolean queries "
         "by example (PODS 2013)",
+        epilog=BACKEND_GUIDE,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    from repro.data.backends import BACKENDS
+
+    def add_backend_flag(p, choices=tuple(sorted(BACKENDS))) -> None:
+        p.add_argument(
+            "--backend",
+            choices=choices,
+            default="bitmask",
+            help="evaluation backend (see the guide at the bottom of "
+            "`repro --help`)",
+        )
 
     learn = sub.add_parser("learn", help="learn a target query by example")
     learn.add_argument("target", help="query shorthand, e.g. '∀x1 ∃x2x3'")
@@ -46,6 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
         default="role-preserving",
     )
     learn.add_argument("--json", action="store_true", help="emit JSON")
+    # The relation-layout backends are identical for oracle answering, so
+    # learn/verify expose the two distinct oracle evaluators.
+    add_backend_flag(learn, choices=("bitmask", "sql"))
 
     verify = sub.add_parser(
         "verify", help="verify a given query against an intended one"
@@ -53,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("given")
     verify.add_argument("intended")
     verify.add_argument("--n", type=int, default=None)
+    add_backend_flag(verify, choices=("bitmask", "sql"))
 
     revise = sub.add_parser(
         "revise", help="revise a close query toward the intended one"
@@ -65,8 +97,16 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument("query")
     sql.add_argument("--n", type=int, default=None)
 
-    sub.add_parser("demo", help="run the chocolate-store walkthrough")
+    demo = sub.add_parser("demo", help="run the chocolate-store walkthrough")
+    add_backend_flag(demo)
     return parser
+
+
+def _target_oracle(target, backend: str):
+    """The ground-truth oracle for ``target`` under a backend choice."""
+    if backend == "sql":
+        return SqlQueryOracle(target)
+    return QueryOracle(target)
 
 
 def _n_for(*queries, explicit: int | None) -> int | None:
@@ -75,7 +115,7 @@ def _n_for(*queries, explicit: int | None) -> int | None:
 
 def _cmd_learn(args) -> int:
     target = parse_query(args.target, n=args.n)
-    cache = CachingOracle(QueryOracle(target))
+    cache = CachingOracle(_target_oracle(target, args.backend))
     oracle = CountingOracle(cache)
     learner_cls = (
         Qhorn1Learner if args.learner == "qhorn1" else RolePreservingLearner
@@ -106,7 +146,7 @@ def _cmd_verify(args) -> int:
     intended = parse_query(args.intended, n=n or given.n)
     if intended.n > given.n:
         given = parse_query(args.given, n=intended.n)
-    outcome = Verifier(given).run(QueryOracle(intended))
+    outcome = Verifier(given).run(_target_oracle(intended, args.backend))
     print(f"given   : {given.shorthand()}")
     print(f"intended: {intended.shorthand()}")
     print(f"verified: {outcome.verified} "
@@ -156,7 +196,6 @@ def _cmd_sql(args) -> int:
 
 
 def _cmd_demo(args) -> int:
-    del args
     from repro.data import QueryEngine
     from repro.data.chocolate import (
         intro_query,
@@ -177,10 +216,10 @@ def _cmd_demo(args) -> int:
           f"({oracle.questions_asked} questions, "
           f"{cache.stats.misses} distinct, "
           f"{oracle.stats.rounds} rounds)")
-    engine = QueryEngine(store, vocabulary)
+    engine = QueryEngine(store, vocabulary, backend=args.backend)
     matches = engine.execute_batch(result.query)
     print(f"matching boxes: {len(matches)} / {len(store)} "
-          f"({engine.index.distinct_masks} distinct masks)")
+          f"({engine.backend.describe()})")
     for box in matches[:5]:
         print(f"  {box.key}")
     return 0

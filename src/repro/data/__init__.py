@@ -4,6 +4,14 @@ Schemas, relations, proposition vocabularies with interference checking,
 Boolean-tuple→row synthesis, question rendering, and a query engine.
 """
 
+from repro.data.backends import (
+    BACKENDS,
+    BitmaskBackend,
+    EvaluationBackend,
+    ShardedBitmaskBackend,
+    SqlBackend,
+    create_backend,
+)
 from repro.data.engine import ExampleFactory, ExpressionReport, QueryEngine
 from repro.data.index import RelationIndex
 from repro.data.generator import (
@@ -38,8 +46,14 @@ from repro.data.schema import (
 __all__ = [
     "Attribute",
     "AttributeType",
+    "BACKENDS",
     "Between",
+    "BitmaskBackend",
     "BoolIs",
+    "EvaluationBackend",
+    "ShardedBitmaskBackend",
+    "SqlBackend",
+    "create_backend",
     "RelationGenerator",
     "SqliteEngine",
     "bernoulli",

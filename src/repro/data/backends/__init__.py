@@ -1,0 +1,71 @@
+"""Pluggable evaluation backends behind one seam (DESIGN.md §2c).
+
+Three implementations of the :class:`EvaluationBackend` contract:
+
+* ``bitmask`` — one :class:`~repro.data.index.RelationIndex` over the
+  whole relation (the default; fastest for small/medium relations);
+* ``sharded`` — the relation partitioned into object-position blocks so
+  bitset widths stay bounded; builds and full-relation labeling scale
+  linearly, shards optionally evaluate in parallel;
+* ``sql`` — the relation loaded into SQLite, each query compiled to SQL
+  once and answered in one round trip (the database does the work).
+
+``create_backend(name, relation, vocabulary, **options)`` is the single
+construction seam the engine, CLI and experiments go through.
+"""
+
+from __future__ import annotations
+
+from repro.data.backends.base import EvaluationBackend, check_width
+from repro.data.backends.bitmask import BitmaskBackend
+from repro.data.backends.sharded import (
+    DEFAULT_SHARD_SIZE,
+    ShardedBitmaskBackend,
+)
+from repro.data.backends.sqlexec import SqlBackend
+from repro.data.propositions import Vocabulary
+from repro.data.relation import NestedRelation
+
+__all__ = [
+    "BACKENDS",
+    "BitmaskBackend",
+    "DEFAULT_SHARD_SIZE",
+    "EvaluationBackend",
+    "ShardedBitmaskBackend",
+    "SqlBackend",
+    "check_width",
+    "create_backend",
+]
+
+#: Registry: backend name → class.  Every future backend (async,
+#: multi-process, remote) registers here and inherits the engine's
+#: ``backend=`` dispatch, the demo CLI choices and the
+#: ``backend_name``-parametrized unit tests for free; the differential
+#: property suite and E23 construct backends with per-backend options,
+#: so they list names explicitly and need a one-line addition.
+BACKENDS: dict[str, type] = {
+    BitmaskBackend.name: BitmaskBackend,
+    ShardedBitmaskBackend.name: ShardedBitmaskBackend,
+    SqlBackend.name: SqlBackend,
+}
+
+
+def create_backend(
+    name: str,
+    relation: NestedRelation,
+    vocabulary: Vocabulary,
+    **options,
+) -> EvaluationBackend:
+    """Construct a registered backend by name.
+
+    ``options`` are forwarded to the backend constructor (``shard_size``
+    and ``executor`` for ``sharded``, ``auto_refresh`` for all).
+    """
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown evaluation backend {name!r}; "
+            f"choices: {', '.join(sorted(BACKENDS))}"
+        ) from None
+    return cls(relation, vocabulary, **options)

@@ -1,0 +1,224 @@
+"""Sharded bitmask backend: object-position blocks with bounded bitsets.
+
+The single :class:`~repro.data.index.RelationIndex` stores one inverted
+``mask → object-position bitset`` map whose bitsets span the *whole*
+relation.  Those arbitrary-width ints make the algebra elegant, but two
+costs grow super-linearly with relation size ``W``:
+
+* **build** — ``inverted[m] |= 1 << position`` re-copies an up-to-``W``-bit
+  integer per (object, mask) pair, an ``O(W²)``-flavoured accumulation;
+* **label extraction** — ``bits >> i & 1`` over all ``i`` costs ``O(W)``
+  per shift, ``O(W²)`` for a full-relation labeling pass.
+
+:class:`ShardedBitmaskBackend` partitions the relation into consecutive
+*object-position blocks* of ``shard_size`` objects.  Each shard owns its
+own inverted index with **shard-local positions**, so every bitset is
+bounded to ``shard_size`` bits: builds and label extractions become
+linear in relation size, and shards evaluate independently through the
+same :func:`~repro.data.index.evaluate_inverted` kernel the single index
+uses.  An optional :mod:`concurrent.futures` executor evaluates shards
+in parallel (shards share no state; ``evaluate_inverted`` is a pure
+module-level function, so thread *and* process pools both work).
+
+Shard boundaries are unobservable: answers are identical to the single
+index on identical state (enforced by
+``tests/properties/test_prop_backends.py``), and ``matching_bits``
+reassembles the global object-position bitset in relation order.  E23
+(``benchmarks/test_e23_backend_scale.py``) charts the crossover.
+"""
+
+from __future__ import annotations
+
+from itertools import repeat
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core import tuples as bt
+from repro.core.query import CompiledQuery, QhornQuery
+from repro.data.backends.base import check_width
+from repro.data.index import evaluate_inverted
+from repro.data.propositions import Vocabulary
+from repro.data.relation import NestedObject, NestedRelation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from concurrent.futures import Executor
+
+__all__ = ["ShardedBitmaskBackend", "DEFAULT_SHARD_SIZE"]
+
+#: Default objects per shard: big enough that per-shard dict overhead is
+#: amortized, small enough that every bitset stays a few machine words.
+DEFAULT_SHARD_SIZE = 4096
+
+
+class _Shard:
+    """One object-position block: a shard-local inverted index."""
+
+    __slots__ = ("offset", "count", "inverted", "all_bits")
+
+    def __init__(self, offset: int, objects: list[NestedObject], vocabulary: Vocabulary) -> None:
+        self.offset = offset
+        self.count = len(objects)
+        boolean_tuples = vocabulary.boolean_tuples
+        inverted: dict[int, int] = {}
+        for local, obj in enumerate(objects):
+            bit = 1 << local
+            for m in frozenset(boolean_tuples(obj.rows)):
+                inverted[m] = inverted.get(m, 0) | bit
+        self.inverted = inverted
+        self.all_bits = (1 << self.count) - 1
+
+
+class ShardedBitmaskBackend:
+    """The relation partitioned into independent bitmask shards.
+
+    Parameters
+    ----------
+    relation, vocabulary:
+        The evaluated pair.
+    shard_size:
+        Objects per shard (the bound on every bitset's width).
+    executor:
+        Optional :class:`concurrent.futures.Executor`; when given, the
+        per-shard evaluations of one query run through ``executor.map``.
+        The backend never owns the executor's lifecycle.
+    auto_refresh:
+        Rebuild all shards on relation-version mismatch before every
+        evaluation (same contract as :class:`RelationIndex`).
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        relation: NestedRelation,
+        vocabulary: Vocabulary,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        executor: "Executor | None" = None,
+        auto_refresh: bool = True,
+    ) -> None:
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be positive, got {shard_size}")
+        self.relation = relation
+        self.vocabulary = vocabulary
+        self.shard_size = shard_size
+        self.executor = executor
+        self.auto_refresh = auto_refresh
+        self._shards: list[_Shard] | None = None
+        self._built_version: int | None = None
+
+    # ------------------------------------------------------------------
+    # Construction / freshness
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        objects = self.relation.objects
+        size = self.shard_size
+        self._shards = [
+            _Shard(offset, objects[offset : offset + size], self.vocabulary)
+            for offset in range(0, len(objects), size)
+        ]
+        self._objects = objects
+        self._positions = {o.key: i for i, o in enumerate(objects)}
+        self._built_version = getattr(self.relation, "version", None)
+
+    @property
+    def is_stale(self) -> bool:
+        return (
+            self._shards is None
+            or getattr(self.relation, "version", None) != self._built_version
+        )
+
+    def refresh(self, force: bool = False) -> bool:
+        if force or self.is_stale:
+            self._build()
+            return True
+        return False
+
+    def _ensure_fresh(self) -> None:
+        if self._shards is None or (self.auto_refresh and self.is_stale):
+            self._build()
+
+    @property
+    def shard_count(self) -> int:
+        self._ensure_fresh()
+        return len(self._shards)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _compiled(self, query: QhornQuery | CompiledQuery) -> CompiledQuery:
+        check_width(query, self.vocabulary)
+        return query.compile() if isinstance(query, QhornQuery) else query
+
+    def _shard_answers(self, compiled: CompiledQuery) -> list[int]:
+        """Per-shard answer bitsets (shard-local positions), shard order."""
+        shards = self._shards
+        if self.executor is not None and len(shards) > 1:
+            return list(
+                self.executor.map(
+                    evaluate_inverted,
+                    repeat(compiled),
+                    [s.inverted for s in shards],
+                    [s.all_bits for s in shards],
+                )
+            )
+        return [
+            evaluate_inverted(compiled, s.inverted, s.all_bits)
+            for s in shards
+        ]
+
+    def matching_bits(self, query: QhornQuery | CompiledQuery) -> int:
+        self._ensure_fresh()
+        compiled = self._compiled(query)
+        answers = 0
+        for shard, bits in zip(self._shards, self._shard_answers(compiled)):
+            answers |= bits << shard.offset
+        return answers
+
+    def execute(self, query: QhornQuery | CompiledQuery) -> list[NestedObject]:
+        bits = self.matching_bits(query)
+        return [self._objects[i] for i in bt.variables_of(bits)]
+
+    def matches_many(
+        self,
+        query: QhornQuery | CompiledQuery,
+        objects: Iterable[NestedObject] | None = None,
+    ) -> list[bool]:
+        self._ensure_fresh()
+        compiled = self._compiled(query)
+        answers = self._shard_answers(compiled)
+        if objects is None:
+            # Extract shard by shard so every >> stays shard-width.
+            labels: list[bool] = []
+            for shard, bits in zip(self._shards, answers):
+                labels.extend(
+                    bool(bits >> i & 1) for i in range(shard.count)
+                )
+            return labels
+        size = self.shard_size
+        labels = []
+        for obj in objects:
+            position = self._positions.get(obj.key)
+            if position is not None and self._objects[position] is obj:
+                shard_idx, local = divmod(position, size)
+                labels.append(bool(answers[shard_idx] >> local & 1))
+            else:
+                labels.append(
+                    compiled.evaluate(self.vocabulary.boolean_tuples(obj.rows))
+                )
+        return labels
+
+    def describe(self) -> str:
+        if self._shards is None:
+            return "sharded: shards not built yet"
+        masks = sum(len(s.inverted) for s in self._shards)
+        return (
+            f"sharded: {len(self._objects)} objects in "
+            f"{len(self._shards)} shard(s) of ≤{self.shard_size}, "
+            f"{masks} inverted entries"
+            + (", parallel" if self.executor is not None else "")
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedBitmaskBackend({len(self.relation)} objects, "
+            f"shard_size={self.shard_size})"
+        )

@@ -1,0 +1,178 @@
+"""SQL batch-execution backend: the database answers, not the process.
+
+The source paper's SQL translation (:mod:`repro.data.sql`) was only used
+for cross-checking learned queries; :class:`SqlBackend` promotes it to a
+first-class evaluation backend behind the
+:class:`~repro.data.backends.base.EvaluationBackend` seam.  The relation
+loads once into a :class:`~repro.data.sql.SqliteEngine`'s two-table
+encoding; each distinct query compiles to SQL **once** (an in-backend
+statement cache keyed on the hashable :class:`QhornQuery`) and every
+``matching_bits`` / ``matches_many`` call is a single round trip that
+returns the whole answer set.
+
+Because SQL evaluates propositions over the *real* rows while the
+bitmask backends evaluate over vocabulary abstractions, answer identity
+across the seam doubles as an end-to-end check that
+``proposition_to_sql`` and ``Proposition.holds`` agree — the differential
+property suite runs that check on ≥ 1000 seeded cases.
+
+Foreign objects (not members of the relation) cannot be answered by the
+loaded database; ``matches_many`` falls back to the compiled in-process
+evaluation for exactly those, preserving the seam contract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core import tuples as bt
+from repro.core.query import CompiledQuery, QhornQuery
+from repro.data.backends.base import check_width
+from repro.data.propositions import Vocabulary
+from repro.data.relation import NestedObject, NestedRelation
+from repro.data.sql import SqliteEngine, to_sql
+
+__all__ = ["SqlBackend"]
+
+
+class SqlBackend:
+    """Evaluates queries by executing their SQL compilation on SQLite.
+
+    Parameters
+    ----------
+    relation, vocabulary:
+        The evaluated pair; every vocabulary proposition must be SQL
+        renderable (:func:`~repro.data.sql.proposition_to_sql`).
+    auto_refresh:
+        Reload the database on relation-version mismatch before every
+        evaluation (same contract as the bitmask backends).
+    """
+
+    name = "sql"
+
+    def __init__(
+        self,
+        relation: NestedRelation,
+        vocabulary: Vocabulary,
+        auto_refresh: bool = True,
+    ) -> None:
+        self.relation = relation
+        self.vocabulary = vocabulary
+        self.auto_refresh = auto_refresh
+        self._engine: SqliteEngine | None = None
+        self._sql_cache: dict[QhornQuery, str] = {}
+        self._positions: dict[str, int] = {}
+        self._objects: list[NestedObject] = []
+        self._built_version: int | None = None
+
+    # ------------------------------------------------------------------
+    # Construction / freshness
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        if self._engine is None:
+            self._engine = SqliteEngine(self.relation, self.vocabulary)
+        else:
+            self._engine.refresh(force=True)
+        self._objects = self.relation.objects
+        self._positions = {o.key: i for i, o in enumerate(self._objects)}
+        self._built_version = getattr(self.relation, "version", None)
+
+    @property
+    def is_stale(self) -> bool:
+        return (
+            self._engine is None
+            or getattr(self.relation, "version", None) != self._built_version
+        )
+
+    def refresh(self, force: bool = False) -> bool:
+        if force or self.is_stale:
+            self._build()
+            return True
+        return False
+
+    def _ensure_fresh(self) -> None:
+        if self._engine is None or (self.auto_refresh and self.is_stale):
+            self._build()
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _require_query(self, query: QhornQuery | CompiledQuery) -> QhornQuery:
+        if not isinstance(query, QhornQuery):
+            raise TypeError(
+                "the SQL backend compiles propositions to SQL and needs the "
+                "source QhornQuery, not a CompiledQuery"
+            )
+        check_width(query, self.vocabulary)
+        return query
+
+    def _sql_for(self, query: QhornQuery) -> str:
+        sql = self._sql_cache.get(query)
+        if sql is None:
+            sql = self._sql_cache[query] = to_sql(query, self.vocabulary)
+        return sql
+
+    def _matching_keys(self, query: QhornQuery) -> set[str]:
+        """One round trip: every answer object key of ``query``."""
+        self._ensure_fresh()
+        sql = self._sql_for(query)
+        return {row[0] for row in self._engine.connection.execute(sql)}
+
+    def matching_bits(self, query: QhornQuery | CompiledQuery) -> int:
+        query = self._require_query(query)
+        keys = self._matching_keys(query)
+        positions = self._positions
+        return bt.union_masks(1 << positions[k] for k in keys)
+
+    def execute(self, query: QhornQuery | CompiledQuery) -> list[NestedObject]:
+        query = self._require_query(query)
+        keys = self._matching_keys(query)
+        return [o for o in self._objects if o.key in keys]
+
+    def matches_many(
+        self,
+        query: QhornQuery | CompiledQuery,
+        objects: Iterable[NestedObject] | None = None,
+    ) -> list[bool]:
+        query = self._require_query(query)
+        keys = self._matching_keys(query)
+        if objects is None:
+            return [o.key in keys for o in self._objects]
+        compiled = query.compile()
+        labels: list[bool] = []
+        for obj in objects:
+            position = self._positions.get(obj.key)
+            if position is not None and self._objects[position] is obj:
+                labels.append(obj.key in keys)
+            else:
+                labels.append(
+                    compiled.evaluate(self.vocabulary.boolean_tuples(obj.rows))
+                )
+        return labels
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the SQLite connection (safe to call twice)."""
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+            self._built_version = None
+
+    def __enter__(self) -> "SqlBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def describe(self) -> str:
+        if self._engine is None:
+            return "sql: database not loaded yet"
+        return (
+            f"sql: sqlite two-table encoding, {len(self._objects)} objects, "
+            f"{len(self._sql_cache)} cached statements"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SqlBackend({len(self.relation)} objects)"

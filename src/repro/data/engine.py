@@ -11,9 +11,10 @@ Two evaluation paths coexist (DESIGN.md §2): the per-object *reference
 path* (:meth:`QueryEngine.matches` / :meth:`QueryEngine.execute`), which
 abstracts rows on every call, and the *batch path*
 (:meth:`QueryEngine.execute_batch` / :meth:`QueryEngine.matches_many`),
-which evaluates compiled queries against a shared
-:class:`~repro.data.index.RelationIndex`.  Both must return identical
-answers on identical state.
+which dispatches to a pluggable
+:class:`~repro.data.backends.EvaluationBackend` (DESIGN.md §2c) —
+single bitmask index, sharded bitmask blocks, or SQL batch execution.
+Every backend must return identical answers on identical state.
 """
 
 from __future__ import annotations
@@ -23,6 +24,13 @@ from typing import Any, Iterable
 
 from repro.core.query import QhornQuery
 from repro.core.tuples import Question
+from repro.data.backends import (
+    BACKENDS,
+    BitmaskBackend,
+    EvaluationBackend,
+    create_backend,
+)
+from repro.data.backends.base import check_width
 from repro.data.index import RelationIndex
 from repro.data.propositions import Vocabulary
 from repro.data.relation import NestedObject, NestedRelation
@@ -42,9 +50,14 @@ class ExpressionReport:
 class QueryEngine:
     """Evaluates queries over a nested relation via a vocabulary.
 
-    An optional :class:`RelationIndex` (built lazily on first batch call,
-    or injected to share across engines) backs the batch evaluation
-    methods; the per-object methods keep the seed reference semantics.
+    The batch evaluation methods dispatch to a pluggable
+    :class:`~repro.data.backends.EvaluationBackend` (``backend=`` accepts
+    a registry name — ``"bitmask"``, ``"sharded"``, ``"sql"`` — or a
+    constructed backend instance; backends build lazily on first batch
+    call).  The per-object methods keep the seed reference semantics
+    regardless of backend.  ``index=`` keeps the pre-seam shortcut of
+    injecting a shared :class:`RelationIndex`, which implies the bitmask
+    backend.
     """
 
     def __init__(
@@ -52,19 +65,74 @@ class QueryEngine:
         relation: NestedRelation,
         vocabulary: Vocabulary,
         index: RelationIndex | None = None,
+        backend: str | EvaluationBackend = "bitmask",
+        backend_options: dict[str, Any] | None = None,
     ) -> None:
         self.relation = relation
         self.vocabulary = vocabulary
-        if index is not None and index.relation is not relation:
-            raise ValueError("index was built over a different relation")
-        self._index = index
+        if index is not None:
+            if not (backend == "bitmask" or isinstance(backend, BitmaskBackend)):
+                raise ValueError(
+                    "index= injects a RelationIndex and requires the "
+                    "bitmask backend"
+                )
+            backend = BitmaskBackend(relation, vocabulary, index=index)
+        if isinstance(backend, str):
+            # Validate the name eagerly (fail at construction, not first
+            # batch call) but build the backend lazily.
+            self._backend: EvaluationBackend | None = None
+            self._backend_spec = backend
+            self._backend_options = dict(backend_options or {})
+            if backend not in BACKENDS:
+                raise ValueError(
+                    f"unknown evaluation backend {backend!r}; "
+                    f"choices: {', '.join(sorted(BACKENDS))}"
+                )
+        else:
+            if backend.relation is not relation:
+                raise ValueError(
+                    "backend was built over a different relation"
+                )
+            if backend_options:
+                raise ValueError(
+                    "backend_options only apply when the backend is "
+                    "selected by name; configure the instance directly"
+                )
+            self._backend = backend
+            self._backend_spec = backend.name
+            self._backend_options = {}
+
+    @property
+    def backend(self) -> EvaluationBackend:
+        """The engine's evaluation backend, built on first access."""
+        if self._backend is None:
+            self._backend = create_backend(
+                self._backend_spec,
+                self.relation,
+                self.vocabulary,
+                **self._backend_options,
+            )
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the active backend (without building it)."""
+        return self._backend_spec
 
     @property
     def index(self) -> RelationIndex:
-        """The engine's relation index, built on first access."""
-        if self._index is None:
-            self._index = RelationIndex(self.relation, self.vocabulary)
-        return self._index
+        """The engine's bitmask relation index, built on first access.
+
+        For the bitmask backend this *is* the evaluation structure; for
+        other backends it is an introspection view (mask statistics,
+        shared-index reuse) built independently of the answering path.
+        """
+        backend = self.backend
+        if isinstance(backend, BitmaskBackend):
+            return backend.index
+        if getattr(self, "_intro_index", None) is None:
+            self._intro_index = RelationIndex(self.relation, self.vocabulary)
+        return self._intro_index
 
     def matches(self, query: QhornQuery, obj: NestedObject) -> bool:
         """Does ``obj`` satisfy ``query``?  (Per-object reference path.)"""
@@ -84,28 +152,28 @@ class QueryEngine:
         return [o for o in self.relation if evaluate(abstract(o.rows))]
 
     def execute_batch(self, query: QhornQuery) -> list[NestedObject]:
-        """All answers to ``query`` via the batch bitmask index.
+        """All answers to ``query`` via the evaluation backend.
 
-        Identical answers to :meth:`execute`; the index amortizes row
-        abstraction across calls and evaluates the compiled query over
-        distinct masks only (DESIGN.md §2).
+        Identical answers to :meth:`execute` whatever the backend; the
+        backend amortizes row abstraction (or database loading) across
+        calls (DESIGN.md §2, §2c).
         """
         self._check(query)
-        return self.index.execute(query)
+        return self.backend.execute(query)
 
     def matches_many(
         self,
         query: QhornQuery,
         objects: Iterable[NestedObject] | None = None,
     ) -> list[bool]:
-        """Answer labels for many objects at once via the index.
+        """Answer labels for many objects at once via the backend.
 
         ``objects=None`` labels every object of the relation in relation
         order; otherwise labels the given objects (foreign objects are
         abstracted once and evaluated through the compiled query).
         """
         self._check(query)
-        return self.index.matches_many(query, objects)
+        return self.backend.matches_many(query, objects)
 
     def explain(self, query: QhornQuery, obj: NestedObject) -> list[ExpressionReport]:
         """Per-expression satisfaction report for ``obj`` (UI affordance)."""
@@ -144,11 +212,7 @@ class QueryEngine:
         return reports
 
     def _check(self, query: QhornQuery) -> None:
-        if query.n != self.vocabulary.n:
-            raise ValueError(
-                f"query over n={query.n} propositions, vocabulary has "
-                f"{self.vocabulary.n}"
-            )
+        check_width(query, self.vocabulary)
 
 
 class ExampleFactory:

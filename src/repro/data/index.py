@@ -26,14 +26,50 @@ the representation and contract are documented in DESIGN.md §2.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Mapping
 
 from repro.core import tuples as bt
 from repro.core.query import CompiledQuery, QhornQuery
 from repro.data.propositions import Vocabulary
 from repro.data.relation import NestedObject, NestedRelation
 
-__all__ = ["RelationIndex"]
+__all__ = ["RelationIndex", "evaluate_inverted"]
+
+
+def evaluate_inverted(
+    compiled: CompiledQuery, inverted: Mapping[int, int], all_bits: int
+) -> int:
+    """Core bitset algebra: the answer bitset of ``compiled`` over one
+    inverted ``mask → object-position bitset`` index covering the objects
+    of ``all_bits``.
+
+    This is the single evaluation kernel shared by every bitmask backend:
+    :class:`RelationIndex` runs it over the whole relation, the sharded
+    backend runs it once per shard (each shard's bitsets are bounded to
+    the shard width, positions are shard-local).
+    """
+    answers = all_bits
+    for body, head in compiled.universal_masks:
+        violators = 0
+        witnesses = 0
+        for m, bits in inverted.items():
+            if (m & body) == body:
+                if m & head:
+                    witnesses |= bits
+                else:
+                    violators |= bits
+        answers &= ~violators
+        if compiled.require_guarantees:
+            answers &= witnesses
+        if not answers:
+            return 0
+    for mask in compiled.existential_masks:
+        answers &= bt.union_masks(
+            bits for m, bits in inverted.items() if (m & mask) == mask
+        )
+        if not answers:
+            return 0
+    return answers
 
 
 class RelationIndex:
@@ -137,29 +173,7 @@ class RelationIndex:
                 f"query over n={compiled.n} propositions, vocabulary has "
                 f"{self.vocabulary.n}"
             )
-        inverted = self._inverted
-        answers = self._all_bits
-        for body, head in compiled.universal_masks:
-            violators = 0
-            witnesses = 0
-            for m, bits in inverted.items():
-                if (m & body) == body:
-                    if m & head:
-                        witnesses |= bits
-                    else:
-                        violators |= bits
-            answers &= ~violators
-            if compiled.require_guarantees:
-                answers &= witnesses
-            if not answers:
-                return 0
-        for mask in compiled.existential_masks:
-            answers &= bt.union_masks(
-                bits for m, bits in inverted.items() if (m & mask) == mask
-            )
-            if not answers:
-                return 0
-        return answers
+        return evaluate_inverted(compiled, self._inverted, self._all_bits)
 
     def execute(self, query: QhornQuery | CompiledQuery) -> list[NestedObject]:
         """The relation's answers to ``query``, in relation order."""

@@ -92,6 +92,7 @@ class NestedRelation:
     ) -> None:
         self.schema = schema
         self._objects: list[NestedObject] = []
+        self._by_key: dict[str, NestedObject] = {}
         self._version = 0
         for obj in objects:
             self.insert(obj)
@@ -105,12 +106,16 @@ class NestedRelation:
         return self._version
 
     def insert(self, obj: NestedObject) -> None:
-        if any(o.key == obj.key for o in self._objects):
+        # A key map keeps insert and get O(1); the seed's linear scans made
+        # building a relation quadratic, which the backend-scale benchmark
+        # (E23) turns into the dominant cost at tens of thousands of objects.
+        if obj.key in self._by_key:
             raise SchemaError(f"duplicate object key {obj.key!r}")
         self.schema.validate_object_attributes(obj.attributes)
         for row in obj.rows:
             self.schema.embedded.validate_row(row)
         self._objects.append(obj)
+        self._by_key[obj.key] = obj
         self._version += 1
 
     def add_object(
@@ -132,10 +137,10 @@ class NestedRelation:
         return list(self._objects)
 
     def get(self, key: str) -> NestedObject:
-        for o in self._objects:
-            if o.key == key:
-                return o
-        raise KeyError(key)
+        try:
+            return self._by_key[key]
+        except KeyError:
+            raise KeyError(key) from None
 
     def all_rows(self) -> list[dict[str, Any]]:
         """Every embedded row across all objects (the flattened relation)."""

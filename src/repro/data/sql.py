@@ -130,7 +130,10 @@ class SqliteEngine:
 
     The nested relation is loaded once into the two-table encoding; every
     :meth:`execute` call compiles the query and runs it, returning the
-    matching object keys.
+    matching object keys.  The engine snapshots the relation's ``version``
+    counter at load time: :attr:`is_stale` / :meth:`refresh` implement the
+    same staleness contract as :class:`~repro.data.index.RelationIndex`,
+    so backend layers can keep the database in step with inserts.
     """
 
     def __init__(
@@ -140,6 +143,22 @@ class SqliteEngine:
         self.vocabulary = vocabulary
         self.connection = sqlite3.connect(":memory:")
         self._load()
+
+    @property
+    def is_stale(self) -> bool:
+        """Has the relation been mutated since the database was loaded?"""
+        return getattr(self.relation, "version", None) != self._loaded_version
+
+    def refresh(self, force: bool = False) -> bool:
+        """Reload the database if stale (or unconditionally with
+        ``force``); returns whether a reload happened."""
+        if force or self.is_stale:
+            cur = self.connection.cursor()
+            cur.execute("DROP TABLE IF EXISTS rows")
+            cur.execute("DROP TABLE IF EXISTS objects")
+            self._load()
+            return True
+        return False
 
     def _column_type(self, attr_type: AttributeType) -> str:
         if attr_type in (AttributeType.BOOLEAN, AttributeType.INTEGER):
@@ -187,6 +206,7 @@ class SqliteEngine:
                     [obj.key] + [row[n] for n in row_names],
                 )
         self.connection.commit()
+        self._loaded_version = getattr(self.relation, "version", None)
 
     def execute(self, query: QhornQuery) -> list[str]:
         """Answer object keys, sorted, via the compiled SQL."""

@@ -27,12 +27,29 @@ not part of the question-count cost model.
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Iterable, Protocol, Sequence, runtime_checkable
 
 from repro.core.query import QhornQuery
 from repro.core.tuples import Question
 
-__all__ = ["MembershipOracle", "QueryOracle", "FunctionOracle", "ask_all"]
+__all__ = [
+    "ASK_ALL_CHUNK_SIZE",
+    "MembershipOracle",
+    "QueryOracle",
+    "FunctionOracle",
+    "ask_all",
+]
+
+#: Default upper bound on one ``ask_many`` call issued by :func:`ask_all`.
+#: Batch boundaries are unobservable under the sequential-equivalence
+#: contract (DESIGN.md §2b), so splitting a huge batch into consecutive
+#: chunks changes nothing semantically — it only bounds how much one call
+#: materializes at once, so multi-million-question fallback batches are
+#: never handed to an oracle as a single list.  (``CountingOracle`` round
+#: statistics count transport calls, so a > chunk-size batch tallies one
+#: round per chunk — which is what actually happened.)
+ASK_ALL_CHUNK_SIZE = 65536
 
 
 @runtime_checkable
@@ -52,7 +69,9 @@ class MembershipOracle(Protocol):
 
 
 def ask_all(
-    oracle: MembershipOracle, questions: Iterable[Question]
+    oracle: MembershipOracle,
+    questions: Iterable[Question],
+    chunk_size: int | None = ASK_ALL_CHUNK_SIZE,
 ) -> list[bool]:
     """Ask a batch through ``oracle``, whatever protocol it speaks.
 
@@ -62,14 +81,28 @@ def ask_all(
     simulations, humans, test doubles) keep their exact sequential
     semantics.  All batch-emitting layers go through this helper rather
     than calling ``ask_many`` directly.
+
+    Very large batches are split into bounded chunks of ``chunk_size``
+    questions issued as consecutive ``ask_many`` calls — semantically
+    identical by the batch-boundary contract, but no single call ever
+    materializes more than one chunk.  ``chunk_size=None`` disables
+    chunking; the sequential fallback streams the iterable either way.
     """
-    questions = list(questions)
-    if not questions:
-        return []
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be positive or None, got {chunk_size}")
     ask_many = getattr(oracle, "ask_many", None)
-    if ask_many is not None:
-        return list(ask_many(questions))
-    return [oracle.ask(q) for q in questions]
+    if ask_many is None:
+        return [oracle.ask(q) for q in questions]
+    if chunk_size is None:
+        questions = list(questions)
+        return list(ask_many(questions)) if questions else []
+    responses: list[bool] = []
+    iterator = iter(questions)
+    while True:
+        chunk = list(islice(iterator, chunk_size))
+        if not chunk:
+            return responses
+        responses.extend(ask_many(chunk))
 
 
 class QueryOracle:

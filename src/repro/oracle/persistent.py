@@ -1,0 +1,193 @@
+"""Cross-session oracle cache persistence (ROADMAP item).
+
+:class:`~repro.oracle.caching.CachingOracle` resets per process, so
+repeated experiment sweeps and interactive restarts re-pay every distinct
+question.  :class:`PersistentCachingOracle` backs the question→label map
+with SQLite on disk: every answered miss is written through, and opening
+the cache loads **all** stored answers up front (the *eviction-free
+load* — the resident set is unbounded, like ``CachingOracle(maxsize=
+None)``, so noise-freezing label consistency holds for the whole
+session).
+
+Statistics parity: on identical fresh state and identical question
+sequences, hits/misses/evictions and the resident histogram match an
+in-memory ``CachingOracle(maxsize=None)`` exactly — persistence changes
+*when* answers are already resident (a reopened cache starts warm), never
+how asking is accounted.  The parity is pinned by
+``tests/test_persistent_oracle.py``.
+
+Questions serialize as ``(n, "m1,m2,...")`` with masks sorted ascending —
+a canonical form, since questions are sets of bitmask tuples.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.tuples import Question
+from repro.oracle.base import MembershipOracle, ask_all
+from repro.oracle.caching import CacheStats
+
+__all__ = ["PersistentCachingOracle"]
+
+_MISSING = object()
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS answers (
+    n INTEGER NOT NULL,
+    tuples TEXT NOT NULL,
+    response INTEGER NOT NULL,
+    PRIMARY KEY (n, tuples)
+)
+"""
+
+
+def _encode(question: Question) -> str:
+    return ",".join(map(str, sorted(question.tuples)))
+
+
+def _decode(n: int, text: str) -> Question:
+    masks = (int(m) for m in text.split(",")) if text else ()
+    return Question.of(n, masks)
+
+
+class PersistentCachingOracle:
+    """Wraps an oracle with a disk-persistent, eviction-free answer cache.
+
+    Parameters
+    ----------
+    inner:
+        The oracle answering cache misses.
+    path:
+        SQLite database file; created when absent, reused (and its
+        answers loaded) when present.  Distinct widths may share a file —
+        rows are keyed on ``(n, tuples)`` — but only rows matching the
+        inner oracle's ``n`` are loaded.
+    """
+
+    def __init__(
+        self, inner: MembershipOracle, path: str | Path
+    ) -> None:
+        self.inner = inner
+        self.n = inner.n
+        self.path = Path(path)
+        self.connection = sqlite3.connect(str(self.path))
+        self.connection.execute(_SCHEMA)
+        self.connection.commit()
+        self._cache: dict[Question, bool] = {}
+        for text, response in self.connection.execute(
+            "SELECT tuples, response FROM answers WHERE n = ?", (self.n,)
+        ):
+            self._cache[_decode(self.n, text)] = bool(response)
+        resident: dict[int, int] = {}
+        for q in self._cache:
+            resident[q.size] = resident.get(q.size, 0) + 1
+        self.stats = CacheStats(resident_histogram=resident)
+
+    # ------------------------------------------------------------------
+    # Asking
+    # ------------------------------------------------------------------
+    def _check(self, question: Question) -> None:
+        # Width-validated before touching cache or disk: a wrong-width
+        # question persisted under this oracle's n would decode as a
+        # *different* question next session (disk-cache poisoning).
+        if question.n != self.n:
+            raise ValueError(
+                f"question over n={question.n} variables, oracle has n={self.n}"
+            )
+
+    def ask(self, question: Question) -> bool:
+        self._check(question)
+        cached = self._cache.get(question, _MISSING)
+        if cached is not _MISSING:
+            self.stats.hits += 1
+            return cached  # type: ignore[return-value]
+        response = self.inner.ask(question)
+        self._store(question, response)
+        self.connection.commit()
+        return response
+
+    def ask_many(self, questions: Sequence[Question]) -> list[bool]:
+        """Answer hits from the resident map and forward only the distinct
+        misses, in one batch, to the inner oracle (then persist them).
+
+        Without eviction the sequential dynamics are simple: the first
+        occurrence of an uncached question is the one forwarded miss; all
+        later occurrences are hits, exactly as a sequential loop.
+        """
+        questions = list(questions)
+        for q in questions:
+            self._check(q)
+        missing: list[Question] = []
+        seen: set[Question] = set()
+        for q in questions:
+            if q not in self._cache and q not in seen:
+                missing.append(q)
+                seen.add(q)
+        responses = iter(ask_all(self.inner, missing))
+        out: list[bool] = []
+        for q in questions:
+            cached = self._cache.get(q, _MISSING)
+            if cached is not _MISSING:
+                self.stats.hits += 1
+                out.append(cached)  # type: ignore[arg-type]
+            else:
+                response = next(responses)
+                self._store(q, response)
+                out.append(response)
+        if missing:
+            self.connection.commit()
+        return out
+
+    def _store(self, question: Question, response: bool) -> None:
+        """Record one answered miss: stats, resident map, write-through."""
+        self.stats.misses += 1
+        self._cache[question] = response
+        hist = self.stats.resident_histogram
+        hist[question.size] = hist.get(question.size, 0) + 1
+        self.connection.execute(
+            "INSERT OR REPLACE INTO answers VALUES (?, ?, ?)",
+            (self.n, _encode(question), int(response)),
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of resident cached questions."""
+        return len(self._cache)
+
+    def __contains__(self, question: Question) -> bool:
+        return question in self._cache
+
+    def clear(self) -> None:
+        """Drop all cached responses, in memory *and* on disk (statistics
+        are kept, mirroring :meth:`CachingOracle.clear`)."""
+        self._cache.clear()
+        self.stats.resident_histogram.clear()
+        self.connection.execute("DELETE FROM answers WHERE n = ?", (self.n,))
+        self.connection.commit()
+
+    def reset_stats(self) -> None:
+        """Zero the statistics (cached responses are kept)."""
+        resident: dict[int, int] = {}
+        for q in self._cache:
+            resident[q.size] = resident.get(q.size, 0) + 1
+        self.stats = CacheStats(resident_histogram=resident)
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "PersistentCachingOracle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PersistentCachingOracle({self.inner!r}, path={str(self.path)!r}, "
+            f"resident={len(self._cache)})"
+        )

@@ -1,0 +1,113 @@
+"""SQL-backed batch oracle: the database answers membership questions.
+
+§5 of the paper observes that a rich database can *answer* membership
+questions, not only exhibit examples.  :class:`SqlQueryOracle` is the
+batch-first realization of that idea (the ROADMAP's SQL-backed batch
+oracle): the hidden target compiles **once** to SQL
+(:func:`repro.data.sql.to_sql` over a pure Boolean vocabulary), and each
+:meth:`~SqlQueryOracle.ask_many` call loads the batch's *distinct*
+questions as objects of a scratch SQLite database and answers them all
+in **one round trip** — the ``SELECT`` returns exactly the keys of the
+answer questions.
+
+The oracle is a pure function of each question (no state across calls
+beyond the reusable connection), so the sequential-equivalence contract
+of DESIGN.md §2b holds trivially; agreement with the in-process
+:class:`~repro.oracle.base.QueryOracle` on identical targets is part of
+the backend differential suite.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Sequence
+
+from repro.core.query import QhornQuery
+from repro.core.tuples import Question
+from repro.data.propositions import BoolIs, Vocabulary
+from repro.data.schema import Attribute, FlatSchema
+from repro.data.sql import to_sql
+
+__all__ = ["SqlQueryOracle"]
+
+
+def _boolean_vocabulary(n: int) -> Vocabulary:
+    """``n`` independent BoolIs propositions over ``p1..pn``."""
+    schema = FlatSchema(
+        name="question_tuples",
+        attributes=tuple(Attribute.boolean(f"p{i + 1}") for i in range(n)),
+    )
+    return Vocabulary(schema, [BoolIs(f"p{i + 1}") for i in range(n)])
+
+
+class SqlQueryOracle:
+    """Labels questions with a hidden target query evaluated by SQLite.
+
+    Behaviourally identical to :class:`~repro.oracle.base.QueryOracle`
+    (same answers, same width errors); the evaluation runs in the
+    database instead of the process, which makes whole-batch answering a
+    single SQL execution however large the batch.
+    """
+
+    def __init__(self, target: QhornQuery) -> None:
+        self.target = target
+        self.n = target.n
+        self._sql = to_sql(target, _boolean_vocabulary(target.n))
+        self.connection = sqlite3.connect(":memory:")
+        cols = ", ".join(f"p{i + 1} INTEGER" for i in range(target.n))
+        cur = self.connection.cursor()
+        cur.execute("CREATE TABLE objects (object_key TEXT PRIMARY KEY)")
+        cur.execute(f"CREATE TABLE rows (object_key TEXT, {cols})")
+        cur.execute("CREATE INDEX rows_by_object ON rows (object_key)")
+        self.connection.commit()
+
+    def _check(self, question: Question) -> None:
+        if question.n != self.n:
+            raise ValueError(
+                f"question over n={question.n} variables, oracle has n={self.n}"
+            )
+
+    def ask(self, question: Question) -> bool:
+        return self.ask_many([question])[0]
+
+    def ask_many(self, questions: Sequence[Question]) -> list[bool]:
+        """One round trip: distinct questions become scratch objects, the
+        precompiled target SQL selects the answer keys, duplicates reuse
+        the batch answer."""
+        questions = list(questions)
+        if not questions:
+            return []
+        keys: dict[Question, str] = {}
+        for q in questions:
+            if q not in keys:
+                self._check(q)  # width-checked once per distinct question
+                keys[q] = f"q{len(keys)}"
+        n = self.n
+        cur = self.connection.cursor()
+        cur.execute("DELETE FROM rows")
+        cur.execute("DELETE FROM objects")
+        cur.executemany(
+            "INSERT INTO objects VALUES (?)", [(k,) for k in keys.values()]
+        )
+        cur.executemany(
+            "INSERT INTO rows VALUES (?" + ", ?" * n + ")",
+            [
+                [key] + [t >> v & 1 for v in range(n)]
+                for q, key in keys.items()
+                for t in q.sorted_tuples()
+            ],
+        )
+        answers = {row[0] for row in cur.execute(self._sql)}
+        return [keys[q] in answers for q in questions]
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "SqlQueryOracle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SqlQueryOracle({self.target.shorthand()})"

@@ -1,0 +1,266 @@
+"""Unit tests for the pluggable evaluation backends (DESIGN.md §2c).
+
+The answer-identity contract across backends is enforced at scale by
+``tests/properties/test_prop_backends.py``; these tests pin the seam
+itself — construction, dispatch, staleness, sharding layout, executor
+plumbing, SQL lifecycle — on the chocolate-store domain.
+
+Tests taking the ``backend_name`` fixture run once per registered
+backend (restrict with ``pytest --backend sql``).
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.core.query import QhornQuery
+from repro.data import (
+    BACKENDS,
+    BitmaskBackend,
+    EvaluationBackend,
+    QueryEngine,
+    RelationIndex,
+    ShardedBitmaskBackend,
+    SqlBackend,
+    create_backend,
+)
+from repro.data.chocolate import (
+    intro_query,
+    random_store,
+    storefront_vocabulary,
+)
+from repro.data.relation import NestedObject
+
+WORKLOAD = [
+    "∀x1 ∃x2x3",
+    "∀x1→x2",
+    "∃x3x4",
+    "∀x3",
+]
+
+
+@pytest.fixture(scope="module")
+def vocab():
+    return storefront_vocabulary()
+
+
+@pytest.fixture()
+def store():
+    return random_store(60, random.Random(1234))
+
+
+def _queries():
+    out = [parse_query(s, n=4) for s in WORKLOAD]
+    out.append(QhornQuery(n=4))  # empty query
+    out.append(parse_query("∀x1", n=4, require_guarantees=False))
+    return out
+
+
+def _reference(engine, query):
+    return [o.key for o in engine.execute(query)]
+
+
+class TestRegistry:
+    def test_all_backends_registered(self):
+        assert set(BACKENDS) == {"bitmask", "sharded", "sql"}
+
+    def test_unknown_backend_rejected(self, store, vocab):
+        with pytest.raises(ValueError, match="unknown evaluation backend"):
+            create_backend("async", store, vocab)
+
+    def test_options_forwarded(self, store, vocab):
+        backend = create_backend("sharded", store, vocab, shard_size=10)
+        assert backend.shard_size == 10
+        assert backend.shard_count == 6
+
+    def test_created_backends_satisfy_protocol(self, store, vocab, backend_name):
+        backend = create_backend(backend_name, store, vocab)
+        assert isinstance(backend, EvaluationBackend)
+        assert backend.name == backend_name
+
+
+class TestBackendContract:
+    def test_agrees_with_reference_path(self, store, vocab, backend_name):
+        engine = QueryEngine(store, vocab)
+        backend = create_backend(backend_name, store, vocab)
+        for query in _queries():
+            expected = _reference(engine, query)
+            assert [o.key for o in backend.execute(query)] == expected
+            labels = backend.matches_many(query)
+            assert labels == [o.key in expected for o in store]
+            bits = backend.matching_bits(query)
+            assert [bool(bits >> i & 1) for i in range(len(store))] == labels
+
+    def test_explicit_objects_and_foreign_fallback(
+        self, store, vocab, backend_name
+    ):
+        backend = create_backend(backend_name, store, vocab)
+        engine = QueryEngine(store, vocab)
+        query = intro_query()
+        objs = store.objects[:7]
+        foreign = NestedObject(
+            key="not-in-store",
+            rows=[
+                {
+                    "isDark": True,
+                    "isSugarFree": True,
+                    "hasNuts": True,
+                    "hasFilling": True,
+                    "origin": "Belgium",
+                }
+            ],
+        )
+        labels = backend.matches_many(query, objs + [foreign])
+        assert labels[:-1] == [engine.matches(query, o) for o in objs]
+        assert labels[-1] == engine.matches(query, foreign)
+
+    def test_auto_refresh_sees_inserts(self, store, vocab, backend_name):
+        backend = create_backend(backend_name, store, vocab)
+        query = QhornQuery(n=4)
+        before = backend.matches_many(query)
+        assert backend.is_stale is False
+        store.add_object(
+            "late-arrival",
+            rows=[
+                {
+                    "isDark": True,
+                    "isSugarFree": True,
+                    "hasNuts": True,
+                    "hasFilling": True,
+                    "origin": "Sweden",
+                }
+            ],
+        )
+        assert backend.is_stale
+        after = backend.matches_many(query)
+        assert len(after) == len(before) + 1
+        assert after[-1] is True
+        assert backend.is_stale is False
+
+    def test_explicit_refresh(self, store, vocab, backend_name):
+        backend = create_backend(
+            backend_name, store, vocab, auto_refresh=False
+        )
+        backend.matches_many(QhornQuery(n=4))
+        assert backend.refresh() is False  # fresh: no rebuild
+        store.add_object("x", rows=[])
+        assert backend.refresh() is True
+        assert len(backend.matches_many(QhornQuery(n=4))) == len(store)
+        assert backend.refresh(force=True) is True
+
+    def test_width_mismatch_rejected(self, store, vocab, backend_name):
+        backend = create_backend(backend_name, store, vocab)
+        with pytest.raises(ValueError):
+            backend.execute(parse_query("∃x1x2x3x4x5"))
+
+    def test_describe_is_informative(self, store, vocab, backend_name):
+        backend = create_backend(backend_name, store, vocab)
+        assert backend_name in backend.describe()
+        backend.matches_many(intro_query())
+        assert str(len(store)) in backend.describe()
+
+
+class TestEngineDispatch:
+    def test_backend_names_construct(self, store, vocab, backend_name):
+        engine = QueryEngine(store, vocab, backend=backend_name)
+        assert engine.backend_name == backend_name
+        reference = QueryEngine(store, vocab)
+        for query in _queries():
+            assert [o.key for o in engine.execute_batch(query)] == (
+                _reference(reference, query)
+            )
+
+    def test_unknown_name_fails_at_construction(self, store, vocab):
+        with pytest.raises(ValueError, match="unknown evaluation backend"):
+            QueryEngine(store, vocab, backend="remote")
+
+    def test_backend_options_thread_through(self, store, vocab):
+        engine = QueryEngine(
+            store, vocab, backend="sharded", backend_options={"shard_size": 8}
+        )
+        assert engine.backend.shard_size == 8
+
+    def test_injected_index_implies_bitmask(self, store, vocab):
+        index = RelationIndex(store, vocab)
+        engine = QueryEngine(store, vocab, index=index)
+        assert isinstance(engine.backend, BitmaskBackend)
+        assert engine.index is index
+        with pytest.raises(ValueError, match="bitmask backend"):
+            QueryEngine(store, vocab, index=index, backend="sql")
+
+    def test_injected_backend_instance(self, store, vocab):
+        backend = ShardedBitmaskBackend(store, vocab, shard_size=5)
+        engine = QueryEngine(store, vocab, backend=backend)
+        assert engine.backend is backend
+        assert engine.backend_name == "sharded"
+
+    def test_backend_relation_mismatch_rejected(self, vocab):
+        a = random_store(5, random.Random(1))
+        b = random_store(5, random.Random(2))
+        with pytest.raises(ValueError, match="different relation"):
+            QueryEngine(a, vocab, backend=SqlBackend(b, vocab))
+
+    def test_index_property_is_introspection_for_other_backends(
+        self, store, vocab
+    ):
+        engine = QueryEngine(store, vocab, backend="sql")
+        index = engine.index
+        assert isinstance(index, RelationIndex)
+        assert index.distinct_masks <= 16
+        assert engine.index is index  # cached
+
+
+class TestShardedLayout:
+    def test_shard_size_validation(self, store, vocab):
+        with pytest.raises(ValueError):
+            ShardedBitmaskBackend(store, vocab, shard_size=0)
+
+    @pytest.mark.parametrize("shard_size", [1, 3, 59, 60, 61, 4096])
+    def test_shard_boundaries_are_unobservable(self, store, vocab, shard_size):
+        single = QueryEngine(store, vocab)
+        backend = ShardedBitmaskBackend(store, vocab, shard_size=shard_size)
+        for query in _queries():
+            assert backend.matching_bits(query) == (
+                single.index.matching_bits(query)
+            )
+
+    def test_executor_evaluates_in_parallel_shards(self, store, vocab):
+        single = QueryEngine(store, vocab)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            backend = ShardedBitmaskBackend(
+                store, vocab, shard_size=7, executor=pool
+            )
+            for query in _queries():
+                assert backend.matches_many(query) == (
+                    single.matches_many(query)
+                )
+            assert "parallel" in backend.describe()
+
+
+class TestSqlBackendLifecycle:
+    def test_rejects_compiled_query(self, store, vocab):
+        backend = SqlBackend(store, vocab)
+        with pytest.raises(TypeError, match="CompiledQuery"):
+            backend.execute(intro_query().compile())
+
+    def test_statement_cache_compiles_once(self, store, vocab):
+        backend = SqlBackend(store, vocab)
+        query = intro_query()
+        backend.execute(query)
+        cached = backend._sql_cache[query]
+        backend.matches_many(query)
+        assert backend._sql_cache[query] is cached
+        assert len(backend._sql_cache) == 1
+
+    def test_context_manager_closes(self, store, vocab):
+        with SqlBackend(store, vocab) as backend:
+            assert backend.matches_many(intro_query())
+        assert backend._engine is None
+        # Usable again after close: evaluation reloads the database.
+        assert len(backend.matches_many(QhornQuery(n=4))) == len(store)
+        backend.close()
+        backend.close()  # idempotent

@@ -168,3 +168,124 @@ class TestSqliteEngine:
         with SqliteEngine(store, storefront_vocabulary()) as engine:
             q = QhornQuery(n=4)
             assert len(engine.execute(q)) == 5
+
+
+class TestSqlEdgeCases:
+    """Edge cases of the SQL translation, cross-checked against both
+    bitmask backends (single-index and sharded): empty nested sets,
+    all-false vocabulary rows, and guarantee-clause queries."""
+
+    def _vocab_and_relation(self, objects):
+        """A 3-proposition boolean domain with the given mask lists."""
+        from repro.data.relation import NestedRelation
+        from repro.data.schema import NestedSchema
+
+        schema = FlatSchema(
+            "bools",
+            (
+                Attribute.boolean("b1"),
+                Attribute.boolean("b2"),
+                Attribute.boolean("b3"),
+            ),
+        )
+        vocab = Vocabulary(
+            schema, [BoolIs("b1"), BoolIs("b2"), BoolIs("b3")]
+        )
+        relation = NestedRelation(NestedSchema("objs", embedded=schema))
+        for i, masks in enumerate(objects):
+            relation.add_object(
+                f"obj-{i}",
+                rows=[
+                    {"b1": bool(m & 1), "b2": bool(m & 2), "b3": bool(m & 4)}
+                    for m in masks
+                ],
+            )
+        return vocab, relation
+
+    def _cross_check(self, vocab, relation, queries):
+        from repro.data import QueryEngine, create_backend
+
+        reference = QueryEngine(relation, vocab)
+        bitmask = create_backend("bitmask", relation, vocab)
+        sharded = create_backend("sharded", relation, vocab, shard_size=2)
+        with SqliteEngine(relation, vocab) as sql_engine:
+            for q in queries:
+                expected = sorted(o.key for o in reference.execute(q))
+                assert sql_engine.execute(q) == expected, q.shorthand()
+                assert sorted(
+                    o.key for o in bitmask.execute(q)
+                ) == expected, q.shorthand()
+                assert sorted(
+                    o.key for o in sharded.execute(q)
+                ) == expected, q.shorthand()
+
+    def _query_zoo(self):
+        from repro.core.query import QhornQuery
+
+        return [
+            # guarantee-clause queries: witness demanded per universal
+            parse_query("∀x1", n=3),
+            parse_query("∀x1→x2", n=3),
+            parse_query("∀x1x2→x3", n=3),
+            # the footnote-1 relaxation of the same shapes
+            parse_query("∀x1", n=3, require_guarantees=False),
+            parse_query("∀x1→x2", n=3, require_guarantees=False),
+            # existentials and combinations
+            parse_query("∃x1x2x3"),
+            parse_query("∀x1 ∃x2x3"),
+            QhornQuery(n=3),  # empty query
+        ]
+
+    def test_empty_nested_sets(self):
+        """Objects with zero rows: universals hold vacuously only under the
+        relaxation; guarantee clauses and existentials always fail."""
+        vocab, relation = self._vocab_and_relation(
+            [[], [7], [], [1, 2], []]
+        )
+        self._cross_check(vocab, relation, self._query_zoo())
+
+    def test_all_false_vocabulary_rows(self):
+        """Rows where every proposition is false (mask 0): never witnesses,
+        violate any universal with an empty body, satisfy none."""
+        vocab, relation = self._vocab_and_relation(
+            [[0], [0, 0], [0, 7], [0, 1], [3, 0, 5]]
+        )
+        self._cross_check(vocab, relation, self._query_zoo())
+
+    def test_guarantee_vs_relaxed_disagree_exactly_on_witnessless_objects(self):
+        """An object whose rows never satisfy the body is an answer only
+        without the guarantee clause — all four evaluators must place the
+        boundary identically."""
+        from repro.data import QueryEngine
+
+        vocab, relation = self._vocab_and_relation(
+            [[], [0], [2], [1, 3], [3]]
+        )
+        strict = parse_query("∀x1→x2", n=3)
+        relaxed = parse_query("∀x1→x2", n=3, require_guarantees=False)
+        reference = QueryEngine(relation, vocab)
+        with SqliteEngine(relation, vocab) as sql_engine:
+            strict_keys = sql_engine.execute(strict)
+            relaxed_keys = sql_engine.execute(relaxed)
+        assert strict_keys == sorted(o.key for o in reference.execute(strict))
+        assert relaxed_keys == sorted(
+            o.key for o in reference.execute(relaxed)
+        )
+        # obj-0 (empty), obj-1 (all-false row) and obj-2 (head-only row)
+        # have no body-satisfying row: answers only under relaxation.
+        assert set(relaxed_keys) - set(strict_keys) == {
+            "obj-0",
+            "obj-1",
+            "obj-2",
+        }
+
+    def test_mixed_edge_relation_random_queries(self):
+        """Seeded sweep over a relation mixing every edge shape at once."""
+        from tests.properties.test_prop_engine import random_query
+
+        vocab, relation = self._vocab_and_relation(
+            [[], [0], [7], [0, 7], [1, 2, 4], [], [5], [0, 0], [6, 6]]
+        )
+        rng = random.Random(2013)
+        queries = [random_query(rng, 3) for _ in range(60)]
+        self._cross_check(vocab, relation, queries)

@@ -1,0 +1,149 @@
+"""Differential properties: the three evaluation backends are answer-identical.
+
+The :class:`~repro.data.backends.EvaluationBackend` contract (DESIGN.md
+§2c) demands that ``bitmask``, ``sharded`` and ``sql`` return exactly the
+answers of the per-object reference path on identical state, for every
+qhorn query.  The SQL leg is the strongest form of the check: it
+evaluates propositions over *real rows* in SQLite while the bitmask legs
+evaluate vocabulary abstractions in-process, so agreement exercises the
+whole ``proposition_to_sql`` / ``Proposition.holds`` correspondence too.
+
+Two layers, mirroring ``test_prop_engine.py``:
+
+* hypothesis properties over random relations/queries (sharding forced to
+  multiple shards so block boundaries are genuinely crossed);
+* a seeded exhaustive sweep of ≥ 1000 random (query, relation) cases
+  comparing all three backends and the SQL-backed batch oracle, so the
+  agreement count demanded by the acceptance criteria is explicit.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import QueryEngine, create_backend
+from repro.oracle import QueryOracle, SqlQueryOracle
+from repro.core.tuples import Question
+from tests.properties.test_prop_engine import (
+    bool_vocabulary,
+    engine_cases,
+    random_query,
+    relation_from_masks,
+)
+
+BACKEND_NAMES = ("bitmask", "sharded", "sql")
+
+
+def _backends(relation, vocab, rng):
+    """One instance of every backend; sharded gets a tiny shard size so
+    even 2-object relations span multiple shards."""
+    shard_size = rng.randint(1, 3)
+    return [
+        create_backend("bitmask", relation, vocab),
+        create_backend("sharded", relation, vocab, shard_size=shard_size),
+        create_backend("sql", relation, vocab),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Hypothesis properties
+# ----------------------------------------------------------------------
+
+
+@given(engine_cases())
+@settings(max_examples=60, deadline=None)
+def test_backends_agree_on_execute_and_labels(case):
+    n, mask_sets, seed = case
+    rng = random.Random(seed)
+    query = random_query(rng, n)
+    relation = relation_from_masks(n, mask_sets)
+    vocab = bool_vocabulary(n)
+    engine = QueryEngine(relation, vocab)
+    expected_keys = [o.key for o in engine.execute(query)]
+    expected_labels = [engine.matches(query, o) for o in relation]
+    for backend in _backends(relation, vocab, rng):
+        assert [o.key for o in backend.execute(query)] == expected_keys
+        assert backend.matches_many(query) == expected_labels
+
+
+@given(engine_cases())
+@settings(max_examples=25, deadline=None)
+def test_backends_agree_after_mutation(case):
+    """The version/refresh contract: an insert is visible to every backend."""
+    n, mask_sets, seed = case
+    rng = random.Random(seed)
+    query = random_query(rng, n)
+    relation = relation_from_masks(n, mask_sets)
+    vocab = bool_vocabulary(n)
+    backends = _backends(relation, vocab, rng)
+    for backend in backends:
+        backend.matches_many(query)  # build pre-mutation state
+    relation.add_object(
+        "late", rows=[{f"b{v + 1}": True for v in range(n)}]
+    )
+    engine = QueryEngine(relation, vocab, backend="bitmask")
+    expected = [engine.matches(query, o) for o in relation]
+    for backend in backends:
+        assert backend.is_stale
+        assert backend.matches_many(query) == expected
+
+
+# ----------------------------------------------------------------------
+# Seeded exhaustive sweep (the acceptance criterion's ≥ 1000 cases)
+# ----------------------------------------------------------------------
+
+
+def test_differential_thousand_cases_across_backends():
+    rng = random.Random(20130624)  # PODS 2013 + 1: the backends sweep
+    cases = 0
+    for _ in range(1100):
+        n = rng.randrange(1, 7)
+        mask_sets = [
+            frozenset(
+                rng.randrange(1 << n) for _ in range(rng.randrange(0, 5))
+            )
+            for _ in range(rng.randrange(0, 7))
+        ]
+        query = random_query(rng, n)
+        relation = relation_from_masks(n, mask_sets)
+        vocab = bool_vocabulary(n)
+        engine = QueryEngine(relation, vocab)
+        expected_keys = [o.key for o in engine.execute(query)]
+        expected_labels = [engine.matches(query, o) for o in relation]
+        for backend in _backends(relation, vocab, rng):
+            assert [o.key for o in backend.execute(query)] == expected_keys, (
+                backend.name,
+                query.shorthand(),
+            )
+            assert backend.matches_many(query) == expected_labels, (
+                backend.name,
+                query.shorthand(),
+            )
+        cases += 1
+    assert cases >= 1000
+
+
+def test_sql_oracle_thousand_question_agreement():
+    """The SQL-backed batch oracle labels exactly like the in-process
+    ground-truth oracle, over ≥ 1000 random questions."""
+    rng = random.Random(1304)
+    labelled = 0
+    for _ in range(40):
+        n = rng.randrange(1, 6)
+        target = random_query(rng, n)
+        questions = [
+            Question.of(
+                n, [rng.randrange(1 << n) for _ in range(rng.randrange(0, 4))]
+            )
+            for _ in range(30)
+        ]
+        reference = QueryOracle(target)
+        with SqlQueryOracle(target) as sql_oracle:
+            assert sql_oracle.ask_many(questions) == reference.ask_many(
+                questions
+            ), target.shorthand()
+        labelled += len(questions)
+    assert labelled >= 1000

@@ -71,3 +71,44 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
+
+
+class TestBackendFlag:
+    def test_learn_with_sql_backend(self, capsys):
+        assert main(
+            ["learn", "∀x1x2→x3 ∃x4", "--learner", "qhorn1", "--backend", "sql"]
+        ) == 0
+        assert "exact: True" in capsys.readouterr().out
+
+    def test_learn_backends_ask_identical_questions(self, capsys):
+        """The backend choice changes who evaluates, never what is asked."""
+        outputs = []
+        for backend in ("bitmask", "sql"):
+            assert main(["learn", "∀x1 ∃x2x3", "--backend", backend]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_verify_with_sql_backend(self, capsys):
+        assert main(
+            ["verify", "∀x1 ∃x2", "∀x1 ∃x2", "--backend", "sql"]
+        ) == 0
+        assert "verified: True" in capsys.readouterr().out
+
+    def test_demo_backend_choices(self, capsys):
+        for backend in ("bitmask", "sharded", "sql"):
+            assert main(["demo", "--backend", backend]) == 0
+            out = capsys.readouterr().out
+            assert "matching boxes:" in out
+            assert backend in out  # describe() names the active backend
+
+    def test_sharded_rejected_for_learn(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["learn", "∃x1", "--backend", "sharded"])
+
+    def test_help_contains_backend_guide(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        assert "evaluation backends (--backend):" in out
+        for name in ("bitmask", "sharded", "sql"):
+            assert name in out

@@ -381,3 +381,180 @@ class TestAdversary:
             tuples = [t for i, t in enumerate(universe) if bits & (1 << i)]
             questions.append(Question.of(n, tuples))
         assert max_elimination(candidates, questions) <= 1
+
+
+class _ChunkSpy:
+    """Records the size of every ``ask_many`` batch it receives."""
+
+    def __init__(self, target):
+        self.inner = QueryOracle(target)
+        self.n = self.inner.n
+        self.batch_sizes: list[int] = []
+
+    def ask(self, question):
+        return self.inner.ask(question)
+
+    def ask_many(self, questions):
+        self.batch_sizes.append(len(questions))
+        return self.inner.ask_many(questions)
+
+
+class _AskOnlySpy:
+    """An ask-only oracle (no ``ask_many``) counting its calls."""
+
+    def __init__(self, target):
+        self._inner = QueryOracle(target)
+        self.n = self._inner.n
+        self.calls = 0
+
+    def ask(self, question):
+        self.calls += 1
+        return self._inner.ask(question)
+
+
+class TestAskAllChunking:
+    def _questions(self, count, n=3, seed=9):
+        rng = random.Random(seed)
+        return [
+            Question.of(
+                n, [rng.randrange(1 << n) for _ in range(rng.randint(1, 3))]
+            )
+            for _ in range(count)
+        ]
+
+    def test_large_batches_split_into_bounded_chunks(self):
+        from repro.oracle import ask_all
+
+        target = parse_query("∃x1x2", n=3)
+        spy = _ChunkSpy(target)
+        questions = self._questions(25)
+        answers = ask_all(spy, questions, chunk_size=10)
+        assert answers == QueryOracle(target).ask_many(questions)
+        assert spy.batch_sizes == [10, 10, 5]
+
+    def test_chunked_equals_unchunked(self):
+        from repro.oracle import ask_all
+
+        target = parse_query("∀x1 ∃x2x3")
+        questions = self._questions(41)
+        reference = ask_all(_ChunkSpy(target), questions, chunk_size=None)
+        for size in (1, 7, 41, 1000):
+            assert ask_all(_ChunkSpy(target), questions, chunk_size=size) == (
+                reference
+            )
+
+    def test_default_chunk_bounds_single_call(self):
+        from repro.oracle import ASK_ALL_CHUNK_SIZE, ask_all
+
+        target = parse_query("∃x1", n=2)
+        spy = _ChunkSpy(target)
+        count = ASK_ALL_CHUNK_SIZE + 17
+        questions = [Question.of(2, [3])] * count
+        assert ask_all(spy, questions) == [True] * count
+        assert spy.batch_sizes == [ASK_ALL_CHUNK_SIZE, 17]
+
+    def test_ask_only_oracle_streams_without_materializing(self):
+        from repro.oracle import ask_all
+
+        target = parse_query("∃x1x2", n=3)
+        spy = _AskOnlySpy(target)
+        questions = self._questions(12)
+        answers = ask_all(spy, iter(questions), chunk_size=4)
+        assert answers == QueryOracle(target).ask_many(questions)
+        assert spy.calls == 12
+
+    def test_rejects_nonpositive_chunk(self):
+        from repro.oracle import ask_all
+
+        with pytest.raises(ValueError):
+            ask_all(_ChunkSpy(parse_query("∃x1")), [], chunk_size=0)
+
+    def test_empty_batch(self):
+        from repro.oracle import ask_all
+
+        spy = _ChunkSpy(parse_query("∃x1"))
+        assert ask_all(spy, []) == []
+        assert spy.batch_sizes == []
+
+    def test_chunks_count_as_rounds(self):
+        """A > chunk-size batch is genuinely several transport calls, and
+        the round statistics say so."""
+        from repro.oracle import ask_all
+
+        oracle = CountingOracle(QueryOracle(parse_query("∃x1", n=2)))
+        ask_all(oracle, [Question.of(2, [3])] * 10, chunk_size=4)
+        assert oracle.stats.rounds == 3
+        assert oracle.questions_asked == 10
+
+
+class TestSqlQueryOracle:
+    def _pairs(self, count=300, seed=77):
+        from repro.oracle import SqlQueryOracle
+
+        rng = random.Random(seed)
+        for _ in range(count):
+            n = rng.randint(1, 5)
+            yield rng, n
+
+    def test_agrees_with_query_oracle(self):
+        from repro.oracle import SqlQueryOracle
+
+        rng = random.Random(41)
+        for _ in range(60):
+            n = rng.randint(1, 5)
+            target = random_qhorn1(n, rng)
+            questions = [
+                Question.of(
+                    n,
+                    [rng.randrange(1 << n) for _ in range(rng.randint(0, 4))],
+                )
+                for _ in range(25)
+            ]
+            with SqlQueryOracle(target) as sql_oracle:
+                assert sql_oracle.ask_many(questions) == QueryOracle(
+                    target
+                ).ask_many(questions), target.shorthand()
+
+    def test_single_ask_and_duplicates(self):
+        from repro.oracle import SqlQueryOracle
+
+        target = parse_query("∀x1 ∃x2x3")
+        with SqlQueryOracle(target) as oracle:
+            q_yes = Question.from_strings("111")
+            q_no = Question.from_strings("011")
+            assert oracle.ask(q_yes) is True
+            assert oracle.ask(q_no) is False
+            assert oracle.ask_many([q_yes, q_no, q_yes, q_yes]) == [
+                True,
+                False,
+                True,
+                True,
+            ]
+
+    def test_rejects_wrong_width(self):
+        from repro.oracle import SqlQueryOracle
+
+        with SqlQueryOracle(parse_query("∃x1x2")) as oracle:
+            with pytest.raises(ValueError):
+                oracle.ask(Question.from_strings("111"))
+
+    def test_satisfies_protocol_and_drives_learning(self):
+        from repro.learning import RolePreservingLearner
+        from repro.oracle import SqlQueryOracle
+
+        target = parse_query("∀x1→x2 ∃x3")
+        with SqlQueryOracle(target) as oracle:
+            assert isinstance(oracle, MembershipOracle)
+            result = RolePreservingLearner(CountingOracle(oracle)).learn()
+        from repro.core.normalize import canonicalize
+
+        assert canonicalize(result.query) == canonicalize(target)
+
+    def test_empty_question_and_empty_batch(self):
+        from repro.oracle import SqlQueryOracle
+
+        relaxed = parse_query("∀x1", n=2, require_guarantees=False)
+        with SqlQueryOracle(relaxed) as oracle:
+            assert oracle.ask_many([]) == []
+            empty = Question.of(2, [])
+            assert oracle.ask(empty) is QueryOracle(relaxed).ask(empty)

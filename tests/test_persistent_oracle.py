@@ -1,0 +1,208 @@
+"""Tests for the sqlite-backed :class:`PersistentCachingOracle`.
+
+Two contracts: exact statistics parity with the in-memory
+``CachingOracle(maxsize=None)`` on identical fresh state, and cross-session
+persistence — a reopened cache serves previously answered questions without
+touching the inner oracle.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.core.tuples import Question
+from repro.oracle import CachingOracle, PersistentCachingOracle, QueryOracle
+
+
+class _CountingInner:
+    """Inner oracle tallying every call that reaches it."""
+
+    def __init__(self, target):
+        self._oracle = QueryOracle(target)
+        self.n = self._oracle.n
+        self.asks = 0
+        self.batches: list[int] = []
+
+    def ask(self, question):
+        self.asks += 1
+        return self._oracle.ask(question)
+
+    def ask_many(self, questions):
+        self.batches.append(len(questions))
+        return self._oracle.ask_many(questions)
+
+
+def _random_questions(count, n=3, seed=13):
+    rng = random.Random(seed)
+    return [
+        Question.of(n, [rng.randrange(1 << n) for _ in range(rng.randint(0, 3))])
+        for _ in range(count)
+    ]
+
+
+TARGET = "∀x1 ∃x2x3"
+
+
+class TestStatsParity:
+    def _drive(self, oracle, questions):
+        """A mixed workload: single asks, batches, duplicate-heavy batches."""
+        responses = []
+        responses.append(oracle.ask(questions[0]))
+        responses.extend(oracle.ask_many(questions[:10]))
+        responses.extend(oracle.ask_many(questions))
+        responses.append(oracle.ask(questions[3]))
+        doubled = questions[:6] * 3
+        responses.extend(oracle.ask_many(doubled))
+        return responses
+
+    def test_exact_parity_with_inmemory_unbounded_cache(self, tmp_path):
+        questions = _random_questions(40)
+        target = parse_query(TARGET)
+        memory = CachingOracle(QueryOracle(target), maxsize=None)
+        disk_inner = _CountingInner(target)
+        with PersistentCachingOracle(
+            disk_inner, tmp_path / "cache.sqlite"
+        ) as disk:
+            mem_out = self._drive(memory, questions)
+            disk_out = self._drive(disk, questions)
+            assert disk_out == mem_out
+            assert disk.stats.hits == memory.stats.hits
+            assert disk.stats.misses == memory.stats.misses
+            assert disk.stats.evictions == memory.stats.evictions == 0
+            assert (
+                disk.stats.resident_histogram
+                == memory.stats.resident_histogram
+            )
+            assert disk.stats.questions == memory.stats.questions
+            assert disk.stats.hit_rate == memory.stats.hit_rate
+            assert len(disk) == len(memory)
+
+    def test_duplicate_of_uncached_is_hit_from_second_occurrence(self, tmp_path):
+        q = Question.from_strings("111")
+        inner = _CountingInner(parse_query(TARGET))
+        with PersistentCachingOracle(inner, tmp_path / "c.sqlite") as oracle:
+            assert oracle.ask_many([q, q, q]) == [True, True, True]
+            assert oracle.stats.misses == 1
+            assert oracle.stats.hits == 2
+            assert inner.batches == [1]
+
+
+class TestPersistence:
+    def test_reopen_serves_answers_without_inner_calls(self, tmp_path):
+        path = tmp_path / "session.sqlite"
+        questions = _random_questions(30, seed=5)
+        target = parse_query(TARGET)
+
+        first_inner = _CountingInner(target)
+        with PersistentCachingOracle(first_inner, path) as first:
+            answers = first.ask_many(questions)
+            distinct = len(set(questions))
+            assert first.stats.misses == distinct
+
+        second_inner = _CountingInner(target)
+        with PersistentCachingOracle(second_inner, path) as second:
+            # Eviction-free load: everything answered before is resident.
+            assert len(second) == distinct
+            hist = {}
+            for q in set(questions):
+                hist[q.size] = hist.get(q.size, 0) + 1
+            assert second.stats.resident_histogram == hist
+            assert second.ask_many(questions) == answers
+            assert second.stats.misses == 0
+            assert second.stats.hits == len(questions)
+            assert second_inner.asks == 0 and second_inner.batches == []
+
+    def test_single_ask_is_durable(self, tmp_path):
+        path = tmp_path / "one.sqlite"
+        q = Question.from_strings("101", "010")
+        target = parse_query(TARGET)
+        with PersistentCachingOracle(_CountingInner(target), path) as oracle:
+            response = oracle.ask(q)
+        reopened_inner = _CountingInner(target)
+        with PersistentCachingOracle(reopened_inner, path) as oracle:
+            assert oracle.ask(q) is response
+            assert reopened_inner.asks == 0
+
+    def test_widths_do_not_cross_contaminate(self, tmp_path):
+        path = tmp_path / "mixed.sqlite"
+        with PersistentCachingOracle(
+            QueryOracle(parse_query("∃x1", n=2)), path
+        ) as narrow:
+            narrow.ask(Question.of(2, [3]))
+        with PersistentCachingOracle(
+            QueryOracle(parse_query("∃x1x2x3")), path
+        ) as wide:
+            assert len(wide) == 0  # only n=3 rows load
+            wide.ask(Question.of(3, [7]))
+            assert len(wide) == 1
+        with PersistentCachingOracle(
+            QueryOracle(parse_query("∃x1", n=2)), path
+        ) as narrow_again:
+            assert len(narrow_again) == 1
+
+    def test_clear_wipes_disk_too(self, tmp_path):
+        path = tmp_path / "wipe.sqlite"
+        target = parse_query(TARGET)
+        q = Question.from_strings("111")
+        with PersistentCachingOracle(_CountingInner(target), path) as oracle:
+            oracle.ask(q)
+            assert q in oracle
+            oracle.clear()
+            assert q not in oracle and len(oracle) == 0
+            assert oracle.stats.misses == 1  # statistics survive clear
+        fresh_inner = _CountingInner(target)
+        with PersistentCachingOracle(fresh_inner, path) as oracle:
+            assert len(oracle) == 0
+            oracle.ask(q)
+            assert fresh_inner.asks == 1
+
+    def test_reset_stats_keeps_resident(self, tmp_path):
+        with PersistentCachingOracle(
+            QueryOracle(parse_query(TARGET)), tmp_path / "r.sqlite"
+        ) as oracle:
+            oracle.ask_many(_random_questions(10, seed=3))
+            resident = len(oracle)
+            oracle.reset_stats()
+            assert oracle.stats.questions == 0
+            assert sum(oracle.stats.resident_histogram.values()) == resident
+
+
+class TestEmptyQuestion:
+    def test_empty_tuple_set_round_trips(self, tmp_path):
+        """The empty question serializes to an empty tuples string and must
+        survive the disk round trip."""
+        path = tmp_path / "empty.sqlite"
+        relaxed = parse_query("∀x1", n=2, require_guarantees=False)
+        empty = Question.of(2, [])
+        with PersistentCachingOracle(QueryOracle(relaxed), path) as oracle:
+            first = oracle.ask(empty)
+        inner = _CountingInner(relaxed)
+        with PersistentCachingOracle(inner, path) as oracle:
+            assert oracle.ask(empty) is first
+            assert inner.asks == 0
+
+
+class TestWidthValidation:
+    def test_wrong_width_rejected_before_touching_disk(self, tmp_path):
+        """A wrong-width question must never reach the cache or the disk —
+        persisted under this oracle's n it would decode as a *different*
+        question next session."""
+        path = tmp_path / "width.sqlite"
+        inner = _CountingInner(parse_query(TARGET))
+        with PersistentCachingOracle(inner, path) as oracle:
+            wide = Question.of(5, [31])
+            with pytest.raises(ValueError, match="n=5"):
+                oracle.ask(wide)
+            with pytest.raises(ValueError, match="n=5"):
+                oracle.ask_many([Question.of(3, [7]), wide])
+            # Atomic batch: nothing recorded, nothing persisted.
+            assert len(oracle) == 0
+            assert oracle.stats.questions == 0
+            assert inner.asks == 0 and inner.batches == []
+        with PersistentCachingOracle(
+            _CountingInner(parse_query(TARGET)), path
+        ) as reopened:
+            assert len(reopened) == 0
