@@ -95,3 +95,54 @@ def engine_workload() -> list[QhornQuery]:
         QhornQuery.build(4, universals=[((2, 3), 0)]),
         QhornQuery.build(4, universals=[((), 1)], existentials=[(0, 2, 3)]),
     ]
+
+
+# ----------------------------------------------------------------------
+# Machine-readable performance trend (BENCH_e2x.json)
+# ----------------------------------------------------------------------
+#
+# The rendered tables are for humans; CI additionally wants a stable,
+# machine-readable file so the performance trajectory can be tracked
+# across runs (the artifact is uploaded by the benchmark-smoke job).
+# Two sources feed it: explicit `trend(...)` records from the scale
+# experiments (speedups, gate medians) and every pytest-benchmark
+# median collected during the session.
+
+#: Explicit trend records: benchmark name → metric dict.
+_TREND: dict[str, dict[str, float]] = {}
+
+TREND_FILE = "BENCH_e2x.json"
+
+
+@pytest.fixture
+def trend():
+    """Returns a recorder: ``trend(name, median_s=..., speedup=...)``
+    adds one benchmark's metrics to the session trend file."""
+
+    def record(name: str, **metrics: float) -> None:
+        _TREND.setdefault(name, {}).update(
+            {key: float(value) for key, value in metrics.items()}
+        )
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the trend file, merging explicit records with the medians
+    of every pytest-benchmark run this session."""
+    import json
+
+    entries = {name: dict(metrics) for name, metrics in _TREND.items()}
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is not None:
+        for bench in bench_session.benchmarks:
+            try:
+                median = float(bench.stats.median)
+            except (AttributeError, TypeError):  # errored benchmark
+                continue
+            entries.setdefault(bench.name, {})["median_s"] = median
+    if not entries:
+        return
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / TREND_FILE
+    path.write_text(json.dumps(entries, indent=2, sort_keys=True) + "\n")

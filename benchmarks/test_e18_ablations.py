@@ -19,7 +19,7 @@ import random
 import statistics
 
 from repro.analysis import render_table
-from repro.core.generators import random_qhorn1, random_role_preserving
+from repro.core.generators import random_role_preserving
 from repro.core.normalize import canonicalize
 from repro.core.query import QhornQuery
 from repro.learning import Qhorn1Learner, RolePreservingLearner

@@ -33,7 +33,7 @@ SPEEDUP_FLOOR = 5.0
 
 
 def test_e21_engine_scaling(
-    report, benchmark, storefront_vocab, store_factory, engine_workload
+    report, trend, benchmark, storefront_vocab, store_factory, engine_workload
 ):
     rows = []
     engine = None
@@ -68,6 +68,12 @@ def test_e21_engine_scaling(
 
         warm_speedup = scan_ms / batch_ms if batch_ms else float("inf")
         cold_speedup = scan_ms / (build_ms + batch_ms)
+        if size == max(SIZES):
+            trend(
+                "e21_engine_scale_warm",
+                median_s=batch_ms / 1000,
+                speedup=warm_speedup,
+            )
         if size >= 10 * SEED_STORE_BOXES:
             assert warm_speedup >= SPEEDUP_FLOOR, (
                 f"batch path only {warm_speedup:.1f}x faster than per-object "

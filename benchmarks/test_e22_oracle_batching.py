@@ -81,7 +81,7 @@ def _workload(
     return [rng.choice(pool) for _ in range(size)]
 
 
-def test_e22_oracle_batching(report, benchmark):
+def test_e22_oracle_batching(report, trend, benchmark):
     target = _target()
     rows = []
     workloads = [
@@ -116,6 +116,12 @@ def test_e22_oracle_batching(report, benchmark):
             )
         if repetitive:
             largest_batchable = questions
+            if size == max(SIZES):
+                trend(
+                    "e22_oracle_batching",
+                    median_s=batched_ms / 1000,
+                    speedup=speedup,
+                )
         rows.append(
             [
                 size,

@@ -60,7 +60,7 @@ def _measure(backend, workload):
 
 
 def test_e23_backend_scaling(
-    report, benchmark, storefront_vocab, store_factory, engine_workload
+    report, trend, benchmark, storefront_vocab, store_factory, engine_workload
 ):
     rows = []
     sharded_backend = None
@@ -87,6 +87,11 @@ def test_e23_backend_scaling(
         # The gate applies to the largest tier (well beyond 10x the seed
         # benchmark size); smaller tiers chart the crossover region.
         if size == max(SIZES):
+            trend(
+                "e23_backend_scale_sharded",
+                median_s=sharded_total / 1000,
+                speedup=sharded_speedup,
+            )
             assert size >= 10 * SEED_STORE_BOXES
             assert sharded_speedup >= SHARDED_SPEEDUP_FLOOR, (
                 f"sharded backend only {sharded_speedup:.1f}x faster than the "

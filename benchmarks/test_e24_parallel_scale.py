@@ -1,0 +1,153 @@
+"""E24 — process-parallel shard evaluation: speedup vs worker count.
+
+Not a paper experiment, but the measurement the `repro.parallel`
+subsystem (DESIGN.md §2d) exists to answer: once shard state lives in
+persistent worker processes, how does the steady-state **evaluation**
+workload — full-relation labeling of the 8-query mix, the oracle-style
+pass of E23 — scale with workers?
+
+The phases are timed separately because they parallelize differently:
+
+* **build** (coordinator-side shard construction) is identical in every
+  mode — it happens once per relation version;
+* **ship** (first pool call: fork workers + broadcast the built shard
+  payloads) is a one-off; per evaluation only the compiled query crosses
+  outward and extracted label lists come back;
+* **labeling** (warm, best-of-two passes) is the per-query hot path and
+  the thing the workers actually parallelize — kernel *and* label
+  extraction run worker-side.
+
+Answers are asserted identical to the serial sharded backend on every
+worker count (the §2d unobservability contract); the speedup gate —
+4 workers ≥ 2× the single-process labeling throughput at 40 000 objects
+— is enforced wherever the machine can physically deliver it
+(``os.cpu_count() >= 4``; the CI benchmark-smoke runners qualify).  On
+smaller machines the table and trend entries still record the measured
+ratio, and the equivalence assertions always run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.analysis import render_table
+from repro.data import create_backend
+from repro.data.chocolate import intro_query
+
+SIZE = 40000
+WORKER_COUNTS = (1, 2, 4)
+GATE_WORKERS = 4
+SPEEDUP_FLOOR = 2.0
+LABEL_PASSES = 2
+
+
+def _label_pass(backend, workload):
+    """One full-relation labeling sweep; returns (elapsed_ms, labels)."""
+    t0 = time.perf_counter()
+    labels = [backend.matches_many(q) for q in workload]
+    return (time.perf_counter() - t0) * 1000, labels
+
+
+def _measure_labeling(backend, workload):
+    """Best-of-N warm labeling time plus the first pass's labels."""
+    times, labels = [], None
+    for _ in range(LABEL_PASSES):
+        elapsed, run = _label_pass(backend, workload)
+        times.append(elapsed)
+        if labels is None:
+            labels = run
+    return min(times), labels
+
+
+def test_e24_parallel_scaling(
+    report, trend, benchmark, storefront_vocab, store_factory, engine_workload
+):
+    store = store_factory(SIZE)
+    cpus = os.cpu_count() or 1
+
+    serial = create_backend("sharded", store, storefront_vocab)
+    t0 = time.perf_counter()
+    serial.refresh(force=True)
+    build_ms = (time.perf_counter() - t0) * 1000
+    serial_ms, reference = _measure_labeling(serial, engine_workload)
+
+    rows = [
+        ["serial", f"{build_ms:.1f}", "-", f"{serial_ms:.1f}", "1.0x", "-"]
+    ]
+    gated_speedup = None
+    last_backend = None
+    for workers in WORKER_COUNTS:
+        backend = create_backend(
+            "sharded", store, storefront_vocab, processes=workers
+        )
+        t0 = time.perf_counter()
+        backend.refresh(force=True)
+        pool_build_ms = (time.perf_counter() - t0) * 1000
+        # First call forks the workers and broadcasts the shard payloads.
+        t0 = time.perf_counter()
+        backend.matches_many(engine_workload[0])
+        ship_ms = (time.perf_counter() - t0) * 1000
+        label_ms, labels = _measure_labeling(backend, engine_workload)
+        assert labels == reference, (
+            f"{workers}-worker labels diverge from serial"  # §2d contract
+        )
+        speedup = serial_ms / label_ms if label_ms else float("inf")
+        gate = "-"
+        if workers == GATE_WORKERS:
+            gated_speedup = speedup
+            if cpus >= GATE_WORKERS:
+                gate = "yes"
+                assert speedup >= SPEEDUP_FLOOR, (
+                    f"{workers}-worker labeling only {speedup:.1f}x the "
+                    f"single-process pass at {SIZE} objects "
+                    f"(floor {SPEEDUP_FLOOR}x)"
+                )
+            else:
+                gate = f"skipped ({cpus} cpu)"
+        rows.append(
+            [
+                f"{workers} worker(s)",
+                f"{pool_build_ms:.1f}",
+                f"{ship_ms:.1f}",
+                f"{label_ms:.1f}",
+                f"{speedup:.1f}x",
+                gate,
+            ]
+        )
+        trend(
+            f"e24_parallel_{workers}w",
+            median_s=label_ms / 1000,
+            speedup=speedup,
+        )
+        if workers == max(WORKER_COUNTS):
+            last_backend = backend
+        else:
+            backend.close()
+
+    table = render_table(
+        [
+            "mode",
+            "build ms",
+            "fork+ship ms",
+            f"label ms ({len(engine_workload)}q)",
+            "speedup",
+            "gated",
+        ],
+        rows,
+        title=(
+            f"E24 — process-parallel shard evaluation at {SIZE} boxes "
+            f"(full-relation labeling of the 8-query mix, warm best-of-"
+            f"{LABEL_PASSES}; answers identical to serial on every row; "
+            f"gate: {GATE_WORKERS} workers ≥ {SPEEDUP_FLOOR:.0f}x when "
+            f"the machine has ≥ {GATE_WORKERS} cores — this run: {cpus})"
+        ),
+    )
+    report("e24_parallel_scale", table)
+    assert gated_speedup is not None
+
+    # pytest-benchmark on the warm pooled labeling path, then clean up.
+    try:
+        benchmark(last_backend.matches_many, intro_query())
+    finally:
+        last_backend.close()

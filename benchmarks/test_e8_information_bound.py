@@ -22,10 +22,9 @@ from repro.analysis import (
     render_table,
     unrestricted_query_bits,
 )
-from repro.core.generators import random_qhorn1
 from repro.core.normalize import canonicalize
 from repro.core.query import QhornQuery
-from repro.learning import Qhorn1Learner, RolePreservingLearner
+from repro.learning import RolePreservingLearner
 from repro.oracle import CountingOracle, QueryOracle
 
 

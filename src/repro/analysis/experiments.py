@@ -4,18 +4,55 @@ The benchmark suite repeats one pattern everywhere: sweep a parameter,
 repeat over seeds, aggregate a measured quantity, render a table.  This
 module packages that pattern so ad-hoc studies (notebooks, new benches)
 stay three lines long and deterministically reproducible.
+
+Sweeps that simulate oracle interaction can opt into cross-run answer
+persistence (the ROADMAP item): pass ``cache_dir=`` and every measure
+call receives a ``cache`` callable wrapping any membership oracle in a
+:class:`~repro.oracle.persistent.PersistentCachingOracle` backed by a
+per-cell SQLite store, so repeated sweeps — and CI re-runs restoring the
+directory — reuse answers on disk instead of re-simulating the user.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
+import re
 import statistics
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from repro.analysis.tables import render_table
+from repro.oracle.base import MembershipOracle
+from repro.oracle.persistent import PersistentCachingOracle
 
 __all__ = ["Measurement", "SweepResult", "run_sweep"]
+
+#: Type of the ``cache`` argument handed to measure functions when a
+#: sweep runs with ``cache_dir=``.
+OracleCache = Callable[[MembershipOracle], PersistentCachingOracle]
+
+
+def _slug(name: str) -> str:
+    """Filesystem-safe sweep name for the per-sweep cache files."""
+    cleaned = re.sub(r"[^A-Za-z0-9]+", "-", name).strip("-").lower()
+    return cleaned or "sweep"
+
+
+def _cell_seed(base_seed: int, parameter: Any, repeat: int) -> int:
+    """Deterministic per-cell RNG seed, stable **across processes**.
+
+    Python's built-in ``hash`` randomizes string hashing per process
+    (PYTHONHASHSEED), which would make sweeps irreproducible between
+    runs — and silently defeat ``cache_dir``, whose whole point is that
+    a CI re-run regenerates the *same* questions and hits the stored
+    answers.
+    """
+    digest = hashlib.blake2b(
+        f"{base_seed}|{parameter!r}|{repeat}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
 
 
 @dataclass(frozen=True)
@@ -65,24 +102,70 @@ class SweepResult:
 def run_sweep(
     name: str,
     parameters: Sequence[Any],
-    measure: Callable[[Any, random.Random], float],
+    measure: Callable[..., float],
     seeds: int = 10,
     base_seed: int = 0,
     parameter_name: str = "parameter",
+    cache_dir: str | Path | None = None,
 ) -> SweepResult:
     """Measure ``measure(parameter, rng)`` over ``seeds`` seeded repeats
     per parameter value.
 
-    Each (parameter, repeat) pair gets its own deterministic RNG, so cells
-    are reproducible independently of sweep order.
+    Each (parameter, repeat) pair gets its own deterministic RNG —
+    seeded stably across processes (PYTHONHASHSEED-independent) — so
+    cells are reproducible independently of sweep order *and* of which
+    interpreter runs them.
+
+    With ``cache_dir`` set (opt-in), ``measure`` is called as
+    ``measure(parameter, rng, cache)``, where ``cache(oracle)`` wraps a
+    membership oracle in a
+    :class:`~repro.oracle.persistent.PersistentCachingOracle`.  Each
+    wrap gets its **own** SQLite store, keyed by sweep name, parameter
+    position, repeat and wrap order
+    (``<slug>-p<j>-r<i>-o<k>.sqlite``) — per-cell stores rather than one
+    shared file, because the persistent cache keys rows only on
+    ``(n, tuples)`` and sweeps routinely build a *different* hidden
+    target per cell; a shared store would silently answer one cell's
+    questions with another target's labels.  A deterministic measure
+    re-wraps in the same order every run, so a repeated sweep (or a CI
+    re-run restoring the directory) hits the stored answers exactly, and
+    caching never changes responses — only how many questions reach the
+    wrapped oracle.  Every cache opened during a measure call is closed
+    before the next one runs.
     """
     if seeds < 1:
         raise ValueError("need at least one seed")
+    directory: Path | None = None
+    if cache_dir is not None:
+        directory = Path(cache_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+    slug = _slug(name)
+
+    def call(param_index: int, p: Any, repeat: int) -> float:
+        rng = random.Random(_cell_seed(base_seed, p, repeat))
+        if directory is None:
+            return float(measure(p, rng))
+        opened: list[PersistentCachingOracle] = []
+
+        def cache(oracle: MembershipOracle) -> PersistentCachingOracle:
+            path = (
+                directory
+                / f"{slug}-p{param_index}-r{repeat}-o{len(opened)}.sqlite"
+            )
+            wrapped = PersistentCachingOracle(oracle, path)
+            opened.append(wrapped)
+            return wrapped
+
+        try:
+            return float(measure(p, rng, cache))
+        finally:
+            for wrapped in opened:
+                wrapped.close()
+
     result = SweepResult(name=name, parameter_name=parameter_name)
-    for p in parameters:
+    for param_index, p in enumerate(parameters):
         values = [
-            float(measure(p, random.Random(hash((base_seed, repr(p), i)))))
-            for i in range(seeds)
+            call(param_index, p, i) for i in range(seeds)
         ]
         result.measurements.append(
             Measurement(

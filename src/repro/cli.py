@@ -23,12 +23,18 @@ from repro.learning import (
     RolePreservingLearner,
     revise_query,
 )
-from repro.oracle import CachingOracle, CountingOracle, QueryOracle, SqlQueryOracle
+from repro.oracle import (
+    CachingOracle,
+    CountingOracle,
+    ParallelOracle,
+    QueryOracle,
+    SqlQueryOracle,
+)
 from repro.verification import Verifier
 
 __all__ = ["main", "build_parser"]
 
-#: Backend-selection guide shown in ``--help`` (DESIGN.md §2c).
+#: Backend-selection guide shown in ``--help`` (DESIGN.md §2c/§2d).
 BACKEND_GUIDE = """\
 evaluation backends (--backend):
   bitmask   one in-process inverted bitmask index over the whole relation;
@@ -41,6 +47,17 @@ evaluation backends (--backend):
             real database should answer — batches are one round trip, and
             learn/verify answer membership questions through the database
 All backends return identical answers on identical state (DESIGN.md §2c).
+
+process parallelism (--parallel N, DESIGN.md §2d):
+  learn/verify   membership-question batches fan out over N persistent
+                 worker processes (a ParallelOracle around the target
+                 oracle); answers, question counts and round statistics
+                 are bit-identical to the sequential path
+  demo           the relation evaluates on the sharded backend through an
+                 N-process worker pool (shard state ships to the workers
+                 once; per query only the compiled form crosses)
+  N=0 uses every core (os.cpu_count()).  Parallelism pays on multi-core
+  machines with large batches/relations; small runs are faster without it.
 """
 
 
@@ -65,6 +82,16 @@ def build_parser() -> argparse.ArgumentParser:
             "`repro --help`)",
         )
 
+    def add_parallel_flag(p) -> None:
+        p.add_argument(
+            "--parallel",
+            type=int,
+            default=None,
+            metavar="N",
+            help="evaluate through N worker processes (0 = one per core; "
+            "see the guide at the bottom of `repro --help`)",
+        )
+
     learn = sub.add_parser("learn", help="learn a target query by example")
     learn.add_argument("target", help="query shorthand, e.g. '∀x1 ∃x2x3'")
     learn.add_argument("--n", type=int, default=None)
@@ -77,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
     # The relation-layout backends are identical for oracle answering, so
     # learn/verify expose the two distinct oracle evaluators.
     add_backend_flag(learn, choices=("bitmask", "sql"))
+    add_parallel_flag(learn)
 
     verify = sub.add_parser(
         "verify", help="verify a given query against an intended one"
@@ -85,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("intended")
     verify.add_argument("--n", type=int, default=None)
     add_backend_flag(verify, choices=("bitmask", "sql"))
+    add_parallel_flag(verify)
 
     revise = sub.add_parser(
         "revise", help="revise a close query toward the intended one"
@@ -99,14 +128,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="run the chocolate-store walkthrough")
     add_backend_flag(demo)
+    add_parallel_flag(demo)
     return parser
 
 
-def _target_oracle(target, backend: str):
-    """The ground-truth oracle for ``target`` under a backend choice."""
+def _target_oracle(target, backend: str, parallel: int | None = None):
+    """The ground-truth oracle for ``target`` under a backend choice.
+
+    With ``parallel`` set, the evaluator is wrapped in a
+    :class:`ParallelOracle` (the SQL evaluator ships as a factory so
+    every worker opens a private SQLite connection).  Returns
+    ``(oracle, closer)`` where ``closer`` releases the worker pool —
+    ``None`` when nothing needs closing.
+    """
+    if parallel is not None:
+        import functools
+
+        if backend == "sql":
+            oracle = ParallelOracle(
+                factory=functools.partial(SqlQueryOracle, target),
+                processes=parallel,
+            )
+        else:
+            oracle = ParallelOracle(QueryOracle(target), processes=parallel)
+        return oracle, oracle
     if backend == "sql":
-        return SqlQueryOracle(target)
-    return QueryOracle(target)
+        return SqlQueryOracle(target), None
+    return QueryOracle(target), None
 
 
 def _n_for(*queries, explicit: int | None) -> int | None:
@@ -115,12 +163,17 @@ def _n_for(*queries, explicit: int | None) -> int | None:
 
 def _cmd_learn(args) -> int:
     target = parse_query(args.target, n=args.n)
-    cache = CachingOracle(_target_oracle(target, args.backend))
+    evaluator, closer = _target_oracle(target, args.backend, args.parallel)
+    cache = CachingOracle(evaluator)
     oracle = CountingOracle(cache)
     learner_cls = (
         Qhorn1Learner if args.learner == "qhorn1" else RolePreservingLearner
     )
-    result = learner_cls(oracle).learn()
+    try:
+        result = learner_cls(oracle).learn()
+    finally:
+        if closer is not None:
+            closer.close()
     exact = canonicalize(result.query) == canonicalize(target)
     if args.json:
         print(query_to_json(result.query))
@@ -146,7 +199,12 @@ def _cmd_verify(args) -> int:
     intended = parse_query(args.intended, n=n or given.n)
     if intended.n > given.n:
         given = parse_query(args.given, n=intended.n)
-    outcome = Verifier(given).run(_target_oracle(intended, args.backend))
+    evaluator, closer = _target_oracle(intended, args.backend, args.parallel)
+    try:
+        outcome = Verifier(given).run(evaluator)
+    finally:
+        if closer is not None:
+            closer.close()
     print(f"given   : {given.shorthand()}")
     print(f"intended: {intended.shorthand()}")
     print(f"verified: {outcome.verified} "
@@ -196,6 +254,15 @@ def _cmd_sql(args) -> int:
 
 
 def _cmd_demo(args) -> int:
+    # Validate the flag combination before any work happens: the SQL
+    # backend answers inside SQLite and has no worker-pool mode.
+    if args.parallel is not None and args.backend == "sql":
+        print(
+            "repro demo: --parallel is incompatible with --backend sql",
+            file=sys.stderr,
+        )
+        return 2
+
     from repro.data import QueryEngine
     from repro.data.chocolate import (
         intro_query,
@@ -216,10 +283,25 @@ def _cmd_demo(args) -> int:
           f"({oracle.questions_asked} questions, "
           f"{cache.stats.misses} distinct, "
           f"{oracle.stats.rounds} rounds)")
-    engine = QueryEngine(store, vocabulary, backend=args.backend)
-    matches = engine.execute_batch(result.query)
-    print(f"matching boxes: {len(matches)} / {len(store)} "
-          f"({engine.backend.describe()})")
+    backend = args.backend
+    backend_options = {}
+    if args.parallel is not None:
+        # Process parallelism partitions the relation, which is exactly
+        # the sharded layout; --parallel therefore implies --backend
+        # sharded.
+        backend = "sharded"
+        backend_options["processes"] = args.parallel
+    engine = QueryEngine(
+        store, vocabulary, backend=backend, backend_options=backend_options
+    )
+    try:
+        matches = engine.execute_batch(result.query)
+        print(f"matching boxes: {len(matches)} / {len(store)} "
+              f"({engine.backend.describe()})")
+    finally:
+        close = getattr(engine.backend, "close", None)
+        if close is not None:
+            close()
     for box in matches[:5]:
         print(f"  {box.key}")
     return 0

@@ -58,8 +58,13 @@ def create_backend(
 ) -> EvaluationBackend:
     """Construct a registered backend by name.
 
-    ``options`` are forwarded to the backend constructor (``shard_size``
-    and ``executor`` for ``sharded``, ``auto_refresh`` for all).
+    ``options`` are forwarded to the backend constructor (``shard_size``,
+    ``executor``, ``processes`` and ``pool`` for ``sharded``,
+    ``auto_refresh`` for all).  ``processes`` makes the sharded backend
+    own a persistent :class:`~repro.parallel.ShardWorkerPool`
+    (DESIGN.md §2d); callers should ``close()`` the backend (or use it
+    as a context manager) when done, though an :mod:`atexit` guard
+    covers forgotten pools.
     """
     try:
         cls = BACKENDS[name]

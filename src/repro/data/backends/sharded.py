@@ -16,15 +16,32 @@ own inverted index with **shard-local positions**, so every bitset is
 bounded to ``shard_size`` bits: builds and label extractions become
 linear in relation size, and shards evaluate independently through the
 same :func:`~repro.data.index.evaluate_inverted` kernel the single index
-uses.  An optional :mod:`concurrent.futures` executor evaluates shards
-in parallel (shards share no state; ``evaluate_inverted`` is a pure
-module-level function, so thread *and* process pools both work).
+uses.
+
+Three execution modes share that layout:
+
+* **serial** (default) — shards evaluate in-process, one after another;
+* **caller-owned executor** — the per-shard evaluations of one query run
+  through ``executor.map``; the backend never owns the lifecycle;
+* **owned worker pool** (``processes=N``, or an injected ``pool=``) —
+  a persistent :class:`~repro.parallel.ShardWorkerPool` receives the
+  built shard payloads once and evaluates them in ``N`` processes; per
+  query only the compiled form crosses the boundary and either bitsets
+  or worker-extracted label lists come back (DESIGN.md §2d).  This is
+  the mode that beats the GIL on the pure-python kernel.  Rebuilds
+  (relation ``version`` bumps) re-ship automatically — the invalidation
+  broadcast — and a pool crash raises
+  :class:`~repro.parallel.WorkerCrashError` cleanly; the next evaluation
+  builds a fresh owned pool.
 
 Shard boundaries are unobservable: answers are identical to the single
 index on identical state (enforced by
-``tests/properties/test_prop_backends.py``), and ``matching_bits``
+``tests/properties/test_prop_backends.py`` and
+``tests/properties/test_prop_parallel.py``), and ``matching_bits``
 reassembles the global object-position bitset in relation order.  E23
-(``benchmarks/test_e23_backend_scale.py``) charts the crossover.
+(``benchmarks/test_e23_backend_scale.py``) charts the layout crossover;
+E24 (``benchmarks/test_e24_parallel_scale.py``) charts speedup vs worker
+count.
 """
 
 from __future__ import annotations
@@ -41,6 +58,8 @@ from repro.data.relation import NestedObject, NestedRelation
 
 if TYPE_CHECKING:  # pragma: no cover
     from concurrent.futures import Executor
+
+    from repro.parallel import ShardWorkerPool
 
 __all__ = ["ShardedBitmaskBackend", "DEFAULT_SHARD_SIZE"]
 
@@ -80,6 +99,18 @@ class ShardedBitmaskBackend:
         Optional :class:`concurrent.futures.Executor`; when given, the
         per-shard evaluations of one query run through ``executor.map``.
         The backend never owns the executor's lifecycle.
+    processes:
+        Optional worker-process count: the backend creates and **owns**
+        a :class:`~repro.parallel.ShardWorkerPool` (``0`` = one worker
+        per core), ships shard state on build/refresh, and closes the
+        pool in :meth:`close` / the context manager / at interpreter
+        exit.  Mutually exclusive with ``executor`` and ``pool``.
+    pool:
+        Optional caller-owned :class:`~repro.parallel.ShardWorkerPool`
+        to evaluate through; several backends may share one pool (each
+        load is token-tagged, and a backend re-ships automatically when
+        another tenant's load displaced its state).  The backend never
+        closes an injected pool.
     auto_refresh:
         Rebuild all shards on relation-version mismatch before every
         evaluation (same contract as :class:`RelationIndex`).
@@ -93,14 +124,39 @@ class ShardedBitmaskBackend:
         vocabulary: Vocabulary,
         shard_size: int = DEFAULT_SHARD_SIZE,
         executor: "Executor | None" = None,
+        processes: int | None = None,
+        pool: "ShardWorkerPool | None" = None,
         auto_refresh: bool = True,
     ) -> None:
         if shard_size < 1:
             raise ValueError(f"shard_size must be positive, got {shard_size}")
+        given = [
+            name
+            for name, value in (
+                ("executor", executor),
+                ("processes", processes),
+                ("pool", pool),
+            )
+            if value is not None
+        ]
+        if len(given) > 1:
+            raise ValueError(
+                f"at most one of executor/processes/pool may be given, "
+                f"got {', '.join(given)}"
+            )
         self.relation = relation
         self.vocabulary = vocabulary
         self.shard_size = shard_size
         self.executor = executor
+        self.processes = processes
+        if processes is not None or pool is not None:
+            from repro.parallel import PoolLease
+
+            self._lease = PoolLease(pool=pool, processes=processes or 0)
+        else:
+            self._lease = None
+        self._shipped_token: int | None = None
+        self._shipped_generation: int | None = None
         self.auto_refresh = auto_refresh
         self._shards: list[_Shard] | None = None
         self._built_version: int | None = None
@@ -118,6 +174,9 @@ class ShardedBitmaskBackend:
         self._objects = objects
         self._positions = {o.key: i for i, o in enumerate(objects)}
         self._built_version = getattr(self.relation, "version", None)
+        # Worker-side state (if any) now describes a retired build; the
+        # next pool evaluation re-ships (the invalidation broadcast).
+        self._shipped_token = None
 
     @property
     def is_stale(self) -> bool:
@@ -142,6 +201,86 @@ class ShardedBitmaskBackend:
         return len(self._shards)
 
     # ------------------------------------------------------------------
+    # Worker-pool plumbing
+    # ------------------------------------------------------------------
+    @property
+    def parallel(self) -> bool:
+        """Is any parallel mode (executor or worker pool) configured?"""
+        return self.executor is not None or self._lease is not None
+
+    def _worker_pool(self) -> "ShardWorkerPool":
+        """The active pool, (re)creating an owned one when necessary."""
+        pool = self._lease.acquire()
+        if self._shipped_generation != self._lease.generation:
+            # A fresh pool (first use, or rebuilt after a crash) holds no
+            # shard state yet.
+            self._shipped_token = None
+            self._shipped_generation = self._lease.generation
+        return pool
+
+    def _ship(self) -> int:
+        """Broadcast the built shard payloads to the pool workers."""
+        from repro.parallel import shard_payloads
+
+        self._shipped_token = self._worker_pool().load_shards(
+            shard_payloads(self._shards)
+        )
+        return self._shipped_token
+
+    def _pool_evaluate(self, op: str, compiled: CompiledQuery) -> list:
+        """One pool round trip with re-ship-and-retry on stale state.
+
+        Stale answers happen when another backend sharing the pool
+        shipped its own load since ours; re-shipping restores this
+        backend's state and the retry answers from it.  A worker crash
+        closes the pool — an owned pool is forgotten so the next
+        evaluation starts a fresh one, and the error propagates either
+        way.
+        """
+        from repro.parallel import StaleShardStateError, WorkerCrashError
+
+        try:
+            pool = self._worker_pool()
+            token = (
+                self._shipped_token
+                if self._shipped_token is not None
+                else self._ship()
+            )
+            evaluate = (
+                pool.evaluate_bits if op == "bits" else pool.evaluate_labels
+            )
+            for retry in (False, True):
+                try:
+                    return evaluate(token, compiled)
+                except StaleShardStateError:
+                    if retry:
+                        raise
+                    token = self._ship()
+            raise AssertionError("unreachable")  # pragma: no cover
+        except WorkerCrashError:
+            self._lease.reset_after_crash()
+            raise
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the owned worker pool; safe to call twice (no-op).
+
+        An injected ``pool=`` is caller-owned and stays open; the
+        backend merely stops using it.
+        """
+        if self._lease is not None:
+            self._lease.release()
+        self._shipped_token = None
+
+    def __enter__(self) -> "ShardedBitmaskBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
     def _compiled(self, query: QhornQuery | CompiledQuery) -> CompiledQuery:
@@ -151,6 +290,8 @@ class ShardedBitmaskBackend:
     def _shard_answers(self, compiled: CompiledQuery) -> list[int]:
         """Per-shard answer bitsets (shard-local positions), shard order."""
         shards = self._shards
+        if self._lease is not None and shards:
+            return [bits for _offset, bits in self._pool_evaluate("bits", compiled)]
         if self.executor is not None and len(shards) > 1:
             return list(
                 self.executor.map(
@@ -184,15 +325,26 @@ class ShardedBitmaskBackend:
     ) -> list[bool]:
         self._ensure_fresh()
         compiled = self._compiled(query)
-        answers = self._shard_answers(compiled)
         if objects is None:
+            if self._lease is not None and self._shards:
+                # Full-relation labeling is the pool's best case: workers
+                # run the kernel AND the label extraction; only compact
+                # bool lists come back, reassembled in shard order.
+                labels: list[bool] = []
+                for _offset, shard_labels in self._pool_evaluate(
+                    "labels", compiled
+                ):
+                    labels.extend(shard_labels)
+                return labels
+            answers = self._shard_answers(compiled)
             # Extract shard by shard so every >> stays shard-width.
-            labels: list[bool] = []
+            labels = []
             for shard, bits in zip(self._shards, answers):
                 labels.extend(
                     bool(bits >> i & 1) for i in range(shard.count)
                 )
             return labels
+        answers = self._shard_answers(compiled)
         size = self.shard_size
         labels = []
         for obj in objects:
@@ -210,11 +362,19 @@ class ShardedBitmaskBackend:
         if self._shards is None:
             return "sharded: shards not built yet"
         masks = sum(len(s.inverted) for s in self._shards)
+        pool = self._lease.pool if self._lease is not None else None
+        if pool is not None and not pool.closed:
+            mode = f", {pool.processes}-process pool"
+        elif self._lease is not None and not self._lease.closed:
+            mode = ", process pool (workers start on first evaluation)"
+        elif self.executor is not None:
+            mode = ", parallel"
+        else:
+            mode = ""
         return (
             f"sharded: {len(self._objects)} objects in "
             f"{len(self._shards)} shard(s) of ≤{self.shard_size}, "
-            f"{masks} inverted entries"
-            + (", parallel" if self.executor is not None else "")
+            f"{masks} inverted entries" + mode
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -13,6 +13,7 @@ from repro.oracle.counting import CountingOracle, QuestionStats, RecordingOracle
 from repro.oracle.expression import CountingExpressionOracle, ExpressionOracle
 from repro.oracle.human import HumanOracle
 from repro.oracle.noisy import ExhaustedReplayError, NoisyOracle, ReplayOracle
+from repro.oracle.parallel import ParallelOracle
 from repro.oracle.persistent import PersistentCachingOracle
 from repro.oracle.sqlbacked import SqlQueryOracle
 
@@ -31,6 +32,7 @@ __all__ = [
     "HumanOracle",
     "MembershipOracle",
     "NoisyOracle",
+    "ParallelOracle",
     "QueryOracle",
     "QuestionStats",
     "RecordingOracle",

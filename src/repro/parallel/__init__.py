@@ -1,0 +1,37 @@
+"""Process-parallel evaluation: persistent shard workers (DESIGN.md §2d).
+
+The pure-python evaluation kernel is GIL-bound, so thread pools buy the
+sharded backend nothing.  This package supplies the multi-core path:
+
+* :class:`ShardWorkerPool` — N persistent worker processes that receive
+  their slice of the built shard state **once** and answer compiled
+  queries (and oracle question chunks) over a tiny pipe protocol;
+* the worker loop itself (:mod:`repro.parallel.worker`);
+* the failure vocabulary — :class:`WorkerCrashError`,
+  :class:`WorkerTaskError`, :class:`StaleShardStateError`.
+
+Consumers: ``ShardedBitmaskBackend(processes=N)`` (or the engine's
+``backend_options={"processes": N}`` / CLI ``--parallel N``) for batch
+evaluation, and :class:`repro.oracle.parallel.ParallelOracle` for
+membership-question fan-out.
+"""
+
+from repro.parallel.pool import (
+    PoolLease,
+    ShardWorkerPool,
+    StaleShardStateError,
+    WorkerCrashError,
+    WorkerTaskError,
+    resolve_processes,
+    shard_payloads,
+)
+
+__all__ = [
+    "PoolLease",
+    "ShardWorkerPool",
+    "StaleShardStateError",
+    "WorkerCrashError",
+    "WorkerTaskError",
+    "resolve_processes",
+    "shard_payloads",
+]

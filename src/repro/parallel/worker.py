@@ -1,0 +1,146 @@
+"""The shard-worker process: one message loop, persistent local state.
+
+A worker is the far end of :class:`~repro.parallel.pool.ShardWorkerPool`'s
+pipe protocol (DESIGN.md §2d).  It holds two kinds of state *between*
+requests, which is the whole point of the pool — the expensive payloads
+cross the process boundary once, not per evaluation:
+
+* **shard state** — its assigned slice of a sharded backend's inverted
+  indexes, tagged with the pool-issued *state token* of the load that
+  shipped them; per evaluation only a compiled query arrives and only
+  bitsets (or extracted label lists) leave;
+* **oracle state** — membership oracles keyed by token, each an
+  independent copy (or locally constructed from a shipped factory), so
+  :class:`~repro.oracle.parallel.ParallelOracle` can fan question chunks
+  out without re-pickling the oracle.
+
+Messages are plain tuples ``(op, ...)`` and every reply is
+``("ok", result)``, ``("stale", have_token)`` or ``("error", type_name,
+message, traceback_text)``; the full table lives in DESIGN.md §2d.  A
+worker answers requests strictly in arrival order (the pipe is FIFO),
+which is what lets the coordinator reassemble replies positionally.
+
+The token check on evaluation requests is the stale-state safety net:
+the coordinator names the state token its answer must come from, and a
+worker holding a different load answers ``("stale", ...)`` instead of
+silently evaluating over outdated shards (e.g. after another backend
+sharing the pool re-shipped its own state).
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from typing import Any
+
+from repro.data.index import evaluate_inverted
+
+__all__ = ["worker_main"]
+
+#: Shard payload shape: ``(offset, count, inverted, all_bits)`` — exactly
+#: the fields of the sharded backend's ``_Shard``, already built, so the
+#: worker never re-abstracts rows.
+ShardPayload = tuple[int, int, dict[int, int], int]
+
+
+class _WorkerState:
+    """Everything one worker keeps between requests."""
+
+    __slots__ = ("shards", "state_token", "oracles")
+
+    def __init__(self) -> None:
+        self.shards: list[ShardPayload] = []
+        self.state_token: int | None = None
+        self.oracles: dict[int, Any] = {}
+
+
+def _labels_of(bits: int, count: int) -> list[bool]:
+    """Shard-local label extraction (same loop as the serial backend)."""
+    return [bool(bits >> i & 1) for i in range(count)]
+
+
+def _handle(message: tuple, state: _WorkerState) -> tuple:
+    """Compute the reply for one request against the persistent state."""
+    op = message[0]
+    if op == "shards":
+        state.state_token = message[1]
+        state.shards = message[2]
+        return ("ok", len(state.shards))
+    if op in ("eval_bits", "eval_labels"):
+        if message[1] != state.state_token:
+            return ("stale", state.state_token)
+        compiled = message[2]
+        if op == "eval_bits":
+            return (
+                "ok",
+                [
+                    (offset, evaluate_inverted(compiled, inverted, all_bits))
+                    for offset, _count, inverted, all_bits in state.shards
+                ],
+            )
+        return (
+            "ok",
+            [
+                (
+                    offset,
+                    _labels_of(
+                        evaluate_inverted(compiled, inverted, all_bits),
+                        count,
+                    ),
+                )
+                for offset, count, inverted, all_bits in state.shards
+            ],
+        )
+    if op == "oracle":
+        token, payload, is_factory = message[1], message[2], message[3]
+        state.oracles[token] = payload() if is_factory else payload
+        return ("ok", None)
+    if op == "oracle_drop":
+        state.oracles.pop(message[1], None)
+        return ("ok", None)
+    if op == "ask":
+        from repro.oracle.base import ask_all
+
+        oracle = state.oracles.get(message[1])
+        if oracle is None:
+            raise KeyError(f"no oracle shipped under token {message[1]}")
+        return ("ok", ask_all(oracle, message[2]))
+    if op == "ping":
+        return ("ok", message[1])
+    raise ValueError(f"unknown worker operation {op!r}")
+
+
+def worker_main(connection: Any) -> None:
+    """Serve pool requests over ``connection`` until ``close``/EOF.
+
+    Runs in the child process.  Handler failures are reported as
+    ``error`` replies and the loop continues — a broken request must not
+    take down sibling state.  ``SystemExit`` (and the explicit ``abort``
+    request, used by the crash-path tests) terminate the process without
+    a reply, which the coordinator surfaces as
+    :class:`~repro.parallel.pool.WorkerCrashError`.
+    """
+    state = _WorkerState()
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            break
+        op = message[0]
+        if op == "close":
+            break
+        if op == "abort":  # crash simulation: die without replying
+            os._exit(1)
+        try:
+            reply = _handle(message, state)
+        except Exception as exc:
+            reply = (
+                "error",
+                type(exc).__name__,
+                str(exc),
+                traceback.format_exc(),
+            )
+        try:
+            connection.send(reply)
+        except (BrokenPipeError, OSError):
+            break

@@ -10,7 +10,6 @@ from repro.core.generators import random_role_preserving
 from repro.core.parser import parse_query
 from repro.data import QueryEngine
 from repro.data.chocolate import (
-    chocolate_schema,
     paper_figure1_relation,
     paper_vocabulary,
     random_store,

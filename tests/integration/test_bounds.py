@@ -6,7 +6,6 @@ catches regressions in question complexity, not just correctness.
 
 from __future__ import annotations
 
-import math
 import random
 import statistics
 from itertools import chain, combinations

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.core.normalize import canonicalize
 from repro.core.parser import parse_query
@@ -21,7 +20,7 @@ from repro.data.chocolate import (
     random_store,
     storefront_vocabulary,
 )
-from repro.interactive import LearningSession, VerificationSession
+from repro.interactive import LearningSession
 from repro.learning import Qhorn1Learner, RolePreservingLearner
 from repro.oracle import CountingOracle, QueryOracle
 from repro.verification import verify_query

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import random
 from itertools import chain, combinations
 
 import pytest

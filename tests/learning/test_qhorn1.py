@@ -3,12 +3,10 @@
 from __future__ import annotations
 
 import math
-import random
 
 import pytest
 
 from repro.core.generators import random_qhorn1
-from repro.core.normalize import canonicalize
 from repro.core.parser import parse_query
 from repro.core.query import QhornQuery
 from repro.learning import Qhorn1Learner, learn_qhorn1

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import random
 
 import pytest
 
-from repro.analysis import revision_distance
 from repro.core.generators import paper_running_query, random_role_preserving
 from repro.core.normalize import canonicalize
 from repro.core.parser import parse_query

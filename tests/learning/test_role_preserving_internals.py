@@ -6,7 +6,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.generators import paper_running_query, random_role_preserving
-from repro.core.normalize import canonicalize, r3_closure
+from repro.core.normalize import canonicalize
 from repro.core.parser import parse_query
 from repro.learning import RolePreservingLearner
 from repro.oracle import CountingOracle, QueryOracle

@@ -1,0 +1,199 @@
+"""`ParallelOracle`: chunked dispatch with sequential equivalence.
+
+The wrapper's whole contract is that parallel dispatch is unobservable:
+answers, wrapper statistics and seeded noise draws on top of it are
+bit-identical to the sequential path (DESIGN.md §2b/§2d).  The heavier
+seeded sweeps live in ``tests/properties/test_prop_parallel.py``; this
+module covers the behavioural corners — local small-batch answering,
+factory shipping, pool sharing, crash handling and lifecycle.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import random
+
+import pytest
+
+from repro.core.query import QhornQuery
+from repro.core.tuples import Question
+from repro.oracle import (
+    CountingOracle,
+    ParallelOracle,
+    QueryOracle,
+    SqlQueryOracle,
+    ask_all,
+)
+from repro.parallel import ShardWorkerPool, WorkerCrashError
+
+N = 5
+
+
+def _target() -> QhornQuery:
+    return QhornQuery.build(
+        N, universals=[((0, 1), 2), ((), 3)], existentials=[(3, 4)]
+    )
+
+
+def _questions(count: int, seed: int = 1) -> list[Question]:
+    rng = random.Random(seed)
+    return [
+        Question.of(
+            N, [rng.randrange(1 << N) for _ in range(rng.randint(1, 4))]
+        )
+        for _ in range(count)
+    ]
+
+
+def _crash(question: Question) -> bool:  # pragma: no cover - runs in worker
+    os._exit(1)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with ShardWorkerPool(2) as p:
+        yield p
+
+
+class TestEquivalence:
+    def test_multi_chunk_answers_identical(self, pool):
+        questions = _questions(120)
+        sequential = [QueryOracle(_target()).ask(q) for q in questions]
+        oracle = ParallelOracle(
+            QueryOracle(_target()), pool=pool, chunk_size=7
+        )
+        assert oracle.ask_many(questions) == sequential
+        oracle.close()
+
+    def test_ask_all_integration(self, pool):
+        questions = _questions(60, seed=2)
+        oracle = ParallelOracle(
+            QueryOracle(_target()), pool=pool, chunk_size=11
+        )
+        assert ask_all(oracle, questions) == [
+            QueryOracle(_target()).ask(q) for q in questions
+        ]
+        oracle.close()
+
+    def test_single_chunk_answers_locally(self):
+        # A batch within one chunk must not spin up workers at all.
+        oracle = ParallelOracle(
+            QueryOracle(_target()), processes=2, chunk_size=64
+        )
+        questions = _questions(30, seed=3)
+        assert oracle.ask_many(questions) == [
+            QueryOracle(_target()).ask(q) for q in questions
+        ]
+        assert oracle._lease.pool is None
+        oracle.close()
+
+    def test_ask_is_local(self, pool):
+        oracle = ParallelOracle(QueryOracle(_target()), pool=pool)
+        (question,) = _questions(1, seed=4)
+        assert oracle.ask(question) == QueryOracle(_target()).ask(question)
+        oracle.close()
+
+    def test_counting_stats_bit_identical(self, pool):
+        questions = _questions(90, seed=5)
+        sequential = CountingOracle(QueryOracle(_target()))
+        sequential_answers = sequential.ask_many(questions)
+        parallel_inner = ParallelOracle(
+            QueryOracle(_target()), pool=pool, chunk_size=13
+        )
+        parallel = CountingOracle(parallel_inner)
+        assert parallel.ask_many(questions) == sequential_answers
+        assert parallel.stats == sequential.stats
+        parallel_inner.close()
+
+    def test_sql_factory_constructs_per_worker(self, pool):
+        questions = _questions(50, seed=6)
+        oracle = ParallelOracle(
+            factory=functools.partial(SqlQueryOracle, _target()),
+            pool=pool,
+            chunk_size=9,
+        )
+        assert oracle.ask_many(questions) == [
+            QueryOracle(_target()).ask(q) for q in questions
+        ]
+        oracle.close()
+
+
+class TestConstruction:
+    def test_exactly_one_of_inner_and_factory(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            ParallelOracle()
+        with pytest.raises(ValueError, match="exactly one"):
+            ParallelOracle(
+                QueryOracle(_target()),
+                factory=functools.partial(QueryOracle, _target()),
+            )
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            ParallelOracle(QueryOracle(_target()), chunk_size=0)
+
+    def test_process_count_validated(self):
+        with pytest.raises(ValueError, match="processes"):
+            ParallelOracle(QueryOracle(_target()), processes=-2)
+
+    def test_width_comes_from_inner(self):
+        oracle = ParallelOracle(QueryOracle(_target()))
+        assert oracle.n == N
+        oracle.close()
+
+
+class TestLifecycle:
+    def test_double_close_is_noop(self):
+        oracle = ParallelOracle(QueryOracle(_target()), processes=1)
+        oracle.close()
+        oracle.close()
+
+    def test_context_manager(self):
+        questions = _questions(40, seed=7)
+        with ParallelOracle(
+            QueryOracle(_target()), processes=2, chunk_size=5
+        ) as oracle:
+            oracle.ask_many(questions)
+            owned = oracle._lease.pool
+            assert owned is not None
+        assert owned.closed
+
+    def test_close_on_shared_pool_drops_only_its_oracle(self, pool):
+        questions = _questions(40, seed=8)
+        oracle = ParallelOracle(
+            QueryOracle(_target()), pool=pool, chunk_size=5
+        )
+        oracle.ask_many(questions)
+        oracle.close()
+        assert not pool.closed
+        assert pool.ping() == [None, None]
+
+    def test_closed_oracle_rejects_dispatch(self):
+        oracle = ParallelOracle(
+            QueryOracle(_target()), processes=1, chunk_size=5
+        )
+        oracle.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            oracle.ask_many(_questions(20, seed=9))
+
+    def test_worker_crash_raises_cleanly_and_recovers(self):
+        """A crash mid-batch surfaces as WorkerCrashError; the next batch
+        runs on a fresh owned pool."""
+        from repro.oracle import FunctionOracle
+
+        questions = _questions(40, seed=10)
+        oracle = ParallelOracle(
+            FunctionOracle(N, _crash), processes=2, chunk_size=5
+        )
+        with pytest.raises(WorkerCrashError):
+            oracle.ask_many(questions)
+        # Swap the worker-side oracle for a healthy one and go again.
+        healthy = ParallelOracle(
+            QueryOracle(_target()), processes=2, chunk_size=5
+        )
+        assert healthy.ask_many(questions) == [
+            QueryOracle(_target()).ask(q) for q in questions
+        ]
+        healthy.close()
+        oracle.close()

@@ -6,7 +6,6 @@ import random
 
 from hypothesis import strategies as st
 
-from repro.core import tuples as bt
 from repro.core.generators import random_qhorn1, random_role_preserving
 from repro.core.query import QhornQuery
 from repro.core.tuples import Question

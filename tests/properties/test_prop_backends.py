@@ -22,7 +22,6 @@ from __future__ import annotations
 import random
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.data import QueryEngine, create_backend
 from repro.oracle import QueryOracle, SqlQueryOracle

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core.normalize import (
     brute_force_equivalent,

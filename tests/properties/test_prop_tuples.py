@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core import tuples as bt
 from repro.lattice import children, downset, level, parents, upset

@@ -112,3 +112,43 @@ class TestBackendFlag:
         assert "evaluation backends (--backend):" in out
         for name in ("bitmask", "sharded", "sql"):
             assert name in out
+
+
+class TestParallelFlag:
+    def test_learn_parallel_matches_sequential(self, capsys):
+        """--parallel changes who evaluates, never the interaction: the
+        full printed transcript (questions, rounds, result) is identical."""
+        outputs = []
+        for extra in ([], ["--parallel", "2"]):
+            assert main(["learn", "∀x1x2→x3 ∃x4"] + extra) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_verify_parallel(self, capsys):
+        assert main(
+            ["verify", "∀x1 ∃x2", "∀x1 ∃x2", "--parallel", "2"]
+        ) == 0
+        assert "verified: True" in capsys.readouterr().out
+
+    def test_learn_parallel_sql_backend(self, capsys):
+        assert main(
+            ["learn", "∃x1x2", "--backend", "sql", "--parallel", "2"]
+        ) == 0
+        assert "exact: True" in capsys.readouterr().out
+
+    def test_demo_parallel_uses_worker_pool(self, capsys):
+        assert main(["demo", "--parallel", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "matching boxes:" in out
+        assert "2-process pool" in out  # describe() names the pool
+
+    def test_demo_parallel_rejects_sql_backend(self, capsys):
+        assert main(["demo", "--backend", "sql", "--parallel", "2"]) == 2
+        captured = capsys.readouterr()
+        assert "incompatible" in captured.err
+        assert captured.out == ""  # rejected before any work ran
+
+    def test_help_contains_parallel_guide(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        assert "process parallelism (--parallel N" in capsys.readouterr().out

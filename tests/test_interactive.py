@@ -2,12 +2,10 @@
 
 from __future__ import annotations
 
-import random
 
 import pytest
 
 from repro.core.generators import random_qhorn1
-from repro.core.normalize import canonicalize
 from repro.core.parser import parse_query
 from repro.data.chocolate import paper_vocabulary
 from repro.interactive import (
@@ -17,7 +15,7 @@ from repro.interactive import (
     VerificationSession,
 )
 from repro.learning import Qhorn1Learner, RolePreservingLearner
-from repro.oracle import NoisyOracle, QueryOracle
+from repro.oracle import QueryOracle
 from tests.conftest import assert_equivalent
 
 

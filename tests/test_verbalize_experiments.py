@@ -108,3 +108,101 @@ class TestRunSweep:
             parameter_name="n",
         )
         assert result.means()[0] < result.means()[-1]
+
+
+class TestRunSweepCacheDir:
+    """The opt-in PersistentCachingOracle threading (ROADMAP item)."""
+
+    @staticmethod
+    def _measure(forwarded):
+        from repro.core.query import QhornQuery
+        from repro.core.tuples import Question
+        from repro.oracle import CountingOracle, QueryOracle
+
+        target = QhornQuery.build(
+            4, universals=[((0,), 1)], existentials=[(2, 3)]
+        )
+
+        def measure(p, rng, cache):
+            inner = CountingOracle(QueryOracle(target))
+            oracle = cache(inner)
+            questions = [
+                Question.of(4, [rng.randrange(16) for _ in range(2)])
+                for _ in range(p * 5)
+            ]
+            answers = oracle.ask_many(questions)
+            forwarded.append(inner.questions_asked)
+            return float(sum(answers))
+
+        return measure
+
+    def test_second_sweep_reuses_answers_on_disk(self, tmp_path):
+        forwarded: list[int] = []
+        measure = self._measure(forwarded)
+        first = run_sweep(
+            "cache sweep", [2, 4], measure, seeds=3, cache_dir=tmp_path
+        )
+        cold_questions = sum(forwarded)
+        assert cold_questions > 0
+        # One store per (parameter, repeat, wrap) cell.
+        assert (tmp_path / "cache-sweep-p0-r0-o0.sqlite").exists()
+        assert len(list(tmp_path.glob("cache-sweep-*.sqlite"))) == 6
+
+        forwarded.clear()
+        second = run_sweep(
+            "cache sweep", [2, 4], measure, seeds=3, cache_dir=tmp_path
+        )
+        # Deterministic sweeps re-ask only cached questions: nothing
+        # reaches the inner oracle, and every cell agrees exactly.
+        assert sum(forwarded) == 0
+        assert second.means() == first.means()
+
+    def test_cached_and_uncached_sweeps_agree(self, tmp_path):
+        forwarded: list[int] = []
+        measure = self._measure(forwarded)
+        cached = run_sweep(
+            "agree sweep", [3], measure, seeds=4, cache_dir=tmp_path
+        )
+        identity_cache = run_sweep(
+            "agree sweep",
+            [3],
+            lambda p, rng: measure(p, rng, lambda oracle: oracle),
+            seeds=4,
+        )
+        assert cached.means() == identity_cache.means()
+
+    def test_without_cache_dir_measure_keeps_two_arguments(self):
+        # The classic two-argument signature is untouched (opt-in only).
+        result = run_sweep("plain", [1], lambda p, rng: 1.0, seeds=2)
+        assert result.means() == [1.0]
+
+    def test_per_cell_target_isolation(self, tmp_path):
+        """A different hidden target per cell must never see another
+        cell's cached answers (per-cell stores, not one shared file)."""
+        from repro.core.generators import random_qhorn1
+        from repro.core.tuples import Question
+        from repro.oracle import QueryOracle
+
+        def measure(p, rng, cache):
+            target = random_qhorn1(4, rng)  # distinct target per cell
+            oracle = cache(QueryOracle(target))
+            questions = [
+                Question.of(4, [rng.randrange(16)]) for _ in range(10)
+            ]
+            return float(sum(oracle.ask_many(questions)))
+
+        cached = run_sweep(
+            "targets", [1], measure, seeds=4, cache_dir=tmp_path
+        )
+        uncached = run_sweep(
+            "targets",
+            [1],
+            lambda p, rng: measure(p, rng, lambda oracle: oracle),
+            seeds=4,
+        )
+        assert cached.means() == uncached.means()
+        # And the cached sweep stays honest on a warm re-run.
+        rerun = run_sweep(
+            "targets", [1], measure, seeds=4, cache_dir=tmp_path
+        )
+        assert rerun.means() == uncached.means()

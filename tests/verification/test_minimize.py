@@ -6,13 +6,11 @@ import pytest
 
 from repro.core.generators import enumerate_role_preserving
 from repro.core.normalize import canonicalize
-from repro.oracle import QueryOracle
 from repro.verification.minimize import (
     minimize_verification_set,
     redundant_questions,
 )
 from repro.verification.sets import build_verification_set
-from repro.verification.verifier import detecting_kinds
 
 
 @pytest.fixture(scope="module")

@@ -74,8 +74,6 @@ class TestErrorHandling:
     def test_indistinguishable_rival_raises(self):
         a = parse_query("∃x1", n=2)
         b = parse_query("∃x1", n=2)  # same query twice
-        from repro.core.normalize import canonicalize
-
         # a rival canonically equal to the target is skipped, not fatal
         examples = greedy_teaching_set(a, [a, b])
         assert examples == []

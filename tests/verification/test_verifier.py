@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from itertools import permutations
 
-import pytest
 
 from repro.core.generators import (
     enumerate_role_preserving,
