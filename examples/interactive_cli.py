@@ -1,10 +1,14 @@
 #!/usr/bin/env python
-"""Interactive CLI: be the oracle yourself.
+"""Interactive CLI: be the oracle yourself, with a parkable session.
 
 The learner asks *you* membership questions about chocolate boxes; answer
-y/n and watch it converge on a quantified query for your taste.  Pass
-``--auto "∀x1 ∃x2x3"`` to let a simulated user with that intent answer
-instead (useful for demos and CI).
+y/n and watch it converge on a quantified query for your taste.  The
+session runs on the resumable step API (DESIGN.md §2e): the learner
+yields one round of questions at a time, your answers are fed back, and
+mid-session the whole dialogue is parked into a serializable snapshot and
+resumed through a fresh learner — the demonstration that the transcript
+*is* the session state.  Pass ``--auto "∀x1 ∃x2x3"`` to let a simulated
+user with that intent answer instead (useful for demos and CI).
 
 Run:  python examples/interactive_cli.py --auto "∀x1 ∃x2x3"
       python examples/interactive_cli.py            # you answer
@@ -14,8 +18,10 @@ import argparse
 
 from repro import CountingOracle, QueryOracle, parse_query
 from repro.data.chocolate import storefront_vocabulary
+from repro.interactive import LearningSession
 from repro.learning import Qhorn1Learner
 from repro.oracle import HumanOracle
+from repro.protocol import Finished, answer_round
 
 
 def main() -> None:
@@ -46,11 +52,36 @@ def main() -> None:
             HumanOracle(vocabulary.n, render=vocabulary.render_question)
         )
 
-    result = Qhorn1Learner(oracle).learn()
+    # Step-driven session: rounds come to us, answers go back — the
+    # oracle only ever sees the questions we choose to forward.
+    factory = (lambda o: Qhorn1Learner(o))
+    session = LearningSession(
+        factory, renderer=vocabulary.render_question, n=vocabulary.n
+    )
+    event = session.step()
+    rounds = 0
+    while not isinstance(event, Finished):
+        rounds += 1
+        event = session.feed(answer_round(oracle, event))
+        if rounds == 1 and not isinstance(event, Finished):
+            # Park the session after the first round and resume it from
+            # the serialized replay log, as a server would between
+            # answers.  The resumed session continues at the same round.
+            snapshot = session.snapshot()
+            print(
+                f"(parking the session: {len(snapshot.responses)} answers "
+                "recorded; resuming from the snapshot…)"
+            )
+            session = LearningSession(
+                factory, renderer=vocabulary.render_question, n=vocabulary.n
+            )
+            event = session.resume(snapshot)
+
+    result = session.result
 
     print("\n================================")
     print(f"your query: {result.query.shorthand()}")
-    print(f"({oracle.questions_asked} questions)")
+    print(f"({result.questions_asked} questions in {rounds} rounds)")
     legend = {i: p.name for i, p in enumerate(vocabulary.propositions)}
     print("\nin words:")
     for u in sorted(result.query.universals):

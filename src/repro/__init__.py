@@ -44,10 +44,19 @@ from repro.oracle import (
     QueryOracle,
     RecordingOracle,
 )
+from repro.protocol import (
+    AsyncDriver,
+    Finished,
+    LearnerProtocol,
+    Round,
+    SyncDriver,
+    drive,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AsyncDriver",
     "CanonicalForm",
     "CountingOracle",
     "ExistentialConjunction",
@@ -56,6 +65,10 @@ __all__ = [
     "QhornQuery",
     "Qhorn1Learner",
     "Qhorn1Result",
+    "Finished",
+    "LearnerProtocol",
+    "Round",
+    "SyncDriver",
     "Question",
     "QueryOracle",
     "RecordingOracle",
@@ -64,6 +77,7 @@ __all__ = [
     "UniversalHorn",
     "brute_force_equivalent",
     "canonicalize",
+    "drive",
     "equivalent",
     "learn_qhorn1",
     "learn_role_preserving",

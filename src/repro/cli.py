@@ -58,6 +58,14 @@ process parallelism (--parallel N, DESIGN.md §2d):
                  once; per query only the compiled form crosses)
   N=0 uses every core (os.cpu_count()).  Parallelism pays on multi-core
   machines with large batches/relations; small runs are faster without it.
+
+remote sessions (learn --serve-stdio, DESIGN.md §2e):
+  the learner runs sans-io and speaks newline-delimited JSON on stdio:
+  one {"type":"round",...} line per question batch out, one
+  {"type":"answers",...} line in; {"type":"snapshot"} parks the session
+  as a replay log that `--resume FILE` restores later at the exact same
+  round.  Pipe it to a subprocess, an ssh session or a websocket bridge
+  to serve a remote user without blocking a thread per session.
 """
 
 
@@ -93,7 +101,13 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     learn = sub.add_parser("learn", help="learn a target query by example")
-    learn.add_argument("target", help="query shorthand, e.g. '∀x1 ∃x2x3'")
+    learn.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="query shorthand, e.g. '∀x1 ∃x2x3' (omit with --serve-stdio: "
+        "the remote user is the oracle)",
+    )
     learn.add_argument("--n", type=int, default=None)
     learn.add_argument(
         "--learner",
@@ -101,6 +115,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="role-preserving",
     )
     learn.add_argument("--json", action="store_true", help="emit JSON")
+    learn.add_argument(
+        "--serve-stdio",
+        action="store_true",
+        help="serve the learner's question rounds as JSON lines on stdout "
+        "and read answer lines from stdin (see the serve guide at the "
+        "bottom of `repro --help`); requires --n, ignores the target",
+    )
+    learn.add_argument(
+        "--resume",
+        metavar="SNAPSHOT",
+        default=None,
+        help="with --serve-stdio: resume a parked session from a snapshot "
+        "JSON file written by an earlier {\"type\": \"snapshot\"} exchange",
+    )
     # The relation-layout backends are identical for oracle answering, so
     # learn/verify expose the two distinct oracle evaluators.
     add_backend_flag(learn, choices=("bitmask", "sql"))
@@ -161,7 +189,45 @@ def _n_for(*queries, explicit: int | None) -> int | None:
     return explicit
 
 
+def _cmd_serve_stdio(args) -> int:
+    """Round-per-line JSON session over stdio (DESIGN.md §2e).
+
+    The learner runs sans-io inside a resumable
+    :class:`~repro.interactive.session.LearningSession`; whoever is on the
+    other side of the pipe answers the rounds.
+    """
+    from repro.interactive.session import LearningSession, SessionSnapshot
+    from repro.protocol.stdio import serve_stdio
+
+    if args.n is None:
+        print(
+            "repro learn --serve-stdio: --n is required (the remote user "
+            "answers; nothing else fixes the variable count)",
+            file=sys.stderr,
+        )
+        return 2
+    learner_cls = (
+        Qhorn1Learner if args.learner == "qhorn1" else RolePreservingLearner
+    )
+    session = LearningSession(lambda oracle: learner_cls(oracle), n=args.n)
+    resume = None
+    if args.resume is not None:
+        import json
+
+        with open(args.resume, encoding="utf-8") as fh:
+            resume = SessionSnapshot.from_dict(json.load(fh))
+    return serve_stdio(session, sys.stdin, sys.stdout, resume=resume)
+
+
 def _cmd_learn(args) -> int:
+    if args.serve_stdio:
+        return _cmd_serve_stdio(args)
+    if args.target is None:
+        print(
+            "repro learn: a target query is required (or --serve-stdio)",
+            file=sys.stderr,
+        )
+        return 2
     target = parse_query(args.target, n=args.n)
     evaluator, closer = _target_oracle(target, args.backend, args.parallel)
     cache = CachingOracle(evaluator)

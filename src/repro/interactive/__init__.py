@@ -4,6 +4,8 @@ from repro.interactive.session import (
     CorrectionLoop,
     LearningSession,
     SessionResult,
+    SessionSnapshot,
+    SnapshotError,
     VerificationSession,
 )
 from repro.interactive.transcript import Transcript, TranscriptEntry
@@ -12,6 +14,8 @@ __all__ = [
     "CorrectionLoop",
     "LearningSession",
     "SessionResult",
+    "SessionSnapshot",
+    "SnapshotError",
     "Transcript",
     "TranscriptEntry",
     "VerificationSession",

@@ -8,26 +8,55 @@ learning algorithm restart[s] query learning from the point of error" — the
 corrected prefix is replayed (learners are deterministic given responses),
 and live answering resumes after it.
 
-:class:`CorrectionLoop` automates that cycle against a noisy simulated user
-until the transcript is clean, which is experiment E14.
+On top of the sans-io step protocol (DESIGN.md §2e) the session is also a
+*resumable service*: :meth:`LearningSession.step` /
+:meth:`~LearningSession.feed` expose the learner's rounds directly (no
+oracle required — a server forwards rounds to a remote user and feeds the
+labels back), :meth:`~LearningSession.snapshot` parks the session as a
+serializable replay log, and :meth:`~LearningSession.resume` replays that
+log through a fresh learner to the exact parked round.  Because learners
+are deterministic given responses, the transcript *is* the session state —
+the same property :meth:`~LearningSession.rerun_with_correction` has
+always exploited.
+
+:class:`CorrectionLoop` automates the correction cycle against a noisy
+simulated user until the transcript is clean, which is experiment E14.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.core.query import QhornQuery
 from repro.core.tuples import Question
 from repro.interactive.transcript import Transcript
 from repro.oracle.base import MembershipOracle, QueryOracle, ask_all
 from repro.oracle.noisy import NoisyOracle, ReplayOracle
+from repro.protocol.core import (
+    Finished,
+    LearnerProtocol,
+    ProtocolError,
+    Round,
+)
+from repro.protocol.wire import payload_from_dict, payload_to_dict
 from repro.verification.verifier import VerificationOutcome, verify_query
 
-__all__ = ["SessionResult", "LearningSession", "CorrectionLoop", "VerificationSession"]
+__all__ = [
+    "SessionResult",
+    "SessionSnapshot",
+    "SnapshotError",
+    "LearningSession",
+    "CorrectionLoop",
+    "VerificationSession",
+]
 
 LearnerFactory = Callable[[MembershipOracle], object]
+
+
+class SnapshotError(ProtocolError):
+    """A session snapshot could not be taken or replayed."""
 
 
 class _TranscriptOracle:
@@ -60,6 +89,26 @@ class _TranscriptOracle:
         return responses
 
 
+class _ConstructionOracle:
+    """Placeholder oracle for step-driven sessions: carries ``n`` so
+    learner constructors can size themselves, refuses to answer — a
+    sans-io learner's :meth:`steps` never touches its oracle."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def _refuse(self) -> bool:
+        raise ProtocolError(
+            "step-driven session: answers arrive via feed(), not the oracle"
+        )
+
+    def ask(self, question: Question) -> bool:
+        return self._refuse()
+
+    def ask_many(self, questions) -> list[bool]:
+        return self._refuse()
+
+
 @dataclass
 class SessionResult:
     """What a learning session produced."""
@@ -74,6 +123,60 @@ class SessionResult:
         return len(self.transcript)
 
 
+@dataclass
+class SessionSnapshot:
+    """A parked learning session as a serializable replay log (§5).
+
+    ``responses`` is the full answer prefix fed so far; because learners
+    are deterministic given responses, replaying it through a fresh
+    learner reproduces every round — the snapshot *subsumes* the old
+    correction-restart mechanism (truncate/patch ``responses`` and resume
+    to restart "from the point of error").  ``pending`` optionally pins
+    the parked round's questions so :meth:`LearningSession.resume` can
+    verify the replay converged to the same state.
+    """
+
+    n: int
+    responses: list[bool] = field(default_factory=list)
+    #: Membership questions or expression payloads (DESIGN.md §2e).
+    pending: list | None = None
+    pending_batched: bool = True
+    restarts: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "n": self.n,
+            "responses": [bool(r) for r in self.responses],
+            "pending": (
+                None
+                if self.pending is None
+                else [payload_to_dict(q) for q in self.pending]
+            ),
+            "pending_batched": self.pending_batched,
+            "restarts": self.restarts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SessionSnapshot":
+        if data.get("version") != 1:
+            raise SnapshotError(
+                f"unsupported snapshot version {data.get('version')!r}"
+            )
+        pending = data.get("pending")
+        return cls(
+            n=int(data["n"]),
+            responses=[bool(r) for r in data["responses"]],
+            pending=(
+                None
+                if pending is None
+                else [payload_from_dict(q) for q in pending]
+            ),
+            pending_batched=bool(data.get("pending_batched", True)),
+            restarts=int(data.get("restarts", 0)),
+        )
+
+
 class LearningSession:
     """One example-driven query specification session.
 
@@ -81,33 +184,72 @@ class LearningSession:
     ----------
     learner_factory:
         Builds a learner from an oracle; the learner must expose ``learn()``
-        returning an object with a ``query`` attribute (both provided
-        learners do).
+        returning an object with a ``query`` attribute (all provided
+        learners do).  For the step-driven mode the learner must also be
+        sans-io (expose ``steps()``), which every learner in
+        :mod:`repro.learning` is.
     oracle:
-        The user.  Simulated, noisy, adversarial or human.
+        The user.  Simulated, noisy, adversarial or human.  Optional for
+        step-driven sessions, where the caller supplies answers through
+        :meth:`feed`.
     renderer:
         Optional ``Question -> str`` used to render questions into the data
         domain for the transcript (e.g. ``vocabulary.render_question``).
+    n:
+        Number of Boolean variables; required only when no oracle is
+        attached (step-driven sessions size the learner from it).
     """
 
     def __init__(
         self,
         learner_factory: LearnerFactory,
-        oracle: MembershipOracle,
+        oracle: MembershipOracle | None = None,
         renderer: Callable[[Question], str] | None = None,
+        n: int | None = None,
     ) -> None:
         self.learner_factory = learner_factory
         self.oracle = oracle
         self.renderer = renderer
+        self._n = n
+        # Step-driven state (None until start()/resume()).
+        self._protocol: LearnerProtocol | None = None
+        self.transcript: Transcript = Transcript()
+        self._event: Round | Finished | None = None
+        self._result: SessionResult | None = None
+        self._restarts = 0
 
-    def run(self) -> SessionResult:
+    @property
+    def n(self) -> int:
+        if self.oracle is not None:
+            return self.oracle.n
+        if self._n is None:
+            raise ProtocolError(
+                "session needs an oracle or an explicit n to size the learner"
+            )
+        return self._n
+
+    # ------------------------------------------------------------------
+    # Pull-driven mode (the historical API)
+    # ------------------------------------------------------------------
+    def _run(self, oracle: MembershipOracle, restarts: int = 0) -> SessionResult:
+        """Shared run body: wrap ``oracle`` in a transcript recorder,
+        build the learner, learn.  Both :meth:`run` and
+        :meth:`rerun_with_correction` are this with different oracles."""
         transcript = Transcript()
-        wrapped = _TranscriptOracle(self.oracle, transcript, self.renderer)
+        wrapped = _TranscriptOracle(oracle, transcript, self.renderer)
         learner = self.learner_factory(wrapped)
         result = learner.learn()  # type: ignore[attr-defined]
         return SessionResult(
-            query=result.query, transcript=transcript, learner_result=result
+            query=result.query,  # type: ignore[attr-defined]
+            transcript=transcript,
+            learner_result=result,
+            restarts=restarts,
         )
+
+    def run(self) -> SessionResult:
+        if self.oracle is None:
+            raise ProtocolError("run() needs an attached oracle")
+        return self._run(self.oracle)
 
     def rerun_with_correction(
         self,
@@ -125,16 +267,144 @@ class LearningSession:
         prefix = previous.transcript.responses()[:error_index]
         prefix.append(corrected_response)
         replay = ReplayOracle(prefix, live or self.oracle)
-        transcript = Transcript()
-        wrapped = _TranscriptOracle(replay, transcript, self.renderer)
-        learner = self.learner_factory(wrapped)
-        result = learner.learn()  # type: ignore[attr-defined]
-        return SessionResult(
-            query=result.query,
-            transcript=transcript,
-            learner_result=result,
-            restarts=previous.restarts + 1,
+        return self._run(replay, restarts=previous.restarts + 1)
+
+    # ------------------------------------------------------------------
+    # Step-driven mode (sans-io, DESIGN.md §2e)
+    # ------------------------------------------------------------------
+    def start(self) -> Round | Finished:
+        """Begin the step-driven dialogue: run the learner to its first
+        round.  The session owns a live transcript; answers arrive via
+        :meth:`feed`."""
+        if self._protocol is not None:
+            raise ProtocolError("session already started")
+        learner = self.learner_factory(_ConstructionOracle(self.n))
+        steps = getattr(learner, "steps", None)
+        if not callable(steps):
+            raise ProtocolError(
+                f"{type(learner).__name__} is not a sans-io learner "
+                "(no steps() method)"
+            )
+        self._protocol = LearnerProtocol(steps())
+        self.transcript = Transcript()
+        return self._absorb(self._protocol.start())
+
+    def step(self) -> Round | Finished:
+        """The pending event: what the learner needs next.  Starts the
+        dialogue on first call; afterwards returns the unanswered round
+        (or the terminal :class:`Finished`) without advancing."""
+        if self._protocol is None:
+            return self.start()
+        if self._event is None:  # pragma: no cover - defensive
+            raise ProtocolError("session has no pending event")
+        return self._event
+
+    def feed(self, answers: Sequence[bool]) -> Round | Finished:
+        """Answer the pending round; returns the next round or the result.
+
+        Every (question, answer) pair is recorded into the session
+        transcript in question order — the same positional log the
+        pull-driven mode keeps, and the replay log that
+        :meth:`snapshot`/:meth:`resume` park and restore.
+        """
+        if self._protocol is None:
+            raise ProtocolError("feed() before start()")
+        pending = self._protocol.pending
+        if pending is None:
+            raise ProtocolError("no pending round to feed")
+        if len(answers) != len(pending.questions):
+            raise ProtocolError(
+                f"pending round has {len(pending.questions)} questions, "
+                f"got {len(answers)} answers"
+            )
+        for question, answer in zip(pending.questions, answers):
+            self.transcript.record(question, bool(answer), self.renderer)
+        return self._absorb(self._protocol.feed(answers))
+
+    def _absorb(self, event: Round | Finished) -> Round | Finished:
+        self._event = event
+        if isinstance(event, Finished):
+            result = event.result
+            self._result = SessionResult(
+                query=result.query,  # type: ignore[attr-defined]
+                transcript=self.transcript,
+                learner_result=result,
+                restarts=self._restarts,
+            )
+        return event
+
+    @property
+    def finished(self) -> bool:
+        return self._result is not None
+
+    @property
+    def result(self) -> SessionResult:
+        if self._result is None:
+            raise ProtocolError("session has not finished")
+        return self._result
+
+    # ------------------------------------------------------------------
+    # Parking: snapshot / resume
+    # ------------------------------------------------------------------
+    def snapshot(self) -> SessionSnapshot:
+        """Park the session: the fed responses plus the pending round.
+
+        Valid any time after :meth:`start` (including after finishing,
+        when ``pending`` is ``None``).  The snapshot is plain data — see
+        :meth:`SessionSnapshot.to_dict` — so a server can serialize it
+        between user answers.
+        """
+        if self._protocol is None:
+            raise ProtocolError("snapshot() before start()")
+        pending = self._protocol.pending
+        return SessionSnapshot(
+            n=self.n,
+            responses=self.transcript.responses(),
+            pending=None if pending is None else list(pending.questions),
+            pending_batched=pending.batched if pending is not None else True,
+            restarts=self._restarts,
         )
+
+    def resume(self, snapshot: SessionSnapshot) -> Round | Finished:
+        """Rebuild the parked state by replaying the snapshot's responses
+        through a fresh learner (learners are deterministic given
+        responses).  Returns the pending round — verified against the
+        snapshot's, if it pinned one — and the session continues with
+        :meth:`feed` as if it had never been parked."""
+        if self._protocol is not None:
+            raise ProtocolError("resume() needs a fresh session")
+        if snapshot.n != self.n:
+            raise SnapshotError(
+                f"snapshot is over n={snapshot.n}, session over n={self.n}"
+            )
+        self._restarts = snapshot.restarts
+        event = self.start()
+        responses = snapshot.responses
+        position = 0
+        while isinstance(event, Round) and position < len(responses):
+            size = len(event.questions)
+            if position + size > len(responses):
+                raise SnapshotError(
+                    f"replay log ends mid-round: round of {size} questions "
+                    f"at position {position}, {len(responses)} responses"
+                )
+            event = self.feed(responses[position : position + size])
+            position += size
+        if position != len(responses):
+            raise SnapshotError(
+                f"replay log has {len(responses) - position} unconsumed "
+                "responses past the learner's final round"
+            )
+        if isinstance(event, Round) and snapshot.pending is not None:
+            if (
+                list(event.questions) != snapshot.pending
+                or event.batched != snapshot.pending_batched
+            ):
+                raise SnapshotError(
+                    "replay diverged: pending round does not match the "
+                    "snapshot (different learner factory or version?)"
+                )
+        return event
 
 
 @dataclass

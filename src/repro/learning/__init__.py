@@ -13,6 +13,7 @@ from repro.learning.expression_learner import (
     ExpressionLearnerResult,
 )
 from repro.learning.pac import (
+    PacLearner,
     PacResult,
     estimate_error,
     pac_learn,
@@ -41,6 +42,7 @@ __all__ = [
     "ClassCheckReport",
     "ExpressionLearner",
     "ExpressionLearnerResult",
+    "PacLearner",
     "PacResult",
     "QueryReviser",
     "RevisionResult",

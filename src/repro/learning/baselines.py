@@ -28,7 +28,9 @@ from repro.learning.questions import (
     universal_dependence_question,
     universal_head_question,
 )
-from repro.oracle.base import MembershipOracle, ask_all
+from repro.oracle.base import MembershipOracle
+from repro.protocol.core import Steps, ask_one, ask_round
+from repro.protocol.drivers import drive
 
 __all__ = ["NaiveQhorn1Learner", "BruteForceLearner", "HeadPairLearner"]
 
@@ -52,10 +54,14 @@ class NaiveQhorn1Learner:
         self.n = oracle.n
 
     def learn(self) -> Qhorn1Result:
+        """Pull-driven entry point: drive :meth:`steps` with the oracle."""
+        return drive(self, self.oracle)
+
+    def steps(self) -> Steps:
+        """The learner as a sans-io step generator (DESIGN.md §2e)."""
         n = self.n
-        head_answers = ask_all(
-            self.oracle,
-            [universal_head_question(n, v) for v in range(n)],
+        head_answers = yield from ask_round(
+            [universal_head_question(n, v) for v in range(n)]
         )
         universal_heads = [
             v for v, is_answer in enumerate(head_answers) if not is_answer
@@ -74,18 +80,10 @@ class NaiveQhorn1Learner:
         # Universal bodies: one dependence question per (head, variable),
         # all |heads|·|E| of them in one round.
         pairs = [(h, e) for h in universal_heads for e in existential_vars]
-        dependence = dict(
-            zip(
-                pairs,
-                ask_all(
-                    self.oracle,
-                    [
-                        universal_dependence_question(n, h, [e])
-                        for h, e in pairs
-                    ],
-                ),
-            )
+        pair_answers = yield from ask_round(
+            [universal_dependence_question(n, h, [e]) for h, e in pairs]
         )
+        dependence = dict(zip(pairs, pair_answers))
         universal_bodies: list[frozenset[int]] = []
         for h in universal_heads:
             body = frozenset(
@@ -99,12 +97,11 @@ class NaiveQhorn1Learner:
         # Full pairwise dependence graph over the existential variables,
         # C(|E|, 2) questions in one round.
         edges = list(combinations(existential_vars, 2))
-        edge_answers = ask_all(
-            self.oracle,
+        edge_answers = yield from ask_round(
             [
                 existential_independence_question(n, [u], [v])
                 for u, v in edges
-            ],
+            ]
         )
         depends: dict[int, set[int]] = {v: set() for v in existential_vars}
         for (u, v), independent in zip(edges, edge_answers):
@@ -123,7 +120,7 @@ class NaiveQhorn1Learner:
                 if component & universal_body_vars:
                     continue  # a body variable with no existential heads
                 (e,) = component
-                if self.oracle.ask(single_false_question(n, e)):
+                if (yield from ask_one(single_false_question(n, e))):
                     unconstrained.add(e)
                 else:
                     group_for(frozenset()).existential_heads.add(e)
@@ -208,6 +205,10 @@ class BruteForceLearner:
         self.questions_asked = 0
 
     def learn(self) -> QhornQuery:
+        """Pull-driven entry point: drive :meth:`steps` with the oracle."""
+        return drive(self, self.oracle)
+
+    def steps(self) -> Steps:
         remaining = list(self.candidates)
         pool = list(self.pool)
         while len(remaining) > 1:
@@ -221,7 +222,7 @@ class BruteForceLearner:
                 raise RuntimeError(
                     "question pool cannot distinguish remaining candidates"
                 )
-            response = self.oracle.ask(best)
+            response = yield from ask_one(best)
             self.questions_asked += 1
             remaining = [c for c in remaining if c.evaluate(best) == response]
             pool.remove(best)
@@ -249,15 +250,19 @@ class HeadPairLearner:
         self.c = max_tuples
         self.questions_asked = 0
 
-    def _ask_subset(self, vs: Sequence[int]) -> bool:
+    def _ask_subset(self, vs: Sequence[int]) -> Steps:
         if len(vs) > self.c:
             raise AssertionError("question exceeds the tuple budget")
         top = bt.all_true(self.n)
         q = Question.of(self.n, [bt.with_false(top, [v]) for v in vs])
         self.questions_asked += 1
-        return self.oracle.ask(q)
+        return (yield from ask_one(q))
 
     def learn(self) -> tuple[int, int]:
+        """Pull-driven entry point: drive :meth:`steps` with the oracle."""
+        return drive(self, self.oracle)
+
+    def steps(self) -> Steps:
         block_size = max(1, self.c // 2)
         blocks = [
             list(range(i, min(i + block_size, self.n)))
@@ -268,12 +273,12 @@ class HeadPairLearner:
         for probe in probes:
             if len(probe) < 2:
                 continue
-            if self._ask_subset(probe):
-                return self._pinpoint(probe)
+            if (yield from self._ask_subset(probe)):
+                return (yield from self._pinpoint(probe))
         raise RuntimeError("no head pair found; oracle outside the family")
 
-    def _pinpoint(self, candidates: Sequence[int]) -> tuple[int, int]:
+    def _pinpoint(self, candidates: Sequence[int]) -> Steps:
         for i, j in combinations(candidates, 2):
-            if self._ask_subset([i, j]):
+            if (yield from self._ask_subset([i, j])):
                 return (i, j)
         raise RuntimeError("inconsistent oracle during pinpointing")

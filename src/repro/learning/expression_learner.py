@@ -17,16 +17,28 @@ Each expression question yields one bit, exactly like a membership
 question, so the asymptotics match §3.2; experiment E16 measures the
 constant-factor savings (no all-true tuples, no matrix questions, no
 pruning overhead).
+
+Sans-io (DESIGN.md §2e): the learner emits
+:class:`~repro.oracle.expression.ExpressionQuestion` payloads through the
+same :class:`~repro.protocol.core.Round` protocol as the membership
+learners — drivers dispatch them onto an expression oracle's methods one
+call per question, exactly as the pull-based code did.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import product
-from typing import FrozenSet
+from typing import FrozenSet, Iterable
 
 from repro.core.query import QhornQuery
-from repro.oracle.expression import CountingExpressionOracle, ExpressionOracle
+from repro.oracle.expression import (
+    CountingExpressionOracle,
+    ExpressionOracle,
+    ExpressionQuestion,
+)
+from repro.protocol.core import Steps, ask_one
+from repro.protocol.drivers import drive
 
 __all__ = ["ExpressionLearnerResult", "ExpressionLearner"]
 
@@ -49,35 +61,55 @@ class ExpressionLearner:
             else CountingExpressionOracle(oracle)
         )
         self.n = oracle.n
+        #: Expression questions emitted by the running :meth:`steps` pass.
+        self._asked = 0
 
     def learn(self) -> ExpressionLearnerResult:
-        heads = [
-            h
-            for h in range(self.n)
-            if self.oracle.requires_implication(
+        """Pull-driven entry point: drive :meth:`steps` with the oracle."""
+        return drive(self, self.oracle)
+
+    # -- question predicates (step generators) --------------------------
+    def _requires_implication(self, body: Iterable[int], head: int) -> Steps:
+        self._asked += 1
+        return (
+            yield from ask_one(ExpressionQuestion.implication(body, head))
+        )
+
+    def _requires_conjunction(self, variables: Iterable[int]) -> Steps:
+        self._asked += 1
+        return (
+            yield from ask_one(ExpressionQuestion.conjunction(variables))
+        )
+
+    def steps(self) -> Steps:
+        """The learner as a sans-io step generator (DESIGN.md §2e)."""
+        self._asked = 0
+        heads = []
+        for h in range(self.n):
+            required = yield from self._requires_implication(
                 [v for v in range(self.n) if v != h], h
             )
-        ]
+            if required:
+                heads.append(h)
         universals: list[tuple[list[int], int]] = []
         for h in heads:
-            for body in self._learn_bodies(h, heads):
+            bodies = yield from self._learn_bodies(h, heads)
+            for body in bodies:
                 universals.append((sorted(body), h))
-        conjunctions = self._learn_conjunctions()
+        conjunctions = yield from self._learn_conjunctions()
         query = QhornQuery.build(
             self.n,
             universals=universals,
             existentials=[sorted(c) for c in conjunctions],
         )
         return ExpressionLearnerResult(
-            query=query, questions_asked=self.oracle.questions_asked
+            query=query, questions_asked=self._asked
         )
 
     # ------------------------------------------------------------------
-    def _learn_bodies(
-        self, head: int, heads: list[int]
-    ) -> list[FrozenSet[int]]:
+    def _learn_bodies(self, head: int, heads: list[int]) -> Steps:
         non_heads = [v for v in range(self.n) if v not in set(heads)]
-        if self.oracle.requires_implication([], head):
+        if (yield from self._requires_implication([], head)):
             return [frozenset()]
         bodies: list[FrozenSet[int]] = []
         asked: set[frozenset[int]] = set()
@@ -88,9 +120,9 @@ class ExpressionLearner:
                 continue
             asked.add(exclusion)
             cover = [v for v in non_heads if v not in exclusion]
-            if not self.oracle.requires_implication(cover, head):
+            if not (yield from self._requires_implication(cover, head)):
                 continue
-            body = self._minimize_body(head, cover)
+            body = yield from self._minimize_body(head, cover)
             bodies.append(body)
             pending = [
                 frozenset(choice)
@@ -99,16 +131,16 @@ class ExpressionLearner:
             ]
         return bodies
 
-    def _minimize_body(self, head: int, cover: list[int]) -> FrozenSet[int]:
+    def _minimize_body(self, head: int, cover: list[int]) -> Steps:
         kept = list(cover)
         for x in list(cover):
             trial = [v for v in kept if v != x]
-            if self.oracle.requires_implication(trial, head):
+            if (yield from self._requires_implication(trial, head)):
                 kept = trial
         return frozenset(kept)
 
     # ------------------------------------------------------------------
-    def _learn_conjunctions(self) -> list[FrozenSet[int]]:
+    def _learn_conjunctions(self) -> Steps:
         """All maximal required conjunctions (the downward-closed family's
         border), via greedy growth from cross-product seed roots."""
         maximal: list[FrozenSet[int]] = []
@@ -119,9 +151,9 @@ class ExpressionLearner:
             if seed in asked:
                 continue
             asked.add(seed)
-            if seed and not self.oracle.requires_conjunction(seed):
+            if seed and not (yield from self._requires_conjunction(seed)):
                 continue
-            grown = self._grow(seed)
+            grown = yield from self._grow(seed)
             if any(grown <= m for m in maximal):
                 continue
             maximal = [m for m in maximal if not m < grown]
@@ -141,11 +173,11 @@ class ExpressionLearner:
                 pending = []
         return maximal
 
-    def _grow(self, seed: FrozenSet[int]) -> FrozenSet[int]:
+    def _grow(self, seed: FrozenSet[int]) -> Steps:
         current = set(seed)
         for v in range(self.n):
             if v in current:
                 continue
-            if self.oracle.requires_conjunction(current | {v}):
+            if (yield from self._requires_conjunction(current | {v})):
                 current.add(v)
         return frozenset(current)

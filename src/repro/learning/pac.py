@@ -26,12 +26,15 @@ from typing import Callable, Sequence
 from repro.core import tuples as bt
 from repro.core.query import QhornQuery
 from repro.core.tuples import Question
-from repro.oracle.base import QueryOracle
+from repro.oracle.base import MembershipOracle, QueryOracle
+from repro.protocol.core import Steps, ask_round
+from repro.protocol.drivers import drive
 
 __all__ = [
     "ObjectSampler",
     "random_object_sampler",
     "pac_sample_bound",
+    "PacLearner",
     "pac_learn",
     "estimate_error",
     "PacResult",
@@ -79,6 +82,57 @@ class PacResult:
     consistent_hypotheses: int
 
 
+class PacLearner:
+    """The PAC consistency learner behind a membership oracle.
+
+    The one protocol round is the whole sample: ``m`` objects drawn
+    upfront from the distribution, labeled by whoever answers the round
+    (the hidden target in simulation, a user in a session).  Any
+    hypothesis consistent with the labeled sample is returned — the first
+    in enumeration order, as the classic learner may.
+    """
+
+    def __init__(
+        self,
+        oracle: MembershipOracle,
+        hypotheses: Sequence[QhornQuery],
+        sampler: ObjectSampler,
+        m: int,
+        rng: random.Random,
+    ) -> None:
+        self.oracle = oracle
+        self.n = oracle.n
+        self.hypotheses = list(hypotheses)
+        self.sampler = sampler
+        self.m = m
+        self.rng = rng
+
+    def learn(self) -> PacResult:
+        """Pull-driven entry point: drive :meth:`steps` with the oracle."""
+        return drive(self, self.oracle)
+
+    def steps(self) -> Steps:
+        """The learner as a sans-io step generator (DESIGN.md §2e)."""
+        objects = [self.sampler(self.rng) for _ in range(self.m)]
+        labels = yield from ask_round(objects)
+        samples = list(zip(objects, labels))
+        remaining = []
+        for h in self.hypotheses:
+            compiled = h.compile()
+            if all(
+                compiled.evaluate(obj.tuples) == label
+                for obj, label in samples
+            ):
+                remaining.append(h)
+        if not remaining:
+            raise RuntimeError("hypothesis space exhausted; target not in it")
+        return PacResult(
+            query=remaining[0],
+            samples_used=self.m,
+            consistent_hypotheses=len(remaining),
+        )
+
+
 def pac_learn(
     target: QhornQuery,
     hypotheses: Sequence[QhornQuery],
@@ -102,23 +156,9 @@ def pac_learn(
     Raises ``RuntimeError`` if no hypothesis is consistent — impossible when
     ``target`` (or an equivalent) is in the space.
     """
-    objects = [sampler(rng) for _ in range(m)]
-    labels = QueryOracle(target).ask_many(objects)
-    samples = list(zip(objects, labels))
-    remaining = []
-    for h in hypotheses:
-        compiled = h.compile()
-        if all(
-            compiled.evaluate(obj.tuples) == label for obj, label in samples
-        ):
-            remaining.append(h)
-    if not remaining:
-        raise RuntimeError("hypothesis space exhausted; target not in it")
-    return PacResult(
-        query=remaining[0],
-        samples_used=m,
-        consistent_hypotheses=len(remaining),
-    )
+    return PacLearner(
+        QueryOracle(target), hypotheses, sampler, m, rng
+    ).learn()
 
 
 def estimate_error(

@@ -22,20 +22,24 @@ the O(n lg n) bound.
 The learner asks O(n lg n) questions with at most O(n) tuples each and runs
 in polynomial time (Theorem 3.1).
 
-The pipeline is *batch-first* (DESIGN.md §2b): every phase whose question
-set does not depend on its own answers is emitted as one
-:func:`~repro.oracle.base.ask_all` round — the universal-head scan is one
-batch of ``n`` questions, each FindAll of dependence probes batches level
-by level (:func:`~repro.learning.search.find_all_batch`), and the pairwise
-head-splitting classification is one batch per group.  The adaptive
-binary-search chains (*Find*, *GetHead*) remain sequential by necessity.
-Question multiset and the learned query are identical to the sequential
-formulation; only the number of oracle round-trips drops.
+The pipeline is *sans-io and batch-first* (DESIGN.md §2b/§2e): the learner
+body is the :meth:`Qhorn1Learner.steps` generator, which yields
+:class:`~repro.protocol.core.Round` objects — every phase whose question
+set does not depend on its own answers is one round (the universal-head
+scan is one batch of ``n`` questions, each FindAll of dependence probes
+batches level by level via
+:func:`~repro.learning.search.find_all_batch_steps`, and the pairwise
+head-splitting classification is one batch per group), while the adaptive
+binary-search chains (*Find*, *GetHead*) remain single-question rounds by
+necessity.  :meth:`Qhorn1Learner.learn` drives those steps against the
+construction oracle, reproducing the historical pull behaviour
+bit-identically; question multiset and the learned query are unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import FrozenSet, Sequence
 
 from repro.core.query import QhornQuery
@@ -46,8 +50,14 @@ from repro.learning.questions import (
     universal_dependence_question,
     universal_head_question,
 )
-from repro.learning.search import find_all_batch, find_one, minimal_prefix
-from repro.oracle.base import MembershipOracle, ask_all
+from repro.learning.search import (
+    find_all_batch_steps,
+    find_one_steps,
+    minimal_prefix_steps,
+)
+from repro.oracle.base import MembershipOracle
+from repro.protocol.core import Steps, ask_one, ask_round
+from repro.protocol.drivers import drive
 
 __all__ = ["Qhorn1Group", "Qhorn1Result", "Qhorn1Learner", "learn_qhorn1"]
 
@@ -91,55 +101,59 @@ class Qhorn1Learner:
         self.n = oracle.n
         self.use_shared_body_shortcut = use_shared_body_shortcut
 
-    # -- question predicates ------------------------------------------------
-    def _depends_universally(self, head: int, vs: Sequence[int]) -> bool:
+    # -- question predicates (step generators) ------------------------------
+    def _depends_universally(self, head: int, vs: Sequence[int]) -> Steps:
         """Answer to a universal dependence question = body intersects vs."""
-        return self.oracle.ask(
-            universal_dependence_question(self.n, head, vs)
+        return (
+            yield from ask_one(
+                universal_dependence_question(self.n, head, vs)
+            )
         )
 
     def _depends_universally_each(
         self, head: int, subsets: Sequence[Sequence[int]]
-    ) -> list[bool]:
-        """One batch of universal dependence questions for ``head``."""
-        return ask_all(
-            self.oracle,
-            [
-                universal_dependence_question(self.n, head, vs)
-                for vs in subsets
-            ],
+    ) -> Steps:
+        """One round of universal dependence questions for ``head``."""
+        return (
+            yield from ask_round(
+                [
+                    universal_dependence_question(self.n, head, vs)
+                    for vs in subsets
+                ]
+            )
         )
 
-    def _depends_existentially(self, x: int, vs: Sequence[int]) -> bool:
+    def _depends_existentially(self, x: int, vs: Sequence[int]) -> Steps:
         """Non-answer to an independence question = some conjunction
         contains ``x`` and intersects ``vs``."""
-        return not self.oracle.ask(
+        answer = yield from ask_one(
             existential_independence_question(self.n, [x], vs)
         )
+        return not answer
 
     def _depends_existentially_each(
         self, x: int, subsets: Sequence[Sequence[int]]
-    ) -> list[bool]:
-        """One batch of existential independence questions around ``x``."""
-        answers = ask_all(
-            self.oracle,
+    ) -> Steps:
+        """One round of existential independence questions around ``x``."""
+        answers = yield from ask_round(
             [
                 existential_independence_question(self.n, [x], vs)
                 for vs in subsets
-            ],
+            ]
         )
         return [not a for a in answers]
 
-    def _matrix_is_answer(self, vs: Sequence[int]) -> bool:
-        return self.oracle.ask(matrix_question(self.n, vs))
-
     # -- learning tasks -----------------------------------------------------
     def learn(self) -> Qhorn1Result:
+        """Pull-driven entry point: drive :meth:`steps` with the oracle."""
+        return drive(self, self.oracle)
+
+    def steps(self) -> Steps:
+        """The learner as a sans-io step generator (DESIGN.md §2e)."""
         # Task 1 (§3.1.1): the universal-head scan is one bulk round — the
         # n head questions are fixed upfront and independent of each other.
-        head_answers = ask_all(
-            self.oracle,
-            [universal_head_question(self.n, v) for v in range(self.n)],
+        head_answers = yield from ask_round(
+            [universal_head_question(self.n, v) for v in range(self.n)]
         )
         universal_heads = [
             v for v, is_answer in enumerate(head_answers) if not is_answer
@@ -160,7 +174,9 @@ class Qhorn1Learner:
 
         # Task 2 (Alg. 1): bodies of universal head variables.
         for h in universal_heads:
-            body = self._find_universal_body(h, existential_vars, known_bodies)
+            body = yield from self._find_universal_body(
+                h, existential_vars, known_bodies
+            )
             group_for(body).universal_heads.add(h)
 
         # Task 3 (Alg. 4): existential Horn expressions.
@@ -174,25 +190,25 @@ class Qhorn1Learner:
             if e in processed:
                 continue
             processed.add(e)
-            body = self._find_known_body_of(e, known_bodies)
+            body = yield from self._find_known_body_of(e, known_bodies)
             if body is not None:
                 group_for(body).existential_heads.add(e)
                 continue
             remaining = [
                 v for v in available if v not in processed
             ]
-            dependents = find_all_batch(
-                lambda subsets: self._depends_existentially_each(e, subsets),
+            dependents = yield from find_all_batch_steps(
+                partial(self._depends_existentially_each, e),
                 remaining,
             )
             if not dependents:
-                if self.oracle.ask(single_false_question(self.n, e)):
+                if (yield from ask_one(single_false_question(self.n, e))):
                     unconstrained.add(e)
                 else:
                     group_for(frozenset()).existential_heads.add(e)
                 continue
             processed.update(dependents)
-            heads = self._split_heads(e, sorted(dependents))
+            heads = yield from self._split_heads(e, sorted(dependents))
             if heads:
                 body = frozenset(dependents) - heads | {e}
                 g = group_for(frozenset(body))
@@ -219,54 +235,58 @@ class Qhorn1Learner:
         head: int,
         existential_vars: Sequence[int],
         known_bodies: list[FrozenSet[int]],
-    ) -> FrozenSet[int]:
+    ) -> Steps:
         """Alg. 1: search known bodies first, then FindAll a fresh body.
 
         The shared-body shortcut's binary search (*Find*) is adaptive and
         stays sequential; both FindAll variants batch level by level.
         """
         if not self.use_shared_body_shortcut:
-            body = find_all_batch(
-                lambda subsets: self._depends_universally_each(head, subsets),
+            body = yield from find_all_batch_steps(
+                partial(self._depends_universally_each, head),
                 list(existential_vars),
             )
             return frozenset(body)
         known_vars = sorted({v for b in known_bodies for v in b})
         if known_vars:
-            b = find_one(
-                lambda vs: self._depends_universally(head, vs), known_vars
+            b = yield from find_one_steps(
+                partial(self._depends_universally, head), known_vars
             )
             if b is not None:
                 return next(body for body in known_bodies if b in body)
         known = set(known_vars)
         fresh_candidates = [v for v in existential_vars if v not in known]
-        body = find_all_batch(
-            lambda subsets: self._depends_universally_each(head, subsets),
+        body = yield from find_all_batch_steps(
+            partial(self._depends_universally_each, head),
             fresh_candidates,
         )
         return frozenset(body)
 
     def _find_known_body_of(
         self, e: int, known_bodies: list[FrozenSet[int]]
-    ) -> FrozenSet[int] | None:
+    ) -> Steps:
         """Alg. 4's first step: is ``e`` an existential head of a known body?"""
         known_vars = sorted({v for b in known_bodies for v in b})
         if not known_vars:
             return None
-        b = find_one(
-            lambda vs: self._depends_existentially(e, vs), known_vars
+        b = yield from find_one_steps(
+            partial(self._depends_existentially, e), known_vars
         )
         if b is None:
             return None
         return next(body for body in known_bodies if b in body)
 
-    def _split_heads(self, e: int, dependents: list[int]) -> frozenset[int]:
+    def _split_heads(self, e: int, dependents: list[int]) -> Steps:
         """Alg. 5 (*GetHead*) + pairwise classification (Lemma 3.3).
 
         Returns the existential heads among ``dependents`` — empty when the
         matrix question certifies at most one head is present.
         """
-        prefix = minimal_prefix(self._matrix_is_answer, dependents)
+
+        def matrix_is_answer(vs: Sequence[int]) -> Steps:
+            return (yield from ask_one(matrix_question(self.n, vs)))
+
+        prefix = yield from minimal_prefix_steps(matrix_is_answer, dependents)
         if prefix is None:
             return frozenset()
         h1 = prefix[-1]
@@ -274,9 +294,10 @@ class Qhorn1Learner:
         # Pairwise classification against h1 (Lemma 3.3): the |D|-1
         # questions are fixed once h1 is known — one bulk round.
         others = [d for d in dependents if d != h1]
-        for d, depends in zip(
-            others, self._depends_existentially_each(h1, [[d] for d in others])
-        ):
+        depends_each = yield from self._depends_existentially_each(
+            h1, [[d] for d in others]
+        )
+        for d, depends in zip(others, depends_each):
             if not depends:
                 heads.add(d)
         return frozenset(heads)

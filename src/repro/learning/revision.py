@@ -37,8 +37,10 @@ from repro.core.tuples import Question
 from repro.lattice.boolean_lattice import BodyLattice, compliant_children
 from repro.learning.questions import universal_head_question
 from repro.learning.role_preserving import RolePreservingLearner
-from repro.learning.search import find_all_batch
-from repro.oracle.base import MembershipOracle, ask_all
+from repro.learning.search import find_all_batch_steps
+from repro.oracle.base import MembershipOracle
+from repro.protocol.core import Steps, ask_one, ask_round
+from repro.protocol.drivers import drive
 
 __all__ = ["RevisionResult", "QueryReviser", "revise_query"]
 
@@ -68,9 +70,19 @@ class QueryReviser:
 
     # ------------------------------------------------------------------
     def revise(self) -> RevisionResult:
-        heads = self._revise_heads()
-        universals = self._revise_universals(heads)
-        conjunctions = self._revise_conjunctions(universals)
+        """Pull-driven entry point: drive :meth:`steps` with the oracle."""
+        return drive(self, self.oracle)
+
+    def learn(self) -> RevisionResult:
+        """Learner-shaped alias for :meth:`revise`, so revisers drop into
+        sessions and drivers anywhere a learner does."""
+        return self.revise()
+
+    def steps(self) -> Steps:
+        """The reviser as a sans-io step generator (DESIGN.md §2e)."""
+        heads = yield from self._revise_heads()
+        universals = yield from self._revise_universals(heads)
+        conjunctions = yield from self._revise_conjunctions(universals)
         query = QhornQuery.build(
             self.n,
             universals=[(sorted(u.body), u.head) for u in universals],
@@ -84,14 +96,13 @@ class QueryReviser:
     # ------------------------------------------------------------------
     # Step 1 — heads
     # ------------------------------------------------------------------
-    def _revise_heads(self) -> list[int]:
+    def _revise_heads(self) -> Steps:
         given_heads = sorted({u.head for u in self.given.universals})
         heads: list[int] = []
         # One bulk round: the per-given-head confirmation questions are
         # fixed upfront and independent of each other.
-        confirmations = ask_all(
-            self.oracle,
-            [universal_head_question(self.n, h) for h in given_heads],
+        confirmations = yield from ask_round(
+            [universal_head_question(self.n, h) for h in given_heads]
         )
         for h, is_answer in zip(given_heads, confirmations):
             if not is_answer:
@@ -105,13 +116,12 @@ class QueryReviser:
                 self.n,
                 [top] + [bt.with_false(top, [v]) for v in non_heads],
             )
-            if not self.oracle.ask(probe):
+            if not (yield from ask_one(probe)):
                 # Some non-head of the given query heads an expression in
                 # the intent: binary-search all of them out (A4 refinement),
                 # batching each FindAll level into one round.
-                def contains_head_each(subsets) -> list[bool]:
-                    answers = ask_all(
-                        self.oracle,
+                def contains_head_each(subsets) -> Steps:
+                    answers = yield from ask_round(
                         [
                             Question.of(
                                 self.n,
@@ -119,11 +129,13 @@ class QueryReviser:
                                 + [bt.with_false(top, [v]) for v in vs],
                             )
                             for vs in subsets
-                        ],
+                        ]
                     )
                     return [not a for a in answers]
 
-                new_heads = find_all_batch(contains_head_each, non_heads)
+                new_heads = yield from find_all_batch_steps(
+                    contains_head_each, non_heads
+                )
                 for h in new_heads:
                     self.repairs.append(f"added head x{h + 1}")
                 heads.extend(new_heads)
@@ -138,7 +150,7 @@ class QueryReviser:
             key=sorted,
         )
 
-    def _revise_universals(self, heads: list[int]):
+    def _revise_universals(self, heads: list[int]) -> Steps:
         from repro.core.expressions import UniversalHorn
 
         universals: list[UniversalHorn] = []
@@ -152,7 +164,7 @@ class QueryReviser:
             ]
             lattice = BodyLattice(self.n, h, heads)
             for body in candidates:
-                outcome = self._check_body(lattice, body)
+                outcome = yield from self._check_body(lattice, body)
                 if outcome is None:
                     from repro.core.expressions import var_names
 
@@ -167,7 +179,7 @@ class QueryReviser:
                     )
                 if outcome not in verified:
                     verified.append(outcome)
-            bodies = self._learner._learn_bodies(
+            bodies = yield from self._learner._learn_bodies_steps(
                 h, heads, seed_bodies=verified, probe_roots_first=True
             )
             if len(bodies) > len(verified) and bodies != [frozenset()]:
@@ -183,34 +195,34 @@ class QueryReviser:
 
     def _check_body(
         self, lattice: BodyLattice, body: FrozenSet[int]
-    ) -> FrozenSet[int] | None:
+    ) -> Steps:
         """Confirm ``body`` as a minimal intent body with two questions;
         shrink it in place when only a subset is required; ``None`` when
         the intent has no body inside it at all."""
         top = bt.all_true(self.n)
         u_tuple = lattice.embed(body)
         # N2: a non-answer means some intent body lies within `body`.
-        if self.oracle.ask(Question.of(self.n, [top, u_tuple])):
+        if (yield from ask_one(Question.of(self.n, [top, u_tuple]))):
             return None
         # A2: an answer means no intent body is a strict subset.
         children = [
             lattice.embed([v for v in body if v != b]) for b in sorted(body)
         ]
-        if self.oracle.ask(Question.of(self.n, [top, *children])):
+        if (yield from ask_one(Question.of(self.n, [top, *children]))):
             return body
         # Shrink: classic greedy minimization restricted to `body` (Alg. 6).
         kept = list(sorted(body))
         for x in sorted(body):
             trial = [v for v in kept if v != x]
             t = lattice.embed(trial)
-            if not self.oracle.ask(Question.of(self.n, [top, t])):
+            if not (yield from ask_one(Question.of(self.n, [top, t]))):
                 kept = trial
         return frozenset(kept)
 
     # ------------------------------------------------------------------
     # Step 3 — conjunctions
     # ------------------------------------------------------------------
-    def _revise_conjunctions(self, universals) -> list[FrozenSet[int]]:
+    def _revise_conjunctions(self, universals) -> Steps:
         # Re-close the given conjunctions under the *revised* universals.
         candidates = sorted(
             {
@@ -219,7 +231,9 @@ class QueryReviser:
             }
         )
         verified: list[int] = []
-        if candidates and self.oracle.ask(Question.of(self.n, candidates)):
+        if candidates and (
+            yield from ask_one(Question.of(self.n, candidates))
+        ):
             # A1 passed: every intent conjunction is covered by some
             # candidate, so a children-replacement question isolates each.
             # The per-candidate questions are fixed once A1 passes — one
@@ -232,9 +246,8 @@ class QueryReviser:
                 )
                 for t in candidates
             ]
-            for t, is_answer in zip(
-                candidates, ask_all(self.oracle, replacements)
-            ):
+            replacement_answers = yield from ask_round(replacements)
+            for t, is_answer in zip(candidates, replacement_answers):
                 if not is_answer:
                     verified.append(t)
         dropped = len(candidates) - len(verified)
@@ -242,7 +255,7 @@ class QueryReviser:
             self.repairs.append(
                 f"re-deriving {dropped} unconfirmed conjunction(s)"
             )
-        discovered = self._learner._learn_conjunctions(
+        discovered = yield from self._learner._learn_conjunctions_steps(
             list(universals), seed_discovered=verified
         )
         conjunctions = {bt.true_set(t) for t in discovered}

@@ -23,6 +23,14 @@ tuple whose true set equals the (R3-closed) guarantee clause of a learned
 universal expression is a known conjunction of the normalized query, so it
 is recorded without spending a question and its (dominated) downset is never
 searched.
+
+Sans-io (DESIGN.md §2e): the learner body is the
+:meth:`RolePreservingLearner.steps` generator; ``learn()`` drives it
+against the construction oracle, bit-identical to the historical pull
+path.  The body/conjunction subroutines are step generators too, shared
+with the reviser (:mod:`repro.learning.revision`); the plain-callable
+``_learn_bodies``/``_learn_conjunctions`` faces drive them inline for
+white-box callers.
 """
 
 from __future__ import annotations
@@ -38,8 +46,10 @@ from repro.core.query import QhornQuery
 from repro.core.tuples import Question
 from repro.lattice.boolean_lattice import BodyLattice, compliant_children
 from repro.learning.questions import two_tuple_question, universal_head_question
-from repro.learning.search import minimal_satisfying_subset
-from repro.oracle.base import MembershipOracle, ask_all
+from repro.learning.search import minimal_satisfying_subset_steps
+from repro.oracle.base import MembershipOracle
+from repro.protocol.core import Steps, ask_one, ask_round
+from repro.protocol.drivers import drive
 
 __all__ = [
     "RolePreservingResult",
@@ -90,34 +100,37 @@ class RolePreservingLearner:
 
     # ------------------------------------------------------------------
     def learn(self) -> RolePreservingResult:
+        """Pull-driven entry point: drive :meth:`steps` with the oracle."""
+        return drive(self, self.oracle)
+
+    def steps(self) -> Steps:
+        """The learner as a sans-io step generator (DESIGN.md §2e)."""
         # Bulk round 1 (§3.1.1): all n head questions are fixed upfront.
-        head_answers = ask_all(
-            self.oracle,
-            [universal_head_question(self.n, v) for v in range(self.n)],
+        head_answers = yield from ask_round(
+            [universal_head_question(self.n, v) for v in range(self.n)]
         )
         heads = [v for v, is_answer in enumerate(head_answers) if not is_answer]
         # Bulk round 2: one bodyless test per head — the {1^n, bottom}
         # questions depend only on the head set, not on each other.
-        bottom_answers = ask_all(
-            self.oracle,
+        bottom_answers = yield from ask_round(
             [
                 two_tuple_question(
                     self.n, BodyLattice(self.n, h, heads).bottom()
                 )
                 for h in heads
-            ],
+            ]
         )
         bodies_per_head: dict[int, list[FrozenSet[int]]] = {}
         universals: list[UniversalHorn] = []
         for h, bottom_is_answer in zip(heads, bottom_answers):
-            bodies = self._learn_bodies(
+            bodies = yield from self._learn_bodies_steps(
                 h, heads, bottom_is_answer=bottom_is_answer
             )
             bodies_per_head[h] = bodies
             universals.extend(
                 UniversalHorn(head=h, body=body) for body in bodies
             )
-        discovered = self._learn_conjunctions(universals)
+        discovered = yield from self._learn_conjunctions_steps(universals)
         conjunctions = _maximal(
             {bt.true_set(t) for t in discovered}
         )
@@ -145,6 +158,27 @@ class RolePreservingLearner:
         probe_roots_first: bool = False,
         bottom_is_answer: bool | None = None,
     ) -> list[FrozenSet[int]]:
+        """Plain-callable face of :meth:`_learn_bodies_steps`, answered by
+        the construction oracle (white-box tests, ad-hoc callers)."""
+        return drive(
+            self._learn_bodies_steps(
+                head,
+                all_heads,
+                seed_bodies=seed_bodies,
+                probe_roots_first=probe_roots_first,
+                bottom_is_answer=bottom_is_answer,
+            ),
+            self.oracle,
+        )
+
+    def _learn_bodies_steps(
+        self,
+        head: int,
+        all_heads: Sequence[int],
+        seed_bodies: Sequence[FrozenSet[int]] = (),
+        probe_roots_first: bool = False,
+        bottom_is_answer: bool | None = None,
+    ) -> Steps:
         """Find all dominant bodies of ``head``.
 
         ``seed_bodies`` warm-starts the search with bodies already known to
@@ -154,7 +188,7 @@ class RolePreservingLearner:
         roots is asked first — if it is an answer, no further body exists
         and the search ends after one question (the A3 trick of §4).
         ``bottom_is_answer`` injects a pre-batched answer to the bodyless
-        test (:meth:`learn` asks one batch for all heads); when ``None``
+        test (:meth:`steps` asks one round for all heads); when ``None``
         the question is asked here.  The root exploration itself stays
         sequential: each discovered body rewrites the pending root set, so
         batching roots would ask questions the sequential search never
@@ -163,7 +197,7 @@ class RolePreservingLearner:
         lattice = BodyLattice(self.n, head, all_heads)
         # Bodyless test: {1^n, tuple with h and all non-heads false}.
         if bottom_is_answer is None:
-            bottom_is_answer = self.oracle.ask(
+            bottom_is_answer = yield from ask_one(
                 two_tuple_question(self.n, lattice.bottom())
             )
         if not bottom_is_answer:
@@ -186,7 +220,7 @@ class RolePreservingLearner:
                     for excl in pending
                 ],
             )
-            if self.oracle.ask(combined):
+            if (yield from ask_one(combined)):
                 return bodies  # no root hides a new body
         while pending:
             exclusion = pending.pop()
@@ -197,10 +231,10 @@ class RolePreservingLearner:
                 continue  # a larger cover already contained no body
             cover = [v for v in non_heads if v not in exclusion]
             root = lattice.embed(cover)
-            if self.oracle.ask(two_tuple_question(self.n, root)):
+            if (yield from ask_one(two_tuple_question(self.n, root))):
                 empty_exclusions.append(exclusion)
                 continue
-            body = self._minimize_body(lattice, cover)
+            body = yield from self._minimize_body(lattice, cover)
             bodies.append(body)
             if len(bodies) >= self.max_bodies:
                 break
@@ -214,14 +248,14 @@ class RolePreservingLearner:
 
     def _minimize_body(
         self, lattice: BodyLattice, cover: Sequence[int]
-    ) -> FrozenSet[int]:
+    ) -> Steps:
         """Alg. 6: greedily drop variables while the question stays a
         non-answer; what remains is one minimal (dominant) body."""
         excluded: set[int] = set()
         for x in cover:
             trial = [v for v in cover if v not in excluded and v != x]
             t = lattice.embed(trial)
-            if not self.oracle.ask(two_tuple_question(self.n, t)):
+            if not (yield from ask_one(two_tuple_question(self.n, t))):
                 excluded.add(x)
         return frozenset(v for v in cover if v not in excluded)
 
@@ -233,6 +267,19 @@ class RolePreservingLearner:
         universals: Sequence[UniversalHorn],
         seed_discovered: Sequence[int] = (),
     ) -> list[int]:
+        """Plain-callable face of :meth:`_learn_conjunctions_steps`."""
+        return drive(
+            self._learn_conjunctions_steps(
+                universals, seed_discovered=seed_discovered
+            ),
+            self.oracle,
+        )
+
+    def _learn_conjunctions_steps(
+        self,
+        universals: Sequence[UniversalHorn],
+        seed_discovered: Sequence[int] = (),
+    ) -> Steps:
         """Top-down lattice walk for the dominant conjunctions (Alg. 7).
 
         ``seed_discovered`` pre-populates the discovered set with tuples
@@ -259,16 +306,22 @@ class RolePreservingLearner:
                 children = compliant_children(t, self.n, universals)
                 fixed = set(discovered) | set(rest) | set(next_frontier)
 
-                def is_answer(kept: Sequence[int]) -> bool:
-                    return self.oracle.ask(
-                        Question.of(self.n, fixed | set(kept))
+                def is_answer(kept: Sequence[int], fixed=fixed) -> Steps:
+                    return (
+                        yield from ask_one(
+                            Question.of(self.n, fixed | set(kept))
+                        )
                     )
 
-                if is_answer(children):
+                if (yield from is_answer(children)):
                     if self.prune == "binary":
-                        kept = minimal_satisfying_subset(is_answer, children)
+                        kept = yield from minimal_satisfying_subset_steps(
+                            is_answer, children
+                        )
                     else:
-                        kept = _linear_prune(is_answer, children)
+                        kept = yield from _linear_prune_steps(
+                            is_answer, children
+                        )
                     next_frontier.extend(
                         c for c in kept if c not in fixed
                     )
@@ -282,7 +335,7 @@ def _maximal(sets: set[frozenset[int]]) -> list[frozenset[int]]:
     return [s for s in sets if not any(s < other for other in sets)]
 
 
-def _linear_prune(is_answer, children: Sequence[int]) -> list[int]:
+def _linear_prune_steps(is_answer, children: Sequence[int]) -> Steps:
     """§3.2.2's first pruning strategy, before the binary-search upgrade:
     "we remove one tuple from the question set and test its membership",
     putting it back when the question flips to a non-answer.  O(|children|)
@@ -290,7 +343,7 @@ def _linear_prune(is_answer, children: Sequence[int]) -> list[int]:
     kept = list(children)
     for c in list(children):
         trial = [x for x in kept if x != c]
-        if is_answer(trial):
+        if (yield from is_answer(trial)):
             kept = trial
     return kept
 

@@ -14,83 +14,140 @@ to monotone set queries answered by the user:
 * :func:`minimal_satisfying_subset` — Alg. 8 (*Prune*): extract a minimal
   subset that keeps a monotone predicate true, O(|kept| · lg |V|) questions.
 
-All predicates receive plain sequences; callers translate subsets into
-membership questions.  Each primitive documents its question complexity so
-the learners' totals can be audited against the paper's theorems.
+Every primitive exists in two faces sharing ONE implementation:
+
+* the ``*_steps`` form (the implementation) takes *step-generator*
+  predicates — generators that yield :class:`~repro.protocol.core.Round`
+  objects and return the predicate's truth — and is itself a step
+  generator, so the sans-io learners compose it with ``yield from``;
+* the plain-callable form (the historical API) lifts an ordinary
+  predicate into a never-yielding step generator and runs the steps
+  inline, asking exactly the same questions in the same order.
 
 :func:`find_one`, :func:`minimal_prefix` and
 :func:`minimal_satisfying_subset` are inherently *adaptive* — every
-question depends on the previous answer — so they have no batch form; only
-FindAll's recursion tree contains independent questions to batch.
+question depends on the previous answer — so their rounds are single
+questions; only FindAll's recursion tree contains independent questions
+to batch.  Each primitive documents its question complexity so the
+learners' totals can be audited against the paper's theorems.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, Generator, Sequence, TypeVar
+
+from repro.protocol.core import run_inline
 
 T = TypeVar("T")
 
+#: A step-generator predicate over one subset.
+StepPredicate = Callable[[Sequence[T]], Generator]
+#: A step-generator predicate answering many subsets in one round.
+StepBatchPredicate = Callable[[Sequence[Sequence[T]]], Generator]
+
 __all__ = [
     "find_one",
+    "find_one_steps",
     "find_all",
+    "find_all_steps",
     "find_all_batch",
+    "find_all_batch_steps",
     "minimal_prefix",
+    "minimal_prefix_steps",
     "minimal_satisfying_subset",
+    "minimal_satisfying_subset_steps",
+    "lift_predicate",
 ]
 
 
-def find_one(
-    contains: Callable[[Sequence[T]], bool], items: Sequence[T]
-) -> T | None:
+def lift_predicate(fn: Callable) -> Callable[..., Generator]:
+    """Lift a plain callable into a step generator that never yields."""
+
+    def step(*args):
+        return fn(*args)
+        yield  # pragma: no cover - makes `step` a generator function
+
+    return step
+
+
+# ----------------------------------------------------------------------
+# Alg. 2 — Find
+# ----------------------------------------------------------------------
+
+
+def find_one_steps(
+    contains: StepPredicate, items: Sequence[T]
+) -> Generator:
     """Alg. 2 (*Find*): return one item of a non-empty positive subset.
 
-    ``contains(S)`` must be a monotone predicate meaning "``S`` contains at
-    least one target item".  Returns ``None`` when ``contains(items)`` is
-    false.  Asks 1 question when empty-handed, otherwise O(lg |items|): the
-    paper's version re-asks the second half after a failed first half; we
-    use the implied answer instead (one fewer question per level).
+    ``contains(S)`` must be a monotone step predicate meaning "``S``
+    contains at least one target item".  Returns ``None`` when
+    ``contains(items)`` is false.  Asks 1 question when empty-handed,
+    otherwise O(lg |items|): the paper's version re-asks the second half
+    after a failed first half; we use the implied answer instead (one
+    fewer question per level).
     """
     items = list(items)
     if not items:
         return None
-    if not contains(items):
+    if not (yield from contains(items)):
         return None
     while len(items) > 1:
         mid = len(items) // 2
         first, second = items[:mid], items[mid:]
         # By the invariant, a target is in first ∪ second; one question on
         # the first half decides which half to keep.
-        items = first if contains(first) else second
+        items = first if (yield from contains(first)) else second
     return items[0]
+
+
+def find_one(
+    contains: Callable[[Sequence[T]], bool], items: Sequence[T]
+) -> T | None:
+    """Plain-callable face of :func:`find_one_steps`."""
+    return run_inline(find_one_steps(lift_predicate(contains), items))
+
+
+# ----------------------------------------------------------------------
+# Alg. 3 — FindAll
+# ----------------------------------------------------------------------
+
+
+def find_all_steps(
+    contains: StepPredicate, items: Sequence[T]
+) -> Generator:
+    """Alg. 3 (*FindAll*): return every target item in ``items``.
+
+    Recursively splits; a subtree is abandoned after one question whenever
+    it contains no target.  O(m lg |items|) questions for m found items.
+    """
+    items = list(items)
+    if not items:
+        return []
+    if not (yield from contains(items)):
+        return []
+    if len(items) == 1:
+        return items
+    mid = len(items) // 2
+    first = yield from find_all_steps(contains, items[:mid])
+    second = yield from find_all_steps(contains, items[mid:])
+    return first + second
 
 
 def find_all(
     contains: Callable[[Sequence[T]], bool], items: Sequence[T]
 ) -> list[T]:
-    """Alg. 3 (*FindAll*): return every target item in ``items``.
-
-    Recursively splits; a subtree is abandoned after one question whenever it
-    contains no target.  O(m lg |items|) questions for m found items.
-    """
-    items = list(items)
-    if not items:
-        return []
-    if not contains(items):
-        return []
-    if len(items) == 1:
-        return items
-    mid = len(items) // 2
-    return find_all(contains, items[:mid]) + find_all(contains, items[mid:])
+    """Plain-callable face of :func:`find_all_steps`."""
+    return run_inline(find_all_steps(lift_predicate(contains), items))
 
 
-def find_all_batch(
-    contains_each: Callable[[Sequence[Sequence[T]]], Sequence[bool]],
-    items: Sequence[T],
-) -> list[T]:
+def find_all_batch_steps(
+    contains_each: StepBatchPredicate, items: Sequence[T]
+) -> Generator:
     """Alg. 3 (*FindAll*), batch-first: one oracle round per tree level.
 
     ``contains_each(subsets)`` answers the containment question for every
-    subset in one batch.  A node's question depends only on its own
+    subset in one round.  A node's question depends only on its own
     ancestors' answers — sibling subtrees are independent — so walking the
     recursion tree level by level asks exactly the questions of the
     sequential :func:`find_all` (same multiset, O(lg |items|) rounds of at
@@ -103,7 +160,7 @@ def find_all_batch(
     found_positions: list[int] = []
     frontier: list[list[int]] = [list(range(len(items)))]
     while frontier:
-        answers = contains_each(
+        answers = yield from contains_each(
             [[items[i] for i in subset] for subset in frontier]
         )
         next_frontier: list[list[int]] = []
@@ -120,31 +177,53 @@ def find_all_batch(
     return [items[i] for i in sorted(found_positions)]
 
 
-def minimal_prefix(
-    pred: Callable[[Sequence[T]], bool], items: Sequence[T]
-) -> list[T] | None:
-    """Shortest prefix of ``items`` satisfying monotone ``pred``.
+def find_all_batch(
+    contains_each: Callable[[Sequence[Sequence[T]]], Sequence[bool]],
+    items: Sequence[T],
+) -> list[T]:
+    """Plain-callable face of :func:`find_all_batch_steps`."""
+    return run_inline(
+        find_all_batch_steps(lift_predicate(contains_each), items)
+    )
+
+
+# ----------------------------------------------------------------------
+# Minimal prefixes and subsets (Algs. 5 and 8's engines)
+# ----------------------------------------------------------------------
+
+
+def minimal_prefix_steps(
+    pred: StepPredicate, items: Sequence[T]
+) -> Generator:
+    """Shortest prefix of ``items`` satisfying monotone step ``pred``.
 
     Returns ``None`` when even the full sequence fails.  O(lg |items|)
     predicate evaluations (the full-sequence check is reused as the first
     probe).
     """
     items = list(items)
-    if not pred(items):
+    if not (yield from pred(items)):
         return None
     lo, hi = 1, len(items)
     while lo < hi:
         mid = (lo + hi) // 2
-        if pred(items[:mid]):
+        if (yield from pred(items[:mid])):
             hi = mid
         else:
             lo = mid + 1
     return items[:lo]
 
 
-def minimal_satisfying_subset(
+def minimal_prefix(
     pred: Callable[[Sequence[T]], bool], items: Sequence[T]
-) -> list[T]:
+) -> list[T] | None:
+    """Plain-callable face of :func:`minimal_prefix_steps`."""
+    return run_inline(minimal_prefix_steps(lift_predicate(pred), items))
+
+
+def minimal_satisfying_subset_steps(
+    pred: StepPredicate, items: Sequence[T]
+) -> Generator:
     """Alg. 8 (*Prune*): a minimal subset of ``items`` keeping ``pred`` true.
 
     ``pred`` must be monotone with ``pred(items)`` true.  Classic minimal
@@ -156,16 +235,25 @@ def minimal_satisfying_subset(
     """
     kept: list[T] = []
     rest = list(items)
-    while not pred(kept):
+    while not (yield from pred(kept)):
         lo, hi = 1, len(rest)
         if hi == 0:
             raise ValueError("pred(items) must hold for minimization")
         while lo < hi:
             mid = (lo + hi) // 2
-            if pred(kept + rest[:mid]):
+            if (yield from pred(kept + rest[:mid])):
                 hi = mid
             else:
                 lo = mid + 1
         kept.append(rest[lo - 1])
         rest = rest[: lo - 1]
     return kept
+
+
+def minimal_satisfying_subset(
+    pred: Callable[[Sequence[T]], bool], items: Sequence[T]
+) -> list[T]:
+    """Plain-callable face of :func:`minimal_satisfying_subset_steps`."""
+    return run_inline(
+        minimal_satisfying_subset_steps(lift_predicate(pred), items)
+    )

@@ -1,6 +1,12 @@
 """Membership oracles: simulated users, wrappers, adversaries (§2.1.2)."""
 
 from repro.oracle.adversaries import CandidateEliminationAdversary, max_elimination
+from repro.oracle.aio import (
+    AsyncMembershipOracle,
+    AsyncOracle,
+    QueueUserOracle,
+    ask_all_async,
+)
 from repro.oracle.base import (
     ASK_ALL_CHUNK_SIZE,
     FunctionOracle,
@@ -10,7 +16,11 @@ from repro.oracle.base import (
 )
 from repro.oracle.caching import CacheStats, CachingOracle
 from repro.oracle.counting import CountingOracle, QuestionStats, RecordingOracle
-from repro.oracle.expression import CountingExpressionOracle, ExpressionOracle
+from repro.oracle.expression import (
+    CountingExpressionOracle,
+    ExpressionOracle,
+    ExpressionQuestion,
+)
 from repro.oracle.human import HumanOracle
 from repro.oracle.noisy import ExhaustedReplayError, NoisyOracle, ReplayOracle
 from repro.oracle.parallel import ParallelOracle
@@ -19,6 +29,11 @@ from repro.oracle.sqlbacked import SqlQueryOracle
 
 __all__ = [
     "ASK_ALL_CHUNK_SIZE",
+    "AsyncMembershipOracle",
+    "AsyncOracle",
+    "QueueUserOracle",
+    "ask_all_async",
+    "ExpressionQuestion",
     "CacheStats",
     "CachingOracle",
     "PersistentCachingOracle",

@@ -21,12 +21,59 @@ how much the *constants* improve.
 
 from __future__ import annotations
 
-from typing import Iterable
+from dataclasses import dataclass
+from typing import Any, Iterable
 
 from repro.core.normalize import canonicalize
 from repro.core.query import QhornQuery
 
-__all__ = ["ExpressionOracle", "CountingExpressionOracle"]
+__all__ = [
+    "ExpressionQuestion",
+    "ExpressionOracle",
+    "CountingExpressionOracle",
+]
+
+
+@dataclass(frozen=True)
+class ExpressionQuestion:
+    """One expression question as sans-io round payload (DESIGN.md §2e).
+
+    The step protocol carries these through
+    :class:`~repro.protocol.core.Round` exactly like membership
+    :class:`~repro.core.tuples.Question` objects; drivers recognise the
+    type and dispatch onto an expression oracle's methods.
+    """
+
+    kind: str  # "conjunction" | "implication"
+    variables: tuple[int, ...]
+    head: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("conjunction", "implication"):
+            raise ValueError(f"unknown expression question kind {self.kind!r}")
+        if (self.head is None) != (self.kind == "conjunction"):
+            raise ValueError("implication questions need a head, "
+                             "conjunction questions must not have one")
+
+    @classmethod
+    def conjunction(cls, variables: Iterable[int]) -> "ExpressionQuestion":
+        """"Do you think all of C have to be satisfied by one tuple?\""""
+        return cls(kind="conjunction", variables=tuple(sorted(variables)))
+
+    @classmethod
+    def implication(
+        cls, body: Iterable[int], head: int
+    ) -> "ExpressionQuestion":
+        """"Whenever a tuple satisfies B, must it satisfy h?\""""
+        return cls(
+            kind="implication", variables=tuple(sorted(body)), head=head
+        )
+
+    def answer_with(self, oracle: Any) -> bool:
+        """Dispatch onto an (possibly counting) expression oracle."""
+        if self.kind == "conjunction":
+            return oracle.requires_conjunction(self.variables)
+        return oracle.requires_implication(self.variables, self.head)
 
 
 class ExpressionOracle:

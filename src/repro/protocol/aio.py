@@ -1,0 +1,58 @@
+"""Asyncio driver: answer learner rounds without blocking a thread.
+
+The sans-io protocol means the event loop only parks *between rounds*: a
+learner driven by :class:`AsyncDriver` holds no thread while a remote
+user (a queue, a socket, a human UI) takes minutes over a batch, so one
+process can interleave thousands of sessions.  The driver mirrors
+:func:`repro.protocol.drivers.drive` exactly — batched rounds through
+:func:`~repro.oracle.aio.ask_all_async` (same chunk boundaries as the
+synchronous path), single-ask rounds through ``oracle.ask`` — so a
+synchronous oracle stack wrapped in :class:`~repro.oracle.aio.AsyncOracle`
+observes bit-identical transport calls and statistics.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any
+
+from repro.oracle.aio import ask_all_async
+from repro.oracle.expression import ExpressionQuestion
+from repro.protocol.core import Finished, Round, as_protocol
+
+__all__ = ["answer_round_async", "async_drive", "AsyncDriver"]
+
+
+async def answer_round_async(oracle: Any, round_: Round) -> list[bool]:
+    """Async twin of :func:`repro.protocol.drivers.answer_round`."""
+    questions = round_.questions
+    if isinstance(questions[0], ExpressionQuestion):
+        answers = []
+        for q in questions:
+            answer = q.answer_with(oracle)
+            if inspect.isawaitable(answer):
+                answer = await answer
+            answers.append(bool(answer))
+        return answers
+    if round_.batched:
+        return await ask_all_async(oracle, questions)
+    return [bool(await oracle.ask(q)) for q in questions]
+
+
+async def async_drive(learner: Any, oracle: Any) -> Any:
+    """Run a step-driven learner against an async oracle."""
+    protocol = as_protocol(learner)
+    event = protocol.start()
+    while not isinstance(event, Finished):
+        event = protocol.feed(await answer_round_async(oracle, event))
+    return event.result
+
+
+class AsyncDriver:
+    """Drives step learners against an :class:`AsyncMembershipOracle`."""
+
+    def __init__(self, oracle: Any) -> None:
+        self.oracle = oracle
+
+    async def run(self, learner: Any) -> Any:
+        return await async_drive(learner, self.oracle)

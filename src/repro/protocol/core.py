@@ -1,0 +1,230 @@
+"""Sans-io learner protocol: rounds out, answers in (DESIGN.md §2e).
+
+The paper's dialogues are turn-based — the learner shows the user a batch
+of membership questions, the user labels them, repeat (Abouzied et al.,
+PODS 2013).  This module makes those *rounds* the API surface instead of
+an implementation detail buried in call stacks: a learner is a generator
+of :class:`Round` objects that receives the answers at each ``yield``,
+and :class:`LearnerProtocol` wraps that generator behind
+``start() -> Round | Finished`` / ``feed(answers) -> Round | Finished``.
+
+Nothing in this module performs I/O or touches an oracle.  Drivers live
+in :mod:`repro.protocol.drivers` (synchronous, bit-identical to the old
+pull path) and :mod:`repro.protocol.aio` (asyncio, for remote answerers);
+:class:`~repro.interactive.session.LearningSession` builds parking and
+snapshot/resume on top.
+
+Writing a step-driven learner
+-----------------------------
+A learner's ``steps()`` method is a generator that yields rounds and
+receives answer lists::
+
+    def steps(self):
+        answers = yield from ask_round([q1, q2, q3])   # one batch
+        if (yield from ask_one(q4)):                    # one question
+            ...
+        return result
+
+``ask_round`` corresponds to the old ``ask_all(oracle, ...)`` call and
+``ask_one`` to ``oracle.ask(...)``; the distinction is preserved in
+:attr:`Round.batched` so drivers reproduce the exact transport calls —
+and therefore the exact wrapper statistics — of the pull-based code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Iterable, Sequence
+
+__all__ = [
+    "Round",
+    "Finished",
+    "ProtocolError",
+    "LearnerProtocol",
+    "StepLearner",
+    "as_protocol",
+    "ask_one",
+    "ask_round",
+    "run_inline",
+]
+
+#: A learner step generator: yields rounds, receives answer sequences,
+#: returns the learner's result.
+Steps = Generator["Round", Sequence[bool], Any]
+
+
+class ProtocolError(RuntimeError):
+    """The step protocol was driven out of order or fed bad answers."""
+
+
+@dataclass(frozen=True)
+class Round:
+    """One turn of the dialogue: the questions the learner needs next.
+
+    ``questions`` usually holds :class:`~repro.core.tuples.Question`
+    membership questions; the expression learner emits
+    :class:`~repro.oracle.expression.ExpressionQuestion` payloads through
+    the same protocol.  ``batched`` records how the pull-based code issued
+    this round — ``True`` for an ``ask_all`` batch, ``False`` for a single
+    ``oracle.ask`` call — so drivers can replay the exact transport
+    pattern (round statistics count transport calls).
+    """
+
+    questions: tuple[Any, ...]
+    batched: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.questions:
+            raise ProtocolError("a round must carry at least one question")
+
+    def __len__(self) -> int:
+        return len(self.questions)
+
+
+@dataclass(frozen=True)
+class Finished:
+    """Terminal protocol event: the learner's result."""
+
+    result: Any
+
+
+def ask_one(question: Any) -> Steps:
+    """Yield-point equivalent of ``oracle.ask(question)``.
+
+    Usage inside a step generator: ``answer = yield from ask_one(q)``.
+    """
+    answers = yield Round((question,), batched=False)
+    return bool(answers[0])
+
+
+def ask_round(questions: Iterable[Any]) -> Steps:
+    """Yield-point equivalent of ``ask_all(oracle, questions)``.
+
+    An empty batch asks nothing and returns ``[]``, exactly like
+    :func:`~repro.oracle.base.ask_all` (which issues no transport call for
+    an empty list).
+    """
+    questions = tuple(questions)
+    if not questions:
+        return []
+    answers = yield Round(questions, batched=True)
+    if len(answers) != len(questions):
+        raise ProtocolError(
+            f"round of {len(questions)} questions got {len(answers)} answers"
+        )
+    return list(answers)
+
+
+class LearnerProtocol:
+    """State machine over a learner's step generator.
+
+    ``start()`` runs the learner to its first round; each ``feed(answers)``
+    supplies the pending round's labels and runs to the next round (or to
+    :class:`Finished`).  The protocol object never touches an oracle — the
+    caller decides where answers come from, which is what lets one learner
+    body serve synchronous drivers, asyncio drivers, and parked/resumed
+    server sessions.
+    """
+
+    def __init__(self, steps: Steps) -> None:
+        self._gen = steps
+        self._started = False
+        self._event: Round | Finished | None = None
+        #: Rounds emitted so far (including the pending one).
+        self.rounds = 0
+        #: Questions answered via :meth:`feed` so far.
+        self.questions_answered = 0
+
+    # -- state ---------------------------------------------------------
+    @property
+    def pending(self) -> Round | None:
+        """The unanswered round, if the learner is waiting on one."""
+        return self._event if isinstance(self._event, Round) else None
+
+    @property
+    def finished(self) -> bool:
+        return isinstance(self._event, Finished)
+
+    @property
+    def result(self) -> Any:
+        if not isinstance(self._event, Finished):
+            raise ProtocolError("learner has not finished")
+        return self._event.result
+
+    # -- transitions ---------------------------------------------------
+    def start(self) -> Round | Finished:
+        """Run the learner to its first round (or straight to the result)."""
+        if self._started:
+            raise ProtocolError("protocol already started")
+        self._started = True
+        return self._advance(lambda: next(self._gen))
+
+    def feed(self, answers: Sequence[bool]) -> Round | Finished:
+        """Answer the pending round and run to the next event."""
+        pending = self.pending
+        if pending is None:
+            raise ProtocolError(
+                "no pending round to feed"
+                if self._started
+                else "feed() before start()"
+            )
+        if len(answers) != len(pending.questions):
+            raise ProtocolError(
+                f"pending round has {len(pending.questions)} questions, "
+                f"got {len(answers)} answers"
+            )
+        coerced = [bool(a) for a in answers]
+        self.questions_answered += len(coerced)
+        return self._advance(lambda: self._gen.send(coerced))
+
+    def _advance(self, step) -> Round | Finished:
+        try:
+            event = step()
+        except StopIteration as stop:
+            self._event = Finished(stop.value)
+            return self._event
+        if not isinstance(event, Round):
+            raise ProtocolError(
+                f"step generator yielded {type(event).__name__}, "
+                "expected a Round"
+            )
+        self._event = event
+        self.rounds += 1
+        return event
+
+
+class StepLearner:
+    """Structural type of a step-driven learner: anything with ``steps()``."""
+
+    def steps(self) -> Steps:  # pragma: no cover - protocol stub
+        raise NotImplementedError
+
+
+def as_protocol(learner: Any) -> LearnerProtocol:
+    """Coerce a learner object, step generator, or protocol to a protocol."""
+    if isinstance(learner, LearnerProtocol):
+        return learner
+    steps = getattr(learner, "steps", None)
+    if callable(steps):
+        return LearnerProtocol(steps())
+    if isinstance(learner, Generator):
+        return LearnerProtocol(learner)
+    raise TypeError(
+        f"cannot drive {type(learner).__name__}: expected a LearnerProtocol, "
+        "a step generator, or an object with a steps() method"
+    )
+
+
+def run_inline(steps: Steps) -> Any:
+    """Exhaust a step generator that never yields and return its result.
+
+    Used to express plain-callable search primitives in terms of their
+    step-generator twins (:mod:`repro.learning.search`): when every
+    predicate is a lifted ordinary function the generator runs to
+    completion without emitting a round.
+    """
+    try:
+        next(steps)
+    except StopIteration as stop:
+        return stop.value
+    raise ProtocolError("inline steps unexpectedly yielded a round")

@@ -1,0 +1,122 @@
+"""Round-per-line JSON wire for step-driven sessions (``--serve-stdio``).
+
+The remote story in its smallest deployable form: the server parks a
+:class:`~repro.interactive.session.LearningSession` between answers and
+speaks newline-delimited JSON on stdio, so *anything* that can read and
+write lines — a subprocess, an ssh pipe, a websocket bridge — can be the
+user.  One line out per round, one line in per answer batch:
+
+server → client
+    ``{"type": "round", "index": i, "batched": b, "questions": [...]}``
+        the pending round; each question is
+        :func:`~repro.core.serialize.question_to_dict` data
+    ``{"type": "snapshot", "snapshot": {...}}``   reply to a snapshot request
+    ``{"type": "error", "message": "..."}``       recoverable protocol error
+    ``{"type": "finished", "query": "...", ...}`` terminal summary
+
+client → server
+    ``{"type": "answers", "answers": [true, false, ...]}``
+    ``{"type": "snapshot"}``  park: emit the session snapshot, keep waiting
+    ``{"type": "quit"}``      abandon the session
+
+The server exits 0 on a finished session, 1 on quit/EOF.  Resuming is the
+flag's other half: ``--resume FILE`` loads a snapshot written by an
+earlier ``snapshot`` exchange and replays it before serving, continuing
+at the exact parked round.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any
+
+from repro.core.serialize import query_to_dict
+from repro.interactive.session import LearningSession, SessionSnapshot
+from repro.protocol.core import Finished, ProtocolError, Round
+from repro.protocol.wire import payload_to_dict
+
+__all__ = ["round_to_dict", "serve_stdio"]
+
+
+def round_to_dict(round_: Round, index: int) -> dict[str, Any]:
+    """The wire form of one round (membership or expression questions)."""
+    return {
+        "type": "round",
+        "index": index,
+        "batched": round_.batched,
+        "questions": [payload_to_dict(q) for q in round_.questions],
+    }
+
+
+def _finished_message(session: LearningSession, rounds: int) -> dict[str, Any]:
+    result = session.result
+    return {
+        "type": "finished",
+        "query": result.query.shorthand(),
+        "query_json": query_to_dict(result.query),
+        "questions": result.questions_asked,
+        "rounds": rounds,
+        "restarts": result.restarts,
+    }
+
+
+def serve_stdio(
+    session: LearningSession,
+    stdin: IO[str],
+    stdout: IO[str],
+    resume: SessionSnapshot | None = None,
+) -> int:
+    """Serve one learning session over newline-delimited JSON.
+
+    ``session`` must be fresh (not started); with ``resume`` the snapshot
+    is replayed first and serving continues from the parked round.
+    """
+
+    def emit(message: dict[str, Any]) -> None:
+        stdout.write(json.dumps(message) + "\n")
+        stdout.flush()
+
+    event = session.resume(resume) if resume is not None else session.start()
+    rounds = 0
+    while True:
+        if isinstance(event, Finished):
+            emit(_finished_message(session, rounds))
+            return 0
+        rounds += 1
+        emit(round_to_dict(event, rounds - 1))
+        while True:  # one or more client messages answer this round
+            line = stdin.readline()
+            if not line:
+                return 1  # EOF: the remote user hung up mid-session
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                message = json.loads(line)
+                kind = message.get("type", "answers")
+            except (json.JSONDecodeError, AttributeError):
+                emit({"type": "error", "message": "expected a JSON object"})
+                continue
+            if kind == "quit":
+                return 1
+            if kind == "snapshot":
+                emit(
+                    {
+                        "type": "snapshot",
+                        "snapshot": session.snapshot().to_dict(),
+                    }
+                )
+                continue
+            if kind != "answers":
+                emit(
+                    {"type": "error", "message": f"unknown type {kind!r}"}
+                )
+                continue
+            try:
+                event = session.feed(
+                    [bool(a) for a in message.get("answers", [])]
+                )
+            except ProtocolError as error:
+                emit({"type": "error", "message": str(error)})
+                continue
+            break

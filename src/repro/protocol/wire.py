@@ -1,0 +1,47 @@
+"""Serialization of round payloads: membership and expression questions.
+
+Rounds carry either membership :class:`~repro.core.tuples.Question`
+objects or :class:`~repro.oracle.expression.ExpressionQuestion` payloads
+(DESIGN.md §2e); snapshots and the stdio wire must round-trip both.
+Membership questions keep the paper-style tuple-string form of
+:func:`~repro.core.serialize.question_to_dict`; expression questions are
+tagged by their ``kind`` key, which no membership dict has.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.serialize import question_from_dict, question_to_dict
+from repro.core.tuples import Question
+from repro.oracle.expression import ExpressionQuestion
+
+__all__ = ["payload_to_dict", "payload_from_dict"]
+
+
+def payload_to_dict(question: Any) -> dict[str, Any]:
+    """Serialize one round payload (membership or expression question)."""
+    if isinstance(question, Question):
+        return question_to_dict(question)
+    if isinstance(question, ExpressionQuestion):
+        data: dict[str, Any] = {
+            "kind": question.kind,
+            "variables": list(question.variables),
+        }
+        if question.head is not None:
+            data["head"] = question.head
+        return data
+    raise TypeError(
+        f"cannot serialize round payload of type {type(question).__name__}"
+    )
+
+
+def payload_from_dict(data: dict[str, Any]) -> Question | ExpressionQuestion:
+    """Inverse of :func:`payload_to_dict`."""
+    if "kind" in data:
+        return ExpressionQuestion(
+            kind=data["kind"],
+            variables=tuple(int(v) for v in data["variables"]),
+            head=(None if data.get("head") is None else int(data["head"])),
+        )
+    return question_from_dict(data)

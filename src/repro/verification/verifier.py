@@ -11,7 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.query import QhornQuery
-from repro.oracle.base import MembershipOracle, QueryOracle, ask_all
+from repro.oracle.base import MembershipOracle, QueryOracle
+from repro.protocol.core import Steps, ask_one, ask_round
+from repro.protocol.drivers import drive
 from repro.verification.sets import (
     VerificationQuestion,
     VerificationSet,
@@ -63,21 +65,29 @@ class Verifier:
     ) -> VerificationOutcome:
         """Ask every question; collect the user's disagreements.
 
+        Pull-driven entry point: drives :meth:`steps` against ``oracle``,
+        bit-identical to the historical inline loop.
+        """
+        return drive(self.steps(stop_at_first=stop_at_first), oracle)
+
+    def steps(self, stop_at_first: bool = False) -> Steps:
+        """Verification as a sans-io step generator (DESIGN.md §2e).
+
         ``stop_at_first`` aborts on the first disagreement, the interactive
         behaviour; the default asks all O(k) questions so experiments can
         report every detecting family.
 
         The verification set is fixed before the first answer arrives, so
-        the full run is one oracle batch; only ``stop_at_first`` keeps the
-        sequential loop (batching would spend questions past the abort,
-        changing the paper's question count).
+        the full run is one round; only ``stop_at_first`` keeps the
+        sequential single-question rounds (batching would spend questions
+        past the abort, changing the paper's question count).
         """
         disagreements: list[Disagreement] = []
         items = self.verification_set.questions
         if stop_at_first:
             asked = 0
             for item in items:
-                response = oracle.ask(item.question)
+                response = yield from ask_one(item.question)
                 asked += 1
                 if response != item.expected:
                     disagreements.append(
@@ -85,7 +95,9 @@ class Verifier:
                     )
                     break
         else:
-            responses = ask_all(oracle, [item.question for item in items])
+            responses = yield from ask_round(
+                [item.question for item in items]
+            )
             asked = len(items)
             disagreements = [
                 Disagreement(item=item, user_response=response)

@@ -152,3 +152,108 @@ class TestParallelFlag:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--help"])
         assert "process parallelism (--parallel N" in capsys.readouterr().out
+
+
+class TestServeStdio:
+    """End-to-end remote-session story: the CLI serves learner rounds as
+    JSON lines over a real pipe; this test is the remote user."""
+
+    def _spawn(self, tmp_path, *extra):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        src = os.path.abspath("src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "learn",
+                "--serve-stdio",
+                "--n",
+                "4",
+                "--learner",
+                "qhorn1",
+                *extra,
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+
+    def test_serve_snapshot_resume_round_trip(self, tmp_path):
+        import json
+
+        from repro.core.serialize import question_from_dict
+        from repro.oracle import QueryOracle
+        from repro.core.parser import parse_query
+
+        intent = parse_query("∀x1 ∃x2x3", n=4)
+        oracle = QueryOracle(intent)
+        proc = self._spawn(tmp_path)
+        snapshot = None
+        rounds = 0
+        try:
+            while True:
+                message = json.loads(proc.stdout.readline())
+                if message["type"] == "finished":
+                    break
+                assert message["type"] == "round"
+                rounds += 1
+                if rounds == 2:
+                    proc.stdin.write('{"type":"snapshot"}\n')
+                    proc.stdin.flush()
+                    reply = json.loads(proc.stdout.readline())
+                    assert reply["type"] == "snapshot"
+                    snapshot = reply["snapshot"]
+                questions = [
+                    question_from_dict(d) for d in message["questions"]
+                ]
+                answers = [oracle.ask(question) for question in questions]
+                proc.stdin.write(
+                    json.dumps({"type": "answers", "answers": answers}) + "\n"
+                )
+                proc.stdin.flush()
+            assert message["query"] == intent.shorthand()
+            assert proc.wait(timeout=30) == 0
+        finally:
+            proc.kill()
+
+        assert snapshot is not None and rounds > 2
+        path = tmp_path / "snapshot.json"
+        path.write_text(json.dumps(snapshot))
+        proc = self._spawn(tmp_path, "--resume", str(path))
+        try:
+            replayed = 0
+            while True:
+                message = json.loads(proc.stdout.readline())
+                if message["type"] == "finished":
+                    break
+                replayed += 1
+                questions = [
+                    question_from_dict(d) for d in message["questions"]
+                ]
+                answers = [oracle.ask(question) for question in questions]
+                proc.stdin.write(
+                    json.dumps({"type": "answers", "answers": answers}) + "\n"
+                )
+                proc.stdin.flush()
+            # the parked prefix is replayed, not re-asked: fewer live rounds
+            assert replayed == rounds - 1
+            assert message["query"] == intent.shorthand()
+            assert proc.wait(timeout=30) == 0
+        finally:
+            proc.kill()
+
+    def test_serve_requires_n(self, capsys):
+        assert main(["learn", "--serve-stdio"]) == 2
+        assert "--n is required" in capsys.readouterr().err
+
+    def test_learn_requires_target_without_serve(self, capsys):
+        assert main(["learn"]) == 2
+        assert "target query is required" in capsys.readouterr().err

@@ -1,0 +1,475 @@
+"""Unit tests for the sans-io step protocol (DESIGN.md §2e): the
+Round/Finished state machine, the driver dispatch, the async adapters,
+and the stdio wire format."""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import random
+
+import pytest
+
+from repro.core.generators import random_qhorn1
+from repro.core.serialize import question_from_dict
+from repro.core.tuples import Question
+from repro.interactive import (
+    LearningSession,
+    SessionSnapshot,
+    SnapshotError,
+)
+from repro.learning import Qhorn1Learner
+from repro.oracle import (
+    AsyncOracle,
+    CountingOracle,
+    QueryOracle,
+    QueueUserOracle,
+    ask_all_async,
+)
+from repro.oracle.expression import ExpressionQuestion
+from repro.protocol import (
+    Finished,
+    LearnerProtocol,
+    ProtocolError,
+    Round,
+    answer_round,
+    as_protocol,
+    ask_one,
+    ask_round,
+    drive,
+    run_inline,
+)
+from repro.protocol.stdio import serve_stdio
+
+
+def q(n, *masks):
+    return Question.of(n, masks)
+
+
+class TestRound:
+    def test_rejects_empty(self):
+        with pytest.raises(ProtocolError):
+            Round(())
+
+    def test_len(self):
+        assert len(Round((q(2, 3), q(2, 1)))) == 2
+
+
+class TestAskHelpers:
+    def test_ask_one_single_unbatched_round(self):
+        def steps():
+            return (yield from ask_one(q(2, 3)))
+
+        protocol = LearnerProtocol(steps())
+        event = protocol.start()
+        assert isinstance(event, Round)
+        assert not event.batched and len(event) == 1
+        done = protocol.feed([True])
+        assert isinstance(done, Finished) and done.result is True
+
+    def test_ask_round_empty_asks_nothing(self):
+        def steps():
+            answers = yield from ask_round([])
+            return answers
+
+        assert isinstance(LearnerProtocol(steps()).start(), Finished)
+
+    def test_ask_round_batched(self):
+        def steps():
+            return (yield from ask_round([q(2, 1), q(2, 2)]))
+
+        protocol = LearnerProtocol(steps())
+        event = protocol.start()
+        assert event.batched and len(event) == 2
+        assert protocol.feed([True, False]).result == [True, False]
+
+
+class TestLearnerProtocol:
+    def _steps(self):
+        a = yield from ask_one(q(2, 1))
+        b = yield from ask_round([q(2, 2), q(2, 3)])
+        return (a, b)
+
+    def test_state_machine(self):
+        protocol = LearnerProtocol(self._steps())
+        assert protocol.pending is None and not protocol.finished
+        first = protocol.start()
+        assert protocol.pending is first and protocol.rounds == 1
+        with pytest.raises(ProtocolError):
+            protocol.result
+        second = protocol.feed([True])
+        assert len(second) == 2
+        done = protocol.feed([False, True])
+        assert isinstance(done, Finished)
+        assert protocol.finished and protocol.result == (True, [False, True])
+        assert protocol.questions_answered == 3
+
+    def test_double_start_rejected(self):
+        protocol = LearnerProtocol(self._steps())
+        protocol.start()
+        with pytest.raises(ProtocolError, match="already started"):
+            protocol.start()
+
+    def test_feed_before_start_rejected(self):
+        protocol = LearnerProtocol(self._steps())
+        with pytest.raises(ProtocolError, match="before start"):
+            protocol.feed([True])
+
+    def test_wrong_answer_count_rejected(self):
+        protocol = LearnerProtocol(self._steps())
+        protocol.start()
+        with pytest.raises(ProtocolError, match="1 questions, got 2"):
+            protocol.feed([True, False])
+
+    def test_feed_after_finish_rejected(self):
+        def steps():
+            return (yield from ask_one(q(2, 1)))
+
+        protocol = LearnerProtocol(steps())
+        protocol.start()
+        protocol.feed([True])
+        with pytest.raises(ProtocolError, match="no pending round"):
+            protocol.feed([True])
+
+    def test_non_round_yield_rejected(self):
+        def steps():
+            yield "not a round"
+
+        with pytest.raises(ProtocolError, match="expected a Round"):
+            LearnerProtocol(steps()).start()
+
+
+class TestAsProtocol:
+    def test_accepts_learner_generator_protocol(self):
+        target = random_qhorn1(3, random.Random(5))
+        learner = Qhorn1Learner(QueryOracle(target))
+        assert isinstance(as_protocol(learner), LearnerProtocol)
+        assert isinstance(as_protocol(learner.steps()), LearnerProtocol)
+        protocol = LearnerProtocol(learner.steps())
+        assert as_protocol(protocol) is protocol
+
+    def test_rejects_other_objects(self):
+        with pytest.raises(TypeError):
+            as_protocol(42)
+
+
+class TestRunInline:
+    def test_returns_value(self):
+        def steps():
+            return 7
+            yield  # pragma: no cover
+
+        assert run_inline(steps()) == 7
+
+    def test_rejects_yielding_steps(self):
+        def steps():
+            yield Round((q(2, 1),))
+
+        with pytest.raises(ProtocolError, match="unexpectedly yielded"):
+            run_inline(steps())
+
+
+class TestDrive:
+    def test_drive_matches_learn(self):
+        target = random_qhorn1(4, random.Random(3))
+        a = CountingOracle(QueryOracle(target))
+        b = CountingOracle(QueryOracle(target))
+        r1 = Qhorn1Learner(a).learn()
+        r2 = drive(Qhorn1Learner(b), b)
+        assert r1.query == r2.query
+        assert vars(a.stats) == vars(b.stats)
+
+    def test_answer_round_dispatch(self):
+        oracle = CountingOracle(QueryOracle(random_qhorn1(3, random.Random(1))))
+        single = Round((q(3, 7),), batched=False)
+        batch = Round((q(3, 7), q(3, 5)), batched=True)
+        answer_round(oracle, single)
+        answer_round(oracle, batch)
+        assert oracle.stats.rounds == 2
+        assert oracle.stats.batched_questions == 2
+
+    def test_answer_round_expression_dispatch(self):
+        class Fake:
+            def requires_conjunction(self, variables):
+                return True
+
+            def requires_implication(self, body, head):
+                return False
+
+        round_ = Round(
+            (
+                ExpressionQuestion.conjunction([0, 1]),
+                ExpressionQuestion.implication([0], 2),
+            )
+        )
+        assert answer_round(Fake(), round_) == [True, False]
+
+
+class TestExpressionQuestion:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExpressionQuestion(kind="nope", variables=(0,))
+        with pytest.raises(ValueError):
+            ExpressionQuestion(kind="implication", variables=(0,))
+        with pytest.raises(ValueError):
+            ExpressionQuestion(kind="conjunction", variables=(0,), head=1)
+
+
+class TestAsyncAdapters:
+    def test_ask_all_async_chunking_and_fallback(self):
+        class AskOnly:
+            def __init__(self):
+                self.n = 2
+                self.asked = 0
+
+            async def ask(self, question):
+                self.asked += 1
+                return True
+
+        async def main():
+            target = random_qhorn1(3, random.Random(9))
+            sync = CountingOracle(QueryOracle(target))
+            wrapped = AsyncOracle(sync)
+            questions = [q(3, m) for m in range(8)]
+            answers = await ask_all_async(wrapped, questions, chunk_size=3)
+            assert answers == [QueryOracle(target).ask(x) for x in questions]
+            assert sync.stats.rounds == 3  # ceil(8 / 3) transport calls
+
+            ask_only = AskOnly()
+            assert await ask_all_async(ask_only, [q(2, 1)] * 4) == [True] * 4
+            assert ask_only.asked == 4
+
+        asyncio.run(main())
+
+    def test_queue_user_oracle_round_trip(self):
+        async def main():
+            oracle = QueueUserOracle(3)
+
+            async def user():
+                questions = await oracle.outbox.get()
+                await oracle.inbox.put([True] * len(questions))
+
+            task = asyncio.ensure_future(user())
+            answers = await oracle.ask_many([q(3, 1), q(3, 2)])
+            await task
+            assert answers == [True, True]
+
+        asyncio.run(main())
+
+    def test_queue_user_oracle_bad_answer_count(self):
+        async def main():
+            oracle = QueueUserOracle(3)
+            await oracle.inbox.put([True])
+            with pytest.raises(ValueError, match="answered 1 of 2"):
+                await oracle.ask_many([q(3, 1), q(3, 2)])
+
+        asyncio.run(main())
+
+
+class TestSessionStepMode:
+    def _factory(self):
+        return lambda oracle: Qhorn1Learner(oracle)
+
+    def test_construction_oracle_refuses_to_answer(self):
+        session = LearningSession(self._factory(), n=3)
+        event = session.step()
+        assert isinstance(event, Round)
+        with pytest.raises(ProtocolError, match="3 questions, got 1"):
+            session.feed([True])  # wrong count for the n-question round
+        # and run() without an oracle is rejected outright
+        with pytest.raises(ProtocolError, match="oracle"):
+            LearningSession(self._factory(), n=3).run()
+
+    def test_needs_n_or_oracle(self):
+        session = LearningSession(self._factory())
+        with pytest.raises(ProtocolError, match="explicit n"):
+            session.start()
+
+    def test_snapshot_before_start_rejected(self):
+        session = LearningSession(self._factory(), n=3)
+        with pytest.raises(ProtocolError, match="before start"):
+            session.snapshot()
+
+    def test_resume_needs_fresh_session(self):
+        session = LearningSession(self._factory(), n=3)
+        session.step()
+        with pytest.raises(ProtocolError, match="fresh session"):
+            session.resume(SessionSnapshot(n=3))
+
+    def test_resume_rejects_wrong_n(self):
+        session = LearningSession(self._factory(), n=3)
+        with pytest.raises(SnapshotError, match="n=4"):
+            session.resume(SessionSnapshot(n=4))
+
+    def test_resume_rejects_mid_round_log(self):
+        target = random_qhorn1(3, random.Random(2))
+        oracle = QueryOracle(target)
+        session = LearningSession(self._factory(), n=3)
+        event = session.step()
+        session.feed(answer_round(oracle, event))
+        snapshot = session.snapshot()
+        snapshot.responses.pop()  # corrupt: ends mid-round now
+        fresh = LearningSession(self._factory(), n=3)
+        with pytest.raises(SnapshotError, match="mid-round"):
+            fresh.resume(snapshot)
+
+    def test_resume_detects_divergence(self):
+        target = random_qhorn1(3, random.Random(2))
+        oracle = QueryOracle(target)
+        session = LearningSession(self._factory(), n=3)
+        event = session.step()
+        event = session.feed(answer_round(oracle, event))
+        assert isinstance(event, Round)
+        snapshot = session.snapshot()
+        snapshot.pending = [q(3, 0)]  # not what the learner will ask
+        fresh = LearningSession(self._factory(), n=3)
+        with pytest.raises(SnapshotError, match="diverged"):
+            fresh.resume(snapshot)
+
+    def test_snapshot_dict_round_trip(self):
+        snapshot = SessionSnapshot(
+            n=3,
+            responses=[True, False],
+            pending=[q(3, 7), q(3, 1)],
+            pending_batched=False,
+            restarts=2,
+        )
+        data = json.loads(json.dumps(snapshot.to_dict()))
+        assert SessionSnapshot.from_dict(data) == snapshot
+
+    def test_snapshot_version_guard(self):
+        with pytest.raises(SnapshotError, match="version"):
+            SessionSnapshot.from_dict({"version": 99, "n": 2, "responses": []})
+
+
+class TestServeStdio:
+    def _serve(self, lines, n=3, resume=None, factory=None):
+        factory = factory or (lambda oracle: Qhorn1Learner(oracle))
+        session = LearningSession(factory, n=n)
+        stdout = io.StringIO()
+        code = serve_stdio(
+            session, io.StringIO("".join(lines)), stdout, resume=resume
+        )
+        messages = [
+            json.loads(line) for line in stdout.getvalue().splitlines()
+        ]
+        return code, messages
+
+    def test_full_session_over_the_wire(self):
+        target = random_qhorn1(3, random.Random(4))
+        oracle = QueryOracle(target)
+        # Answer adaptively: serve twice, replaying recorded answers —
+        # first pass harvests the questions round by round.
+        lines: list[str] = []
+        while True:
+            code, messages = self._serve(lines + ['{"type":"quit"}\n'])
+            last = messages[-1]
+            if last["type"] == "finished":
+                break
+            assert last["type"] == "round"
+            questions = [question_from_dict(d) for d in last["questions"]]
+            answers = [oracle.ask(x) for x in questions]
+            lines.append(json.dumps({"type": "answers", "answers": answers}) + "\n")
+        code, messages = self._serve(lines)
+        assert code == 0
+        finished = messages[-1]
+        assert finished["query"] == target.shorthand()
+        assert finished["questions"] == sum(
+            len(m["questions"]) for m in messages if m["type"] == "round"
+        )
+
+    def test_snapshot_exchange_and_resume(self):
+        target = random_qhorn1(3, random.Random(4))
+        oracle = QueryOracle(target)
+        code, messages = self._serve(['{"type":"snapshot"}\n', '{"type":"quit"}\n'])
+        assert code == 1
+        snapshot_msg = next(m for m in messages if m["type"] == "snapshot")
+        snapshot = SessionSnapshot.from_dict(snapshot_msg["snapshot"])
+        assert snapshot.responses == []
+
+        lines: list[str] = []
+        while True:
+            code, messages = self._serve(
+                lines + ['{"type":"quit"}\n'], resume=snapshot
+            )
+            last = messages[-1]
+            if last["type"] == "finished":
+                break
+            questions = [question_from_dict(d) for d in last["questions"]]
+            answers = [oracle.ask(x) for x in questions]
+            lines.append(json.dumps({"answers": answers}) + "\n")
+        assert last["query"] == target.shorthand()
+
+    def test_error_recovery(self):
+        code, messages = self._serve(
+            [
+                "not json\n",
+                '{"type":"mystery"}\n',
+                '{"type":"answers","answers":[]}\n',  # wrong count
+                '{"type":"quit"}\n',
+            ]
+        )
+        assert code == 1
+        kinds = [m["type"] for m in messages]
+        assert kinds.count("error") == 3
+
+    def test_eof_mid_session(self):
+        code, messages = self._serve([])
+        assert code == 1
+        assert messages[-1]["type"] == "round"
+
+
+class TestExpressionPayloadWire:
+    """Expression-question rounds serialize through snapshots and the
+    stdio wire exactly like membership rounds (review finding)."""
+
+    def test_payload_round_trip(self):
+        from repro.protocol import payload_from_dict, payload_to_dict
+
+        for payload in (
+            q(3, 5, 2),
+            ExpressionQuestion.conjunction([0, 2]),
+            ExpressionQuestion.implication([1], 0),
+        ):
+            assert payload_from_dict(
+                json.loads(json.dumps(payload_to_dict(payload)))
+            ) == payload
+        with pytest.raises(TypeError, match="cannot serialize"):
+            payload_to_dict("not a question")
+
+    def test_expression_session_snapshot_resume(self):
+        from repro.core.generators import random_role_preserving
+        from repro.learning import ExpressionLearner
+        from repro.oracle import ExpressionOracle
+        from repro.protocol.stdio import round_to_dict
+
+        target = random_role_preserving(4, random.Random(6), theta=2)
+        truth = ExpressionOracle(target)
+
+        def factory(oracle):
+            return ExpressionLearner(_NSized(oracle.n))
+        session = LearningSession(factory, n=4)
+        event = session.step()
+        rounds = 0
+        while not isinstance(event, Finished):
+            rounds += 1
+            assert round_to_dict(event, rounds - 1)["questions"]
+            if rounds == 3:
+                snapshot = SessionSnapshot.from_dict(
+                    json.loads(json.dumps(session.snapshot().to_dict()))
+                )
+                session = LearningSession(factory, n=4)
+                event = session.resume(snapshot)
+            answers = [x.answer_with(truth) for x in event.questions]
+            event = session.feed(answers)
+        assert session.result.query == ExpressionLearner(
+            ExpressionOracle(target)
+        ).learn().query
+
+
+class _NSized:
+    """Expression-oracle-shaped construction stub: only carries n."""
+
+    def __init__(self, n):
+        self.n = n
