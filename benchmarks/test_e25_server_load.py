@@ -1,0 +1,202 @@
+"""E25 — multi-session server load: sessions/sec and p99 round latency.
+
+Not a paper experiment, but the measurement the `repro.server` subsystem
+(DESIGN.md §2f) exists to answer: one event loop multiplexing N
+simulated users who each answer their rounds with think-time — the load
+shape the paper's interaction model implies (many humans, each slow,
+each cheap per round).  Rounds are the billable unit of user interaction
+(Drachsler-Cohen et al.; Bshouty et al. — PAPERS.md), so the report is
+denominated in sessions/sec and per-round latency percentiles.
+
+Two hard gates:
+
+* **Concurrency + equivalence** — ≥ 100 concurrent dialogues complete in
+  one event loop, and every wire transcript (questions *and* answers, in
+  order) is bit-identical to the synchronous in-process
+  ``LearningSession.run()`` path for the same intent.
+* **Restart durability** — with a file-backed ``SessionStore``, killing
+  the server mid-dialogue and starting a fresh one resumes *every*
+  parked session at its exact parked round; the stitched
+  before/after transcripts again match the synchronous path, and the
+  finished metering counts the whole dialogue, not just the post-resume
+  half.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.analysis import render_table
+from repro.interactive import LearningSession
+from repro.learning import Qhorn1Learner
+from repro.oracle import QueryOracle
+from repro.server import RoundServer, SessionStore
+from repro.server.loadgen import random_intents, run_load
+
+N_USERS = 120
+CONCURRENCY_FLOOR = 100
+N_VARS = 3
+THINK_TIME = 0.002
+SEED = 2500
+RESTART_USERS = 40
+
+
+def _sync_reference(intent):
+    """The synchronous path the wire must be bit-identical to."""
+    session = LearningSession(
+        lambda oracle: Qhorn1Learner(oracle), oracle=QueryOracle(intent)
+    )
+    return session.run()
+
+
+def _assert_bit_identical(wire_transcript, intent, learned=None):
+    reference = _sync_reference(intent)
+    questions = [q for qs, _ in wire_transcript for q in qs]
+    answers = [a for _, ans in wire_transcript for a in ans]
+    assert questions == [e.question for e in reference.transcript]
+    assert answers == reference.transcript.responses()
+    if learned is not None:
+        assert learned == reference.query.shorthand()
+    return reference
+
+
+def test_e25_server_load(report, trend):
+    assert N_USERS >= CONCURRENCY_FLOOR
+    intents = random_intents(N_USERS, N_VARS, seed=SEED)
+
+    async def main():
+        with SessionStore() as store:
+            server = RoundServer(store)
+            await server.start()
+            load = await run_load(
+                "127.0.0.1",
+                server.port,
+                intents,
+                think_time=THINK_TIME,
+                seed=SEED,
+            )
+            stats = server.stats()
+            await server.close()
+            return load, stats
+
+    load, stats = asyncio.run(main())
+
+    # Gate 1: every dialogue finished, in one loop, bit-identically.
+    assert all(user.finished for user in load.users)
+    assert stats["sessions_finished"] == N_USERS
+    for user in load.users:
+        _assert_bit_identical(user.transcript, user.intent, user.learned)
+
+    summary = load.to_dict()
+    table = render_table(
+        ["metric", "value"],
+        [
+            ["concurrent users", N_USERS],
+            ["finished", summary["finished"]],
+            ["elapsed s", f"{load.elapsed_s:.3f}"],
+            ["sessions/sec", f"{load.sessions_per_s:.1f}"],
+            ["rounds", load.total_rounds],
+            ["questions", load.total_questions],
+            ["think-time per round ms", f"{THINK_TIME * 1000:.1f}"],
+            ["p50 round latency ms", summary["p50_round_ms"]],
+            ["p99 round latency ms", summary["p99_round_ms"]],
+        ],
+        title=(
+            f"E25 — asyncio round server under load: {N_USERS} concurrent "
+            f"simulated users (n={N_VARS} qhorn-1 intents, jittered "
+            f"{THINK_TIME * 1000:.0f}ms think-time) on one event loop; "
+            "every wire transcript bit-identical to the synchronous path"
+        ),
+    )
+    report("e25_server_load", table)
+    trend(
+        "e25_server_load",
+        sessions_per_s=load.sessions_per_s,
+        p99_round_ms=summary["p99_round_ms"],
+        median_s=load.elapsed_s,
+    )
+
+
+def test_e25_restart_resumes_every_session(report, tmp_path):
+    intents = random_intents(RESTART_USERS, N_VARS, seed=SEED + 1)
+    path = tmp_path / "sessions.sqlite"
+
+    async def phase_one():
+        store = SessionStore(path)
+        server = RoundServer(store)
+        await server.start()
+        load = await run_load(
+            "127.0.0.1",
+            server.port,
+            intents,
+            think_time=0.0,
+            seed=SEED + 1,
+            stop_after_rounds=1,
+        )
+        await server.close()  # the "kill": all live state is gone
+        store.close()
+        return load
+
+    async def phase_two(parked_intents, session_ids):
+        store = SessionStore(path)
+        server = RoundServer(store)
+        await server.start()
+        load = await run_load(
+            "127.0.0.1",
+            server.port,
+            parked_intents,
+            think_time=0.0,
+            seed=SEED + 1,
+            session_ids=session_ids,
+        )
+        stats = server.stats()
+        await server.close()
+        store.close()
+        return load, stats
+
+    before = asyncio.run(phase_one())
+    # One-round dialogues finish before they can park; every dialogue
+    # still mid-session at the kill must survive it.
+    parked = [user for user in before.users if not user.finished]
+    assert len(parked) >= RESTART_USERS // 2
+    session_ids = [user.session_id for user in parked]
+    assert len(set(session_ids)) == len(parked)
+
+    after, stats = asyncio.run(
+        phase_two([user.intent for user in parked], session_ids)
+    )
+    # Every parked session resumed from the store on the fresh server.
+    assert stats["sessions_resumed"] == len(parked)
+    assert stats["sessions_finished"] == len(parked)
+    resumed_rounds = 0
+    for user_before, user_after in zip(parked, after.users):
+        assert user_after.finished
+        stitched = user_before.transcript + user_after.transcript
+        reference = _assert_bit_identical(
+            stitched, user_before.intent, user_after.learned
+        )
+        # Metering spans the restart: the finished summary counts the
+        # whole dialogue, not just the post-resume half.
+        assert user_after.questions == reference.questions_asked
+        assert user_after.metering["resumes"] == 1
+        resumed_rounds += user_after.rounds
+
+    table = render_table(
+        ["metric", "value"],
+        [
+            ["dialogues before kill", RESTART_USERS],
+            ["parked mid-session", len(parked)],
+            ["answered rounds before kill", before.total_rounds],
+            ["resumed on fresh server", stats["sessions_resumed"]],
+            ["finished after restart", stats["sessions_finished"]],
+            ["total rounds (lifetime)", resumed_rounds],
+        ],
+        title=(
+            f"E25b — kill-server/restart durability: of {RESTART_USERS} "
+            "dialogues, every one parked mid-session in the sqlite "
+            "SessionStore resumes at its exact parked round on a fresh "
+            "server (stitched transcripts bit-identical to the "
+            "synchronous path)"
+        ),
+    )
+    report("e25b_server_restart", table)

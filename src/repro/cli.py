@@ -66,6 +66,19 @@ remote sessions (learn --serve-stdio, DESIGN.md §2e):
   as a replay log that `--resume FILE` restores later at the exact same
   round.  Pipe it to a subprocess, an ssh session or a websocket bridge
   to serve a remote user without blocking a thread per session.
+
+multi-session server (repro serve, DESIGN.md §2f):
+  an asyncio TCP server multiplexing many concurrent dialogues in one
+  event loop, speaking the stdio wire framed with a session id:
+  {"type":"open","n":N,"learner":"qhorn1"} starts a dialogue,
+  {"type":"answers","session":ID,...} answers its pending round,
+  {"type":"reconnect","session":ID} resumes a parked one.  Every round
+  boundary persists the session's replay-log snapshot into the sqlite
+  session store (--store FILE), so dialogues survive disconnects, idle
+  eviction (--idle-timeout) and full server restarts; per-round metering
+  counters ride along in each {"type":"finished"} summary.  The server
+  prints one {"type":"listening","port":P} line on startup (--port 0
+  picks an ephemeral port) and exits cleanly on SIGINT/SIGTERM.
 """
 
 
@@ -157,6 +170,41 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="run the chocolate-store walkthrough")
     add_backend_flag(demo)
     add_parallel_flag(demo)
+
+    serve = sub.add_parser(
+        "serve",
+        help="multi-session asyncio round server (see the serve guide at "
+        "the bottom of `repro --help`)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 = pick an ephemeral port and print it)",
+    )
+    serve.add_argument(
+        "--store",
+        metavar="FILE",
+        default=":memory:",
+        help="sqlite session store; file-backed stores let parked "
+        "dialogues survive a server restart (default: in-memory)",
+    )
+    serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict sessions idle this long from memory (their snapshots "
+        "stay parked in the store; reconnect resumes them)",
+    )
+    serve.add_argument(
+        "--max-outbox",
+        type=int,
+        default=64,
+        metavar="N",
+        help="per-connection reply queue bound (backpressure)",
+    )
     return parser
 
 
@@ -373,6 +421,52 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Multi-session asyncio round server (DESIGN.md §2f)."""
+    import asyncio
+    import json
+    import signal
+
+    from repro.server import RoundServer, SessionStore
+
+    async def serve() -> int:
+        store = SessionStore(args.store)
+        server = RoundServer(
+            store,
+            max_outbox=args.max_outbox,
+            idle_timeout=args.idle_timeout,
+        )
+        await server.start(args.host, args.port)
+        print(
+            json.dumps(
+                {
+                    "type": "listening",
+                    "host": args.host,
+                    "port": server.port,
+                    "store": args.store,
+                }
+            ),
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-unix
+                pass
+        try:
+            await stop.wait()
+        finally:
+            await server.close()
+            stats = server.stats()
+            store.close()
+            print(f"repro serve: shut down clean {stats}", file=sys.stderr)
+        return 0
+
+    return asyncio.run(serve())
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -381,6 +475,7 @@ def main(argv: list[str] | None = None) -> int:
         "revise": _cmd_revise,
         "sql": _cmd_sql,
         "demo": _cmd_demo,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -77,6 +77,14 @@ class QueueUserOracle:
     a websocket pump, an interactive UI, or the echo task of
     ``examples/remote_session.py`` — the oracle neither knows nor cares,
     which is the point of the sans-io split.
+
+    A mismatched answer batch (wrong length, or not a sequence at all) is
+    a *recoverable* protocol condition: the inbox item has already been
+    consumed, so raising immediately would wedge the dialogue with no way
+    for the far side to retry.  Instead the same question batch is
+    re-posted to ``outbox`` (reject-and-reprompt) up to ``max_reasks``
+    times; only when the far side keeps misbehaving does ``ask_many``
+    raise a :class:`~repro.protocol.core.ProtocolError`.
     """
 
     def __init__(
@@ -84,21 +92,40 @@ class QueueUserOracle:
         n: int,
         outbox: asyncio.Queue | None = None,
         inbox: asyncio.Queue | None = None,
+        max_reasks: int = 3,
     ) -> None:
         self.n = n
         self.outbox: asyncio.Queue = outbox or asyncio.Queue()
         self.inbox: asyncio.Queue = inbox or asyncio.Queue()
+        self.max_reasks = max_reasks
+        #: Total mismatched batches that triggered a re-ask (metering).
+        self.reasks = 0
 
     async def ask_many(self, questions: Sequence[Question]) -> list[bool]:
+        from repro.protocol.core import ProtocolError
+
         questions = list(questions)
-        await self.outbox.put(questions)
-        answers = await self.inbox.get()
-        if len(answers) != len(questions):
-            raise ValueError(
-                f"remote user answered {len(answers)} of "
-                f"{len(questions)} questions"
+        attempts = 0
+        while True:
+            await self.outbox.put(questions)
+            answers = await self.inbox.get()
+            try:
+                got = len(answers)
+            except TypeError:
+                got = -1  # not a sized batch at all
+            if got == len(questions):
+                return [bool(a) for a in answers]
+            attempts += 1
+            self.reasks += 1
+            detail = (
+                f"remote user answered {got} of {len(questions)} questions"
+                if got >= 0
+                else "remote user sent a non-sequence answer batch"
             )
-        return [bool(a) for a in answers]
+            if attempts > self.max_reasks:
+                raise ProtocolError(
+                    f"{detail}; giving up after {self.max_reasks} re-asks"
+                )
 
     async def ask(self, question: Question) -> bool:
         return (await self.ask_many([question]))[0]

@@ -22,7 +22,11 @@ from repro.protocol.core import (
     run_inline,
 )
 from repro.protocol.drivers import SyncDriver, answer_round, drive
-from repro.protocol.wire import payload_from_dict, payload_to_dict
+from repro.protocol.wire import (
+    decode_answers,
+    payload_from_dict,
+    payload_to_dict,
+)
 
 __all__ = [
     "AsyncDriver",
@@ -37,6 +41,7 @@ __all__ = [
     "ask_one",
     "ask_round",
     "async_drive",
+    "decode_answers",
     "drive",
     "payload_from_dict",
     "payload_to_dict",

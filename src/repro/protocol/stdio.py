@@ -33,9 +33,9 @@ from typing import IO, Any
 from repro.core.serialize import query_to_dict
 from repro.interactive.session import LearningSession, SessionSnapshot
 from repro.protocol.core import Finished, ProtocolError, Round
-from repro.protocol.wire import payload_to_dict
+from repro.protocol.wire import decode_answers, payload_to_dict
 
-__all__ = ["round_to_dict", "serve_stdio"]
+__all__ = ["round_to_dict", "finished_to_dict", "serve_stdio"]
 
 
 def round_to_dict(round_: Round, index: int) -> dict[str, Any]:
@@ -48,7 +48,9 @@ def round_to_dict(round_: Round, index: int) -> dict[str, Any]:
     }
 
 
-def _finished_message(session: LearningSession, rounds: int) -> dict[str, Any]:
+def finished_to_dict(session: LearningSession, rounds: int) -> dict[str, Any]:
+    """The wire form of the terminal summary (shared with the socket
+    server, which adds session framing and metering on top)."""
     result = session.result
     return {
         "type": "finished",
@@ -80,7 +82,7 @@ def serve_stdio(
     rounds = 0
     while True:
         if isinstance(event, Finished):
-            emit(_finished_message(session, rounds))
+            emit(finished_to_dict(session, rounds))
             return 0
         rounds += 1
         emit(round_to_dict(event, rounds - 1))
@@ -100,12 +102,15 @@ def serve_stdio(
             if kind == "quit":
                 return 1
             if kind == "snapshot":
-                emit(
-                    {
-                        "type": "snapshot",
-                        "snapshot": session.snapshot().to_dict(),
-                    }
-                )
+                # A snapshot failure (divergence, mid-round guard) is the
+                # client's problem, not grounds to kill the dialogue:
+                # report it and keep the session parked at this round.
+                try:
+                    snapshot = session.snapshot().to_dict()
+                except ProtocolError as error:  # includes SnapshotError
+                    emit({"type": "error", "message": str(error)})
+                    continue
+                emit({"type": "snapshot", "snapshot": snapshot})
                 continue
             if kind != "answers":
                 emit(
@@ -113,9 +118,7 @@ def serve_stdio(
                 )
                 continue
             try:
-                event = session.feed(
-                    [bool(a) for a in message.get("answers", [])]
-                )
+                event = session.feed(decode_answers(message))
             except ProtocolError as error:
                 emit({"type": "error", "message": str(error)})
                 continue

@@ -15,8 +15,9 @@ from typing import Any
 from repro.core.serialize import question_from_dict, question_to_dict
 from repro.core.tuples import Question
 from repro.oracle.expression import ExpressionQuestion
+from repro.protocol.core import ProtocolError
 
-__all__ = ["payload_to_dict", "payload_from_dict"]
+__all__ = ["payload_to_dict", "payload_from_dict", "decode_answers"]
 
 
 def payload_to_dict(question: Any) -> dict[str, Any]:
@@ -34,6 +35,27 @@ def payload_to_dict(question: Any) -> dict[str, Any]:
     raise TypeError(
         f"cannot serialize round payload of type {type(question).__name__}"
     )
+
+
+def decode_answers(message: dict[str, Any]) -> list[bool]:
+    """Validate and coerce the ``"answers"`` payload of a wire message.
+
+    Malformed clients are a protocol condition, not a server crash: a
+    message with no ``"answers"`` key must not silently become an empty
+    batch, and a non-list value (``"answers": true``, a string, an
+    object…) must not surface as a ``TypeError`` in a comprehension.
+    Both raise :class:`~repro.protocol.core.ProtocolError`, which every
+    server loop converts into a recoverable ``{"type": "error"}`` line.
+    """
+    if "answers" not in message:
+        raise ProtocolError('answers message has no "answers" key')
+    answers = message["answers"]
+    if not isinstance(answers, list):
+        raise ProtocolError(
+            f'"answers" must be a list of booleans, '
+            f"got {type(answers).__name__}"
+        )
+    return [bool(a) for a in answers]
 
 
 def payload_from_dict(data: dict[str, Any]) -> Question | ExpressionQuestion:

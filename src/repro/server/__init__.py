@@ -1,0 +1,32 @@
+"""Multi-session asyncio round server (DESIGN.md §2f).
+
+* :mod:`repro.server.core` — :class:`RoundServer`, the event loop that
+  multiplexes many concurrent learning dialogues over a session-id
+  framed, newline-delimited JSON wire.
+* :mod:`repro.server.store` — :class:`SessionStore`, sqlite persistence
+  of round-boundary :class:`~repro.interactive.session.SessionSnapshot`
+  replay logs so dialogues survive disconnects and server restarts.
+* :mod:`repro.server.loadgen` — the E25 load generator: N simulated
+  users answering rounds with think-time.
+"""
+
+from repro.server.core import LEARNERS, RoundServer, SessionMeter
+from repro.server.loadgen import (
+    LoadReport,
+    UserResult,
+    run_load,
+    simulate_user,
+)
+from repro.server.store import SessionStore, StoredSession
+
+__all__ = [
+    "LEARNERS",
+    "LoadReport",
+    "RoundServer",
+    "SessionMeter",
+    "SessionStore",
+    "StoredSession",
+    "UserResult",
+    "run_load",
+    "simulate_user",
+]

@@ -1,0 +1,465 @@
+"""Multi-session asyncio round server (DESIGN.md §2f).
+
+``repro learn --serve-stdio`` holds exactly one dialogue per process;
+this module is the production form the ROADMAP's "millions of users"
+item asks for: one event loop multiplexing many concurrent learning
+dialogues, each a step-driven
+:class:`~repro.interactive.session.LearningSession` parked between
+answers, persisted to a :class:`~repro.server.store.SessionStore` on
+every round boundary so dialogues survive disconnects, idle eviction and
+full server restarts.
+
+The wire is the stdio format framed with a session id — newline-delimited
+JSON, one message per line:
+
+client → server
+    ``{"type": "open", "n": N, "learner": "qhorn1"}``
+        start a dialogue; the server assigns the session id
+    ``{"type": "reconnect", "session": ID}``
+        resume a parked dialogue at its exact parked round (re-emits the
+        pending round; works in-memory, after eviction, or after a server
+        restart via the store)
+    ``{"type": "answers", "session": ID, "answers": [...]}``
+    ``{"type": "snapshot", "session": ID}``  emit the parked replay log
+    ``{"type": "quit", "session": ID}``      park the session and detach
+
+server → client
+    ``{"type": "round", "session": ID, "index": i, "batched": b,
+    "questions": [...]}``
+    ``{"type": "snapshot", "session": ID, "snapshot": {...}}``
+    ``{"type": "finished", "session": ID, ..., "metering": {...}}``
+    ``{"type": "closed", "session": ID}``    reply to quit
+    ``{"type": "error", "message": "...", ["session": ID]}``
+        recoverable; the session (if any) stays parked at its round
+
+Rounds are the billable unit of user interaction (Drachsler-Cohen et
+al.; Bshouty et al. — see PAPERS.md): every session carries per-round
+metering counters that ride along in the ``finished`` summary.
+
+Backpressure is per connection: replies flow through a bounded outbox
+drained by a writer task, so a slow reader suspends its own reader loop
+(and eventually TCP) instead of growing server memory.  Idle sessions
+are evicted from memory on a timer — eviction is safe *because* the
+round-boundary snapshot is already durable; a later message under the
+same session id transparently resumes from the store.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.interactive.session import LearningSession
+from repro.learning import Qhorn1Learner, RolePreservingLearner
+from repro.protocol.core import Finished, ProtocolError, Round
+from repro.protocol.stdio import finished_to_dict, round_to_dict
+from repro.protocol.wire import decode_answers
+from repro.server.store import (
+    ACTIVE,
+    FINISHED,
+    SessionStore,
+    StoredSession,
+)
+
+__all__ = ["LEARNERS", "SessionMeter", "RoundServer"]
+
+#: Registry of wire-addressable learners: name → class taking an oracle.
+LEARNERS: Mapping[str, Callable[..., Any]] = {
+    "qhorn1": Qhorn1Learner,
+    "role-preserving": RolePreservingLearner,
+}
+
+DEFAULT_LEARNER = "qhorn1"
+
+
+def _now() -> float:
+    """The event loop clock (monotonic), usable from sync test code."""
+    try:
+        return asyncio.get_running_loop().time()
+    except RuntimeError:
+        return time.monotonic()
+
+
+@dataclass
+class SessionMeter:
+    """Per-session interaction metering (rounds are the billable unit)."""
+
+    rounds: int = 0
+    questions: int = 0
+    errors: int = 0
+    resumes: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "rounds": self.rounds,
+            "questions": self.questions,
+            "errors": self.errors,
+            "resumes": self.resumes,
+        }
+
+
+@dataclass
+class _LiveSession:
+    """One in-memory dialogue: the session plus its server bookkeeping."""
+
+    session_id: str
+    learner: str
+    session: LearningSession
+    meter: SessionMeter = field(default_factory=SessionMeter)
+    last_used: float = 0.0
+
+
+class RoundServer:
+    """Asyncio server multiplexing learning dialogues in one event loop.
+
+    Parameters
+    ----------
+    store:
+        Snapshot persistence; the caller owns its lifecycle.
+    learners:
+        Wire-addressable learner registry (default :data:`LEARNERS`).
+    max_outbox:
+        Per-connection reply queue bound (backpressure: a connection
+        whose client stops reading stops being served new replies).
+    idle_timeout:
+        Seconds of inactivity after which a live session is evicted from
+        memory (its snapshot stays parked in the store).  ``None``
+        disables the background sweep; :meth:`evict_idle` still works.
+    """
+
+    def __init__(
+        self,
+        store: SessionStore,
+        learners: Mapping[str, Callable[..., Any]] = LEARNERS,
+        max_outbox: int = 64,
+        idle_timeout: float | None = None,
+    ) -> None:
+        self.store = store
+        self.learners = dict(learners)
+        self.max_outbox = max_outbox
+        self.idle_timeout = idle_timeout
+        self._sessions: dict[str, _LiveSession] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._evictor: asyncio.Task | None = None
+        self._connections: set[asyncio.Task] = set()
+        # Server-level counters (surfaced by stats()).
+        self.sessions_opened = 0
+        self.sessions_resumed = 0
+        self.sessions_finished = 0
+        self.evictions = 0
+        self.wire_errors = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> asyncio.AbstractServer:
+        """Bind and serve; ``port=0`` picks an ephemeral port (see
+        :meth:`port`).  Returns the underlying asyncio server."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        if self.idle_timeout is not None:
+            self._evictor = asyncio.ensure_future(self._evict_loop())
+        return self._server
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        """Stop accepting, drop connections, keep every session parked
+        in the store (that is the durability story, not a data loss)."""
+        if self._evictor is not None:
+            self._evictor.cancel()
+            try:
+                await self._evictor
+            except asyncio.CancelledError:
+                pass
+            self._evictor = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._sessions.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "live_sessions": len(self._sessions),
+            "sessions_opened": self.sessions_opened,
+            "sessions_resumed": self.sessions_resumed,
+            "sessions_finished": self.sessions_finished,
+            "evictions": self.evictions,
+            "wire_errors": self.wire_errors,
+        }
+
+    # ------------------------------------------------------------------
+    # Idle eviction
+    # ------------------------------------------------------------------
+    def evict_idle(self, max_idle: float) -> int:
+        """Drop live sessions idle for ``max_idle`` seconds or more.
+
+        Safe at any time: the round-boundary snapshot in the store is
+        the authoritative state, so eviction only frees memory.  Returns
+        the number of sessions evicted."""
+        now = _now()
+        evicted = 0
+        for session_id, live in list(self._sessions.items()):
+            if now - live.last_used >= max_idle:
+                del self._sessions[session_id]
+                evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    async def _evict_loop(self) -> None:
+        interval = max(self.idle_timeout / 2, 0.01)
+        while True:
+            await asyncio.sleep(interval)
+            self.evict_idle(self.idle_timeout)
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        outbox: asyncio.Queue = asyncio.Queue(maxsize=self.max_outbox)
+        pump = asyncio.ensure_future(self._pump(outbox, writer))
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.strip().decode("utf-8", errors="replace")
+                if not text:
+                    continue
+                for message in self._handle_line(text):
+                    await outbox.put(message)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                outbox.put_nowait(None)
+            except asyncio.QueueFull:
+                pump.cancel()
+            try:
+                await pump
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+            if task is not None:
+                self._connections.discard(task)
+
+    async def _pump(self, outbox: asyncio.Queue, writer) -> None:
+        """Writer task: drain the bounded outbox onto the transport.
+
+        A broken transport flips the pump into discard mode instead of
+        raising: it keeps consuming so the producer (the reader loop,
+        which blocks on the bounded queue) can never deadlock against a
+        dead client."""
+        broken = False
+        while True:
+            message = await outbox.get()
+            if message is None:
+                return
+            if broken:
+                continue
+            try:
+                writer.write((json.dumps(message) + "\n").encode())
+                await writer.drain()
+            except (ConnectionError, RuntimeError, OSError):
+                broken = True
+
+    # ------------------------------------------------------------------
+    # Message dispatch (synchronous — stepping a learner is CPU work)
+    # ------------------------------------------------------------------
+    def _error(self, message: str, session_id: str | None = None) -> dict:
+        self.wire_errors += 1
+        out: dict[str, Any] = {"type": "error", "message": message}
+        if session_id is not None:
+            out["session"] = session_id
+        return out
+
+    def _handle_line(self, text: str) -> list[dict]:
+        try:
+            message = json.loads(text)
+        except json.JSONDecodeError:
+            return [self._error("expected one JSON object per line")]
+        if not isinstance(message, dict):
+            return [self._error("expected a JSON object")]
+        kind = message.get("type")
+        session_id = message.get("session")
+        if session_id is not None and not isinstance(session_id, str):
+            return [self._error('"session" must be a string id')]
+        try:
+            if kind == "open":
+                return self._handle_open(message)
+            if kind == "reconnect":
+                return self._handle_reconnect(session_id)
+            if kind == "answers":
+                return self._handle_answers(session_id, message)
+            if kind == "snapshot":
+                return self._handle_snapshot(session_id)
+            if kind == "quit":
+                return self._handle_quit(session_id)
+        except ProtocolError as error:
+            live = self._sessions.get(session_id or "")
+            if live is not None:
+                live.meter.errors += 1
+            return [self._error(str(error), session_id)]
+        return [self._error(f"unknown type {kind!r}", session_id)]
+
+    def _handle_open(self, message: dict) -> list[dict]:
+        n = message.get("n")
+        if isinstance(n, bool) or not isinstance(n, int) or n < 1:
+            return [self._error('"open" needs a positive integer "n"')]
+        learner = message.get("learner", DEFAULT_LEARNER)
+        learner_cls = self.learners.get(learner)
+        if learner_cls is None:
+            known = ", ".join(sorted(self.learners))
+            return [
+                self._error(f"unknown learner {learner!r} (known: {known})")
+            ]
+        session_id = uuid.uuid4().hex[:12]
+        session = LearningSession(
+            lambda oracle: learner_cls(oracle), n=n
+        )
+        live = _LiveSession(session_id, learner, session)
+        event = session.start()
+        self._sessions[session_id] = live
+        self.sessions_opened += 1
+        return self._emit_event(live, event, fresh_round=True)
+
+    def _handle_reconnect(self, session_id: str | None) -> list[dict]:
+        live = self._require_session(session_id, "reconnect")
+        event = live.session.step()
+        return self._emit_event(live, event, fresh_round=False)
+
+    def _handle_answers(
+        self, session_id: str | None, message: dict
+    ) -> list[dict]:
+        live = self._require_session(session_id, "answers")
+        answers = decode_answers(message)
+        event = live.session.feed(answers)
+        return self._emit_event(live, event, fresh_round=True)
+
+    def _handle_snapshot(self, session_id: str | None) -> list[dict]:
+        live = self._require_session(session_id, "snapshot")
+        self._touch(live)
+        return [
+            {
+                "type": "snapshot",
+                "session": live.session_id,
+                "snapshot": live.session.snapshot().to_dict(),
+            }
+        ]
+
+    def _handle_quit(self, session_id: str | None) -> list[dict]:
+        if session_id is None:
+            raise ProtocolError('"quit" needs a "session" id')
+        # Quit parks rather than destroys: the snapshot stays in the
+        # store, so the same id can reconnect later.
+        self._sessions.pop(session_id, None)
+        return [{"type": "closed", "session": session_id}]
+
+    # ------------------------------------------------------------------
+    # Session state helpers
+    # ------------------------------------------------------------------
+    def _require_session(
+        self, session_id: str | None, verb: str
+    ) -> _LiveSession:
+        """The live session for ``session_id``, resuming from the store
+        when it is not in memory (eviction or a past server restart)."""
+        if session_id is None:
+            raise ProtocolError(f'"{verb}" needs a "session" id')
+        live = self._sessions.get(session_id)
+        if live is not None:
+            return live
+        record = self.store.load(session_id)
+        if record is None:
+            raise ProtocolError(f"unknown session {session_id!r}")
+        if record.finished:
+            raise ProtocolError(
+                f"session {session_id!r} already finished"
+            )
+        learner_cls = self.learners.get(record.learner)
+        if learner_cls is None:
+            raise ProtocolError(
+                f"session {session_id!r} needs unknown learner "
+                f"{record.learner!r}"
+            )
+        session = LearningSession(
+            lambda oracle: learner_cls(oracle), n=record.n
+        )
+        session.resume(record.snapshot)
+        live = _LiveSession(
+            session_id,
+            record.learner,
+            session,
+            # Lifetime totals continue across the resume; ``resumes``
+            # counts store-rebuilds (eviction, disconnect, restart).
+            meter=SessionMeter(
+                rounds=record.rounds, questions=record.questions, resumes=1
+            ),
+        )
+        self._sessions[session_id] = live
+        self.sessions_resumed += 1
+        return live
+
+    def _touch(self, live: _LiveSession) -> None:
+        live.last_used = _now()
+
+    def _persist(self, live: _LiveSession, status: str) -> None:
+        """Round-boundary durability: park the replay log write-through."""
+        self.store.save(
+            StoredSession(
+                session_id=live.session_id,
+                learner=live.learner,
+                n=live.session.n,
+                status=status,
+                rounds=live.meter.rounds,
+                questions=live.meter.questions,
+                snapshot=live.session.snapshot(),
+            )
+        )
+
+    def _emit_event(
+        self, live: _LiveSession, event: Round | Finished, fresh_round: bool
+    ) -> list[dict]:
+        """Turn a session event into wire messages, metering and
+        persisting at the round boundary."""
+        self._touch(live)
+        if isinstance(event, Finished):
+            live.meter.questions = len(live.session.transcript)
+            self._persist(live, FINISHED)
+            self.sessions_finished += 1
+            del self._sessions[live.session_id]
+            summary = finished_to_dict(live.session, live.meter.rounds)
+            summary["session"] = live.session_id
+            summary["metering"] = live.meter.to_dict()
+            return [summary]
+        if fresh_round:
+            live.meter.rounds += 1
+            live.meter.questions = len(live.session.transcript)
+            self._persist(live, ACTIVE)
+        message = round_to_dict(event, live.meter.rounds - 1)
+        message["session"] = live.session_id
+        return [message]

@@ -1,0 +1,287 @@
+"""E25 load generator: N simulated users answering rounds with think-time.
+
+Each simulated user opens one TCP connection to a
+:class:`~repro.server.core.RoundServer`, starts (or reconnects) a
+dialogue, and answers every round from a ground-truth
+:class:`~repro.oracle.QueryOracle` over their intended query after an
+optional think-time sleep — the load shape the paper's interaction model
+implies (many humans, each slow, each cheap per round).  The generator
+records per-round latency (answers sent → next round received) and the
+full wire transcript, so callers can assert bit-identical transcripts
+against the synchronous in-process path.
+
+Run standalone against a live server (the CI smoke does)::
+
+    python -m repro.server.loadgen --port 40001 --users 8 --n 4
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.generators import random_qhorn1
+from repro.core.query import QhornQuery
+from repro.oracle import QueryOracle
+from repro.protocol.wire import payload_from_dict
+
+__all__ = ["UserResult", "LoadReport", "simulate_user", "run_load"]
+
+
+@dataclass
+class UserResult:
+    """One simulated user's finished (or parked) dialogue."""
+
+    session_id: str
+    intent: QhornQuery
+    learned: str | None = None
+    questions: int = 0
+    rounds: int = 0
+    #: Wire transcript: (questions, answers) per answered round.
+    transcript: list = field(default_factory=list)
+    #: Seconds from sending answers to receiving the next message.
+    round_latencies: list = field(default_factory=list)
+    metering: dict = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.learned is not None
+
+
+@dataclass
+class LoadReport:
+    """Aggregate of one load run."""
+
+    users: list
+    elapsed_s: float
+
+    @property
+    def sessions_per_s(self) -> float:
+        return len(self.users) / self.elapsed_s if self.elapsed_s else 0.0
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(u.rounds for u in self.users)
+
+    @property
+    def total_questions(self) -> int:
+        return sum(u.questions for u in self.users)
+
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-quantile round latency in seconds (0 <= q <= 1)."""
+        latencies = sorted(
+            latency for u in self.users for latency in u.round_latencies
+        )
+        if not latencies:
+            return 0.0
+        index = min(int(q * len(latencies)), len(latencies) - 1)
+        return latencies[index]
+
+    def to_dict(self) -> dict:
+        return {
+            "users": len(self.users),
+            "finished": sum(1 for u in self.users if u.finished),
+            "elapsed_s": round(self.elapsed_s, 4),
+            "sessions_per_s": round(self.sessions_per_s, 2),
+            "rounds": self.total_rounds,
+            "questions": self.total_questions,
+            "p50_round_ms": round(self.latency_percentile(0.50) * 1000, 3),
+            "p99_round_ms": round(self.latency_percentile(0.99) * 1000, 3),
+        }
+
+
+async def _read_message(reader) -> dict:
+    line = await reader.readline()
+    if not line:
+        raise ConnectionError("server closed the connection")
+    return json.loads(line)
+
+
+async def simulate_user(
+    host: str,
+    port: int,
+    intent: QhornQuery,
+    learner: str = "qhorn1",
+    think_time: float = 0.0,
+    rng: random.Random | None = None,
+    session_id: str | None = None,
+    stop_after_rounds: int | None = None,
+) -> UserResult:
+    """Drive one dialogue to completion (or park it after
+    ``stop_after_rounds`` answered rounds, for restart experiments).
+
+    With ``session_id`` the user reconnects to a parked dialogue instead
+    of opening a new one — the resumed rounds continue the same
+    transcript.  ``think_time`` sleeps before each answer batch, jittered
+    ±50% when ``rng`` is given.
+    """
+    truth = QueryOracle(intent)
+    reader, writer = await asyncio.open_connection(host, port)
+    result = UserResult(session_id=session_id or "", intent=intent)
+    try:
+        if session_id is None:
+            hello = {"type": "open", "n": intent.n, "learner": learner}
+        else:
+            hello = {"type": "reconnect", "session": session_id}
+        writer.write((json.dumps(hello) + "\n").encode())
+        await writer.drain()
+        answered = 0
+        while True:
+            sent_at = time.perf_counter()
+            message = await _read_message(reader)
+            latency = time.perf_counter() - sent_at
+            kind = message.get("type")
+            if kind == "finished":
+                result.learned = message["query"]
+                result.questions = message["questions"]
+                result.rounds = message["rounds"]
+                result.metering = message.get("metering", {})
+                return result
+            if kind != "round":
+                raise AssertionError(f"unexpected server message: {message}")
+            result.session_id = message["session"]
+            if stop_after_rounds is not None and answered >= stop_after_rounds:
+                writer.write(
+                    json.dumps(
+                        {"type": "quit", "session": result.session_id}
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                result.rounds = message["index"]
+                return result
+            result.round_latencies.append(latency)
+            questions = [
+                payload_from_dict(d) for d in message["questions"]
+            ]
+            if think_time:
+                delay = think_time
+                if rng is not None:
+                    delay *= 0.5 + rng.random()
+                await asyncio.sleep(delay)
+            answers = [truth.ask(q) for q in questions]
+            result.transcript.append((questions, answers))
+            answered += 1
+            writer.write(
+                (
+                    json.dumps(
+                        {
+                            "type": "answers",
+                            "session": result.session_id,
+                            "answers": answers,
+                        }
+                    )
+                    + "\n"
+                ).encode()
+            )
+            await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def run_load(
+    host: str,
+    port: int,
+    intents: Sequence[QhornQuery],
+    learner: str = "qhorn1",
+    think_time: float = 0.0,
+    seed: int = 2013,
+    stop_after_rounds: int | None = None,
+    session_ids: Sequence[str] | None = None,
+) -> LoadReport:
+    """Run one simulated user per intent, all concurrent on this loop."""
+    rng = random.Random(seed)
+    rngs = [random.Random(rng.random()) for _ in intents]
+    started = time.perf_counter()
+    users = await asyncio.gather(
+        *(
+            simulate_user(
+                host,
+                port,
+                intent,
+                learner=learner,
+                think_time=think_time,
+                rng=user_rng,
+                session_id=(
+                    None if session_ids is None else session_ids[index]
+                ),
+                stop_after_rounds=stop_after_rounds,
+            )
+            for index, (intent, user_rng) in enumerate(zip(intents, rngs))
+        )
+    )
+    return LoadReport(
+        users=list(users), elapsed_s=time.perf_counter() - started
+    )
+
+
+def random_intents(
+    count: int, n: int, seed: int = 2013
+) -> list[QhornQuery]:
+    """A seeded workload of ``count`` random qhorn-1 intents over ``n``."""
+    rng = random.Random(seed)
+    return [random_qhorn1(n, rng) for _ in range(count)]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server.loadgen",
+        description="simulated-user load generator for `repro serve`",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--users", type=int, default=8)
+    parser.add_argument("--n", type=int, default=4)
+    parser.add_argument("--learner", default="qhorn1")
+    parser.add_argument("--think-time", type=float, default=0.0)
+    parser.add_argument("--seed", type=int, default=2013)
+    args = parser.parse_args(argv)
+
+    from repro.core.normalize import canonicalize
+    from repro.core.parser import parse_query
+
+    intents = random_intents(args.users, args.n, seed=args.seed)
+    report = asyncio.run(
+        run_load(
+            args.host,
+            args.port,
+            intents,
+            learner=args.learner,
+            think_time=args.think_time,
+            seed=args.seed,
+        )
+    )
+    # Every dialogue must both finish and learn a query equivalent to
+    # its own intent.
+    wrong = [
+        u
+        for u in report.users
+        if u.learned is None
+        or canonicalize(parse_query(u.learned, n=u.intent.n))
+        != canonicalize(u.intent)
+    ]
+    print(json.dumps(report.to_dict()))
+    if wrong:
+        for u in wrong:
+            print(
+                f"loadgen: session {u.session_id} learned {u.learned!r}, "
+                f"intended {u.intent.shorthand()!r}"
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

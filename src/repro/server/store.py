@@ -1,0 +1,171 @@
+"""Snapshot-backed session store: dialogues that survive restarts (§2f).
+
+The server parks every :class:`~repro.interactive.session.LearningSession`
+as a :class:`~repro.interactive.session.SessionSnapshot` replay log on
+each round boundary.  This module backs those parked snapshots with
+SQLite on disk, following the :class:`~repro.oracle.persistent.
+PersistentCachingOracle` idiom: one table, write-through on every save,
+plain ``INSERT OR REPLACE`` keyed by session id, and a context-manager
+face over an owned connection.
+
+Because a snapshot *is* the session state (learners are deterministic
+given responses, DESIGN.md §2e), a row here is everything needed to
+resume a dialogue at its exact parked round — after a disconnect, an
+idle eviction, or a full server restart.  ``:memory:`` stores work for
+tests and survive only the process, file-backed stores survive anything.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.interactive.session import SessionSnapshot
+
+__all__ = ["StoredSession", "SessionStore"]
+
+#: Session lifecycle states persisted alongside the snapshot.
+ACTIVE = "active"
+FINISHED = "finished"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS sessions (
+    session_id TEXT PRIMARY KEY,
+    learner TEXT NOT NULL,
+    n INTEGER NOT NULL,
+    status TEXT NOT NULL,
+    rounds INTEGER NOT NULL,
+    questions INTEGER NOT NULL,
+    snapshot TEXT NOT NULL
+)
+"""
+
+
+@dataclass
+class StoredSession:
+    """One persisted dialogue: identity, progress counters, replay log.
+
+    ``learner`` is the registry name the server rebuilds the learner
+    factory from (a snapshot replays only through the same learner that
+    produced it); ``rounds``/``questions`` are lifetime totals across
+    restarts, which is what per-round metering bills on.
+    """
+
+    session_id: str
+    learner: str
+    n: int
+    status: str
+    rounds: int
+    questions: int
+    snapshot: SessionSnapshot
+
+    @property
+    def finished(self) -> bool:
+        return self.status == FINISHED
+
+
+class SessionStore:
+    """SQLite persistence for parked learning sessions.
+
+    Parameters
+    ----------
+    path:
+        Database file; created when absent, reused when present.
+        ``":memory:"`` keeps the store process-local (tests).
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self.path = str(path)
+        self.connection = sqlite3.connect(self.path)
+        self.connection.execute(_SCHEMA)
+        self.connection.commit()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, record: StoredSession) -> None:
+        """Write-through one parked session (upsert on session id)."""
+        self.connection.execute(
+            "INSERT OR REPLACE INTO sessions VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                record.session_id,
+                record.learner,
+                record.n,
+                record.status,
+                record.rounds,
+                record.questions,
+                json.dumps(record.snapshot.to_dict()),
+            ),
+        )
+        self.connection.commit()
+
+    def load(self, session_id: str) -> StoredSession | None:
+        """The parked session under ``session_id``, or ``None``."""
+        row = self.connection.execute(
+            "SELECT learner, n, status, rounds, questions, snapshot "
+            "FROM sessions WHERE session_id = ?",
+            (session_id,),
+        ).fetchone()
+        if row is None:
+            return None
+        learner, n, status, rounds, questions, snapshot = row
+        return StoredSession(
+            session_id=session_id,
+            learner=learner,
+            n=int(n),
+            status=status,
+            rounds=int(rounds),
+            questions=int(questions),
+            snapshot=SessionSnapshot.from_dict(json.loads(snapshot)),
+        )
+
+    def delete(self, session_id: str) -> None:
+        self.connection.execute(
+            "DELETE FROM sessions WHERE session_id = ?", (session_id,)
+        )
+        self.connection.commit()
+
+    def session_ids(self, status: str | None = None) -> list[str]:
+        """All stored session ids, optionally filtered by status."""
+        if status is None:
+            rows = self.connection.execute(
+                "SELECT session_id FROM sessions ORDER BY session_id"
+            )
+        else:
+            rows = self.connection.execute(
+                "SELECT session_id FROM sessions WHERE status = ? "
+                "ORDER BY session_id",
+                (status,),
+            )
+        return [session_id for (session_id,) in rows]
+
+    # ------------------------------------------------------------------
+    # Container face / lifecycle
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        (count,) = self.connection.execute(
+            "SELECT COUNT(*) FROM sessions"
+        ).fetchone()
+        return int(count)
+
+    def __contains__(self, session_id: str) -> bool:
+        return (
+            self.connection.execute(
+                "SELECT 1 FROM sessions WHERE session_id = ?", (session_id,)
+            ).fetchone()
+            is not None
+        )
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "SessionStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SessionStore(path={self.path!r}, sessions={len(self)})"

@@ -1,0 +1,510 @@
+"""Integration tests for the multi-session asyncio round server (§2f).
+
+Every test runs a real :class:`~repro.server.RoundServer` on an
+ephemeral localhost port inside one event loop and speaks the session-id
+framed JSON wire over real sockets — the error paths, the multiplexing,
+idle eviction, and the kill-server/restart/resume durability story.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+
+import pytest
+
+from repro.core.generators import random_qhorn1
+from repro.interactive import LearningSession
+from repro.learning import Qhorn1Learner
+from repro.oracle import QueryOracle
+from repro.protocol.wire import payload_from_dict
+from repro.server import RoundServer, SessionStore
+
+
+class Client:
+    """A minimal wire client: one JSON message per line, both ways."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(cls, port):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        return cls(reader, writer)
+
+    async def send_raw(self, text: str):
+        self.writer.write((text + "\n").encode())
+        await self.writer.drain()
+
+    async def send(self, **message):
+        await self.send_raw(json.dumps(message))
+
+    async def recv(self) -> dict:
+        line = await asyncio.wait_for(self.reader.readline(), timeout=30)
+        assert line, "server closed the connection unexpectedly"
+        return json.loads(line)
+
+    async def close(self):
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def sync_reference(intent, learner_cls=Qhorn1Learner):
+    """The synchronous in-process path the wire must be bit-identical to."""
+    session = LearningSession(
+        lambda oracle: learner_cls(oracle), oracle=QueryOracle(intent)
+    )
+    return session.run()
+
+
+async def answer_until_done(client, oracle, session_id=None, first=None):
+    """Answer every round from ``oracle``; returns (finished_message,
+    wire_transcript) where the transcript is [(question, answer), ...]."""
+    transcript = []
+    message = first if first is not None else await client.recv()
+    while True:
+        if message["type"] == "finished":
+            return message, transcript
+        assert message["type"] == "round", message
+        session_id = message["session"]
+        questions = [payload_from_dict(d) for d in message["questions"]]
+        answers = [oracle.ask(q) for q in questions]
+        transcript.extend(zip(questions, answers))
+        await client.send(
+            type="answers", session=session_id, answers=answers
+        )
+        message = await client.recv()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFullDialogue:
+    def test_wire_transcript_bit_identical_to_sync_path(self):
+        target = random_qhorn1(3, random.Random(7))
+
+        async def main():
+            with SessionStore() as store:
+                server = RoundServer(store)
+                await server.start()
+                client = await Client.connect(server.port)
+                await client.send(type="open", n=3, learner="qhorn1")
+                finished, wire = await answer_until_done(
+                    client, QueryOracle(target)
+                )
+                await client.close()
+                await server.close()
+                return finished, wire, server.stats()
+
+        finished, wire, stats = run(main())
+        reference = sync_reference(target)
+        assert finished["query"] == reference.query.shorthand()
+        assert finished["questions"] == reference.questions_asked
+        assert [q for q, _ in wire] == [
+            e.question for e in reference.transcript
+        ]
+        assert [a for _, a in wire] == reference.transcript.responses()
+        metering = finished["metering"]
+        assert metering["questions"] == reference.questions_asked
+        assert metering["rounds"] == finished["rounds"] > 0
+        assert metering["errors"] == 0 and metering["resumes"] == 0
+        assert stats["sessions_finished"] == 1
+
+    def test_two_sessions_multiplexed_on_one_connection(self):
+        targets = [
+            random_qhorn1(3, random.Random(21)),
+            random_qhorn1(3, random.Random(22)),
+        ]
+
+        async def main():
+            with SessionStore() as store:
+                server = RoundServer(store)
+                await server.start()
+                client = await Client.connect(server.port)
+                oracles, pending, done = {}, {}, {}
+                for target in targets:
+                    await client.send(type="open", n=3, learner="qhorn1")
+                    message = await client.recv()
+                    oracles[message["session"]] = QueryOracle(target)
+                    pending[message["session"]] = message
+                # Interleave: answer one round of each session in turn.
+                while pending:
+                    for sid in list(pending):
+                        message = pending.pop(sid)
+                        if message["type"] == "finished":
+                            done[sid] = message
+                            continue
+                        questions = [
+                            payload_from_dict(d)
+                            for d in message["questions"]
+                        ]
+                        answers = [oracles[sid].ask(q) for q in questions]
+                        await client.send(
+                            type="answers", session=sid, answers=answers
+                        )
+                        pending[sid] = await client.recv()
+                await client.close()
+                await server.close()
+                return done
+
+        done = run(main())
+        assert len(done) == 2
+        learned = sorted(m["query"] for m in done.values())
+        expected = sorted(
+            sync_reference(t).query.shorthand() for t in targets
+        )
+        assert learned == expected
+
+
+class TestWireErrors:
+    """Malformed clients get {"type": "error"} lines, never a dead server."""
+
+    async def _serve_errors(self, lines_then_valid):
+        target = random_qhorn1(3, random.Random(5))
+        with SessionStore() as store:
+            server = RoundServer(store)
+            await server.start()
+            client = await Client.connect(server.port)
+            await client.send(type="open", n=3)
+            first = await client.recv()
+            sid = first["session"]
+            errors = []
+            for line in lines_then_valid:
+                await client.send_raw(line.replace("SID", sid))
+                reply = await client.recv()
+                assert reply["type"] == "error", reply
+                errors.append(reply["message"])
+            # The session survived every malformed message: finish it.
+            finished, _ = await answer_until_done(
+                client, QueryOracle(target), first=first
+            )
+            await client.close()
+            await server.close()
+            return errors, finished
+
+    def test_malformed_payloads_are_recoverable(self):
+        errors, finished = run(
+            self._serve_errors(
+                [
+                    "not json at all",
+                    '"just a string"',
+                    '{"type": "mystery", "session": "SID"}',
+                    '{"type": "answers", "session": "SID"}',
+                    '{"type": "answers", "session": "SID", "answers": true}',
+                    '{"type": "answers", "session": "SID", "answers": [true]}',
+                    '{"type": "answers", "session": "bogus", "answers": []}',
+                    '{"type": "open", "n": 0}',
+                    '{"type": "open", "n": true}',
+                    '{"type": "open", "n": 3, "learner": "nope"}',
+                    '{"type": "answers", "session": 7, "answers": []}',
+                    '{"type": "quit"}',
+                    '{"type": "reconnect", "session": "bogus"}',
+                ]
+            )
+        )
+        assert finished["type"] == "finished"
+        assert len(errors) == 13
+        for needle, message in zip(
+            [
+                "JSON",
+                "JSON object",
+                "unknown type",
+                'no "answers" key',
+                "must be a list",
+                "questions",  # wrong answer count
+                "unknown session",
+                'positive integer "n"',
+                'positive integer "n"',
+                "unknown learner",
+                '"session" must be a string',
+                '"quit" needs a "session"',
+                "unknown session",
+            ],
+            errors,
+        ):
+            assert needle in message, (needle, message)
+
+    def test_errors_are_metered_per_session(self):
+        target = random_qhorn1(3, random.Random(5))
+
+        async def main():
+            with SessionStore() as store:
+                server = RoundServer(store)
+                await server.start()
+                client = await Client.connect(server.port)
+                await client.send(type="open", n=3)
+                first = await client.recv()
+                sid = first["session"]
+                await client.send(type="answers", session=sid, answers=[1])
+                assert (await client.recv())["type"] == "error"
+                finished, _ = await answer_until_done(
+                    client, QueryOracle(target), first=first
+                )
+                await client.close()
+                await server.close()
+                return finished
+
+        finished = run(main())
+        assert finished["metering"]["errors"] == 1
+
+
+class TestParkAndResume:
+    def test_snapshot_while_parked_then_quit_then_reconnect(self):
+        target = random_qhorn1(3, random.Random(31))
+
+        async def main():
+            with SessionStore() as store:
+                server = RoundServer(store)
+                await server.start()
+                client = await Client.connect(server.port)
+                await client.send(type="open", n=3)
+                first = await client.recv()
+                sid = first["session"]
+                # Snapshot while the round is parked: the replay log so far.
+                await client.send(type="snapshot", session=sid)
+                snap = await client.recv()
+                assert snap["type"] == "snapshot"
+                assert snap["snapshot"]["responses"] == []
+                # Quit parks the session; the store still holds it.
+                await client.send(type="quit", session=sid)
+                closed = await client.recv()
+                assert closed["type"] == "closed"
+                assert sid in store
+                await client.close()
+
+                # A brand-new connection reconnects and finishes.
+                client = await Client.connect(server.port)
+                await client.send(type="reconnect", session=sid)
+                again = await client.recv()
+                assert again["type"] == "round"
+                assert again["questions"] == first["questions"]
+                assert again["index"] == first["index"] == 0
+                finished, _ = await answer_until_done(
+                    client, QueryOracle(target), first=again
+                )
+                await client.close()
+                await server.close()
+                return finished
+
+        finished = run(main())
+        assert finished["query"] == sync_reference(target).query.shorthand()
+
+    def test_idle_eviction_then_transparent_resume(self):
+        target = random_qhorn1(3, random.Random(41))
+
+        async def main():
+            with SessionStore() as store:
+                server = RoundServer(store)
+                await server.start()
+                client = await Client.connect(server.port)
+                await client.send(type="open", n=3)
+                first = await client.recv()
+                sid = first["session"]
+                assert server.evict_idle(0.0) == 1
+                assert server.stats()["live_sessions"] == 0
+                # The very next answers frame resumes from the store
+                # without the client noticing anything happened.
+                finished, _ = await answer_until_done(
+                    client, QueryOracle(target), first=first
+                )
+                await client.close()
+                await server.close()
+                return finished, server.stats()
+
+        finished, stats = run(main())
+        assert finished["query"] == sync_reference(target).query.shorthand()
+        assert stats["evictions"] == 1
+        assert finished["metering"]["resumes"] == 1
+
+    def test_finished_session_cannot_be_reopened(self):
+        target = random_qhorn1(3, random.Random(51))
+
+        async def main():
+            with SessionStore() as store:
+                server = RoundServer(store)
+                await server.start()
+                client = await Client.connect(server.port)
+                await client.send(type="open", n=3)
+                finished, _ = await answer_until_done(
+                    client, QueryOracle(target)
+                )
+                await client.send(
+                    type="reconnect", session=finished["session"]
+                )
+                reply = await client.recv()
+                await client.close()
+                await server.close()
+                return reply
+
+        reply = run(main())
+        assert reply["type"] == "error"
+        assert "already finished" in reply["message"]
+
+
+class TestRestartDurability:
+    def test_kill_server_restart_resume_round_trip(self, tmp_path):
+        """The §2f acceptance story: sessions parked mid-dialogue in a
+        file-backed store resume at their exact parked round on a fresh
+        server process-equivalent (new RoundServer, new SessionStore)."""
+        targets = [
+            random_qhorn1(3, random.Random(61)),
+            random_qhorn1(3, random.Random(62)),
+            random_qhorn1(3, random.Random(63)),
+        ]
+        path = tmp_path / "sessions.sqlite"
+
+        async def phase_one():
+            store = SessionStore(path)
+            server = RoundServer(store)
+            await server.start()
+            parked = {}
+            for index, target in enumerate(targets):
+                client = await Client.connect(server.port)
+                await client.send(type="open", n=3)
+                message = await client.recv()
+                oracle = QueryOracle(target)
+                # Answer `index` rounds, then hang up mid-dialogue.
+                for _ in range(index):
+                    questions = [
+                        payload_from_dict(d) for d in message["questions"]
+                    ]
+                    answers = [oracle.ask(q) for q in questions]
+                    await client.send(
+                        type="answers",
+                        session=message["session"],
+                        answers=answers,
+                    )
+                    message = await client.recv()
+                assert message["type"] == "round"
+                parked[message["session"]] = (target, message)
+                await client.close()
+            await server.close()  # the "kill": drops all live state
+            store.close()
+            return parked
+
+        async def phase_two(parked):
+            store = SessionStore(path)
+            server = RoundServer(store)
+            await server.start()
+            results = {}
+            for sid, (target, last_round) in parked.items():
+                client = await Client.connect(server.port)
+                await client.send(type="reconnect", session=sid)
+                resumed = await client.recv()
+                # The exact parked round, same questions, same index.
+                assert resumed["type"] == "round"
+                assert resumed["questions"] == last_round["questions"]
+                assert resumed["index"] == last_round["index"]
+                finished, _ = await answer_until_done(
+                    client, QueryOracle(target), first=resumed
+                )
+                results[sid] = (target, finished)
+                await client.close()
+            await server.close()
+            store.close()
+            return results, server.stats()
+
+        parked = run(phase_one())
+        assert len(parked) == len(targets)
+        results, stats = run(phase_two(parked))
+        assert stats["sessions_resumed"] == len(targets)
+        for sid, (target, finished) in results.items():
+            reference = sync_reference(target)
+            assert finished["query"] == reference.query.shorthand()
+            # Lifetime totals survive the restart: the finished summary
+            # meters every question of the dialogue, not just the ones
+            # after the resume.
+            assert finished["questions"] == reference.questions_asked
+            assert finished["metering"]["resumes"] == 1
+
+    def test_store_rows_written_at_every_round_boundary(self):
+        target = random_qhorn1(3, random.Random(71))
+
+        async def main():
+            with SessionStore() as store:
+                server = RoundServer(store)
+                await server.start()
+                client = await Client.connect(server.port)
+                await client.send(type="open", n=3)
+                message = await client.recv()
+                sid = message["session"]
+                row = store.load(sid)
+                assert row is not None and row.rounds == 1
+                assert row.status == "active"
+                finished, _ = await answer_until_done(
+                    client, QueryOracle(target), first=message
+                )
+                row = store.load(sid)
+                await client.close()
+                await server.close()
+                return row, finished
+
+        row, finished = run(main())
+        assert row.finished
+        assert row.rounds == finished["rounds"]
+        assert row.questions == finished["questions"]
+
+
+class TestBackpressure:
+    def test_bounded_outbox_still_serves_a_slow_reader(self):
+        """A tiny outbox (maxsize=1) forces the reply path through the
+        backpressure machinery; the dialogue still completes."""
+        target = random_qhorn1(3, random.Random(81))
+
+        async def main():
+            with SessionStore() as store:
+                server = RoundServer(store, max_outbox=1)
+                await server.start()
+                client = await Client.connect(server.port)
+                await client.send(type="open", n=3)
+                finished, _ = await answer_until_done(
+                    client, QueryOracle(target)
+                )
+                await client.close()
+                await server.close()
+                return finished
+
+        assert run(main())["type"] == "finished"
+
+    def test_evict_loop_runs_with_idle_timeout(self):
+        async def main():
+            with SessionStore() as store:
+                server = RoundServer(store, idle_timeout=0.02)
+                await server.start()
+                client = await Client.connect(server.port)
+                await client.send(type="open", n=3)
+                message = await client.recv()
+                await asyncio.sleep(0.08)  # > idle_timeout + sweep tick
+                stats = server.stats()
+                await client.close()
+                await server.close()
+                return message, stats
+
+        message, stats = run(main())
+        assert message["type"] == "round"
+        assert stats["evictions"] == 1
+        assert stats["live_sessions"] == 0
+
+
+class TestServerLifecycle:
+    def test_double_start_rejected(self):
+        async def main():
+            with SessionStore() as store:
+                server = RoundServer(store)
+                await server.start()
+                with pytest.raises(RuntimeError, match="already started"):
+                    await server.start()
+                await server.close()
+
+        run(main())
+
+    def test_port_before_start_rejected(self):
+        with SessionStore() as store:
+            with pytest.raises(RuntimeError, match="not started"):
+                RoundServer(store).port

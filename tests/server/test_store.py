@@ -1,0 +1,119 @@
+"""Unit tests for the sqlite snapshot-backed session store (§2f)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.generators import random_qhorn1
+from repro.core.tuples import Question
+from repro.interactive import LearningSession, SessionSnapshot
+from repro.learning import Qhorn1Learner
+from repro.oracle import QueryOracle
+from repro.protocol import answer_round
+from repro.server import SessionStore, StoredSession
+
+
+def q(n, *masks):
+    return Question.of(n, masks)
+
+
+def record(session_id="s1", **overrides):
+    defaults = dict(
+        session_id=session_id,
+        learner="qhorn1",
+        n=3,
+        status="active",
+        rounds=2,
+        questions=4,
+        snapshot=SessionSnapshot(
+            n=3,
+            responses=[True, False],
+            pending=[q(3, 7), q(3, 1)],
+            pending_batched=False,
+            restarts=1,
+        ),
+    )
+    defaults.update(overrides)
+    return StoredSession(**defaults)
+
+
+class TestSessionStore:
+    def test_save_load_round_trip(self):
+        with SessionStore() as store:
+            stored = record()
+            store.save(stored)
+            loaded = store.load("s1")
+            assert loaded == stored
+            assert not loaded.finished
+
+    def test_load_missing_returns_none(self):
+        with SessionStore() as store:
+            assert store.load("nope") is None
+
+    def test_upsert_overwrites(self):
+        with SessionStore() as store:
+            store.save(record(rounds=1))
+            store.save(record(rounds=9, status="finished"))
+            loaded = store.load("s1")
+            assert loaded.rounds == 9 and loaded.finished
+            assert len(store) == 1
+
+    def test_container_and_listing(self):
+        with SessionStore() as store:
+            store.save(record("a"))
+            store.save(record("b", status="finished"))
+            assert "a" in store and "c" not in store
+            assert len(store) == 2
+            assert store.session_ids() == ["a", "b"]
+            assert store.session_ids(status="active") == ["a"]
+            assert store.session_ids(status="finished") == ["b"]
+            store.delete("a")
+            assert "a" not in store and len(store) == 1
+
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "sessions.sqlite"
+        with SessionStore(path) as store:
+            store.save(record())
+        with SessionStore(path) as store:
+            assert store.load("s1") == record()
+
+    def test_stored_snapshot_resumes_a_real_session(self, tmp_path):
+        """The store's row is sufficient to rebuild a parked dialogue at
+        its exact parked round — the §2f durability contract."""
+        target = random_qhorn1(3, random.Random(11))
+        oracle = QueryOracle(target)
+        factory = lambda o: Qhorn1Learner(o)  # noqa: E731
+        session = LearningSession(factory, n=3)
+        event = session.step()
+        event = session.feed(answer_round(oracle, event))
+        path = tmp_path / "sessions.sqlite"
+        with SessionStore(path) as store:
+            store.save(
+                StoredSession(
+                    session_id="park",
+                    learner="qhorn1",
+                    n=3,
+                    status="active",
+                    rounds=2,
+                    questions=len(session.transcript),
+                    snapshot=session.snapshot(),
+                )
+            )
+        with SessionStore(path) as store:
+            row = store.load("park")
+        fresh = LearningSession(factory, n=3)
+        resumed = fresh.resume(row.snapshot)
+        assert list(resumed.questions) == list(event.questions)
+
+    def test_corrupt_snapshot_version_raises(self):
+        with SessionStore() as store:
+            store.save(record())
+            store.connection.execute(
+                "UPDATE sessions SET snapshot = ?",
+                ('{"version": 99, "n": 3, "responses": []}',),
+            )
+            store.connection.commit()
+            with pytest.raises(Exception, match="version"):
+                store.load("s1")

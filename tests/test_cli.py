@@ -257,3 +257,56 @@ class TestServeStdio:
     def test_learn_requires_target_without_serve(self, capsys):
         assert main(["learn"]) == 2
         assert "target query is required" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    """`repro serve` end to end: a real server subprocess on an ephemeral
+    port, driven by the load generator, shut down with SIGTERM."""
+
+    def test_serve_loadgen_clean_shutdown(self, tmp_path):
+        import asyncio
+        import json
+        import os
+        import signal
+        import subprocess
+        import sys
+
+        from repro.server.loadgen import random_intents, run_load
+
+        env = dict(os.environ)
+        src = os.path.abspath("src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+        store = tmp_path / "sessions.sqlite"
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--store",
+                str(store),
+            ],
+            stdin=subprocess.DEVNULL,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            listening = json.loads(proc.stdout.readline())
+            assert listening["type"] == "listening"
+            port = listening["port"]
+            intents = random_intents(4, 3, seed=7)
+            report = asyncio.run(
+                run_load("127.0.0.1", port, intents, think_time=0.001)
+            )
+            assert all(u.finished for u in report.users)
+            assert store.exists()  # round boundaries hit the store
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+            assert "shut down clean" in proc.stderr.read()
+        finally:
+            proc.kill()

@@ -257,12 +257,47 @@ class TestAsyncAdapters:
 
         asyncio.run(main())
 
-    def test_queue_user_oracle_bad_answer_count(self):
+    def test_queue_user_oracle_reasks_on_mismatch(self):
+        """A mismatched answer batch re-posts the same questions to the
+        outbox (reject-and-reprompt) instead of wedging the dialogue."""
+
         async def main():
             oracle = QueueUserOracle(3)
-            await oracle.inbox.put([True])
-            with pytest.raises(ValueError, match="answered 1 of 2"):
+            questions = [q(3, 1), q(3, 2)]
+
+            async def user():
+                first = await oracle.outbox.get()
+                await oracle.inbox.put([True])  # wrong size → re-ask
+                second = await oracle.outbox.get()
+                assert second == first  # the same batch, re-posted
+                await oracle.inbox.put(None)  # not a batch → re-ask
+                await oracle.outbox.get()
+                await oracle.inbox.put([True, False])
+
+            task = asyncio.ensure_future(user())
+            answers = await oracle.ask_many(questions)
+            await task
+            assert answers == [True, False]
+            assert oracle.reasks == 2
+
+        asyncio.run(main())
+
+    def test_queue_user_oracle_gives_up_after_max_reasks(self):
+        async def main():
+            oracle = QueueUserOracle(3, max_reasks=1)
+
+            async def user():
+                for _ in range(2):
+                    await oracle.outbox.get()
+                    await oracle.inbox.put([True])
+
+            task = asyncio.ensure_future(user())
+            with pytest.raises(
+                ProtocolError, match="answered 1 of 2.*giving up after 1"
+            ):
                 await oracle.ask_many([q(3, 1), q(3, 2)])
+            await task
+            assert oracle.reasks == 2
 
         asyncio.run(main())
 
@@ -413,6 +448,49 @@ class TestServeStdio:
         assert code == 1
         kinds = [m["type"] for m in messages]
         assert kinds.count("error") == 3
+
+    def test_answers_payload_validation(self):
+        """A message with no "answers" key must not silently feed [],
+        and a non-list value must not raise an uncaught TypeError."""
+        code, messages = self._serve(
+            [
+                '{"type":"answers"}\n',
+                '{"answers": true}\n',
+                '{"answers": "yes"}\n',
+                '{"answers": {"0": true}}\n',
+                '{"type":"quit"}\n',
+            ]
+        )
+        assert code == 1
+        errors = [m["message"] for m in messages if m["type"] == "error"]
+        assert len(errors) == 4
+        assert 'no "answers" key' in errors[0]
+        for message in errors[1:]:
+            assert "must be a list" in message
+
+    def test_snapshot_failure_keeps_serving(self, monkeypatch):
+        """A SnapshotError mid-serve becomes an error line, not a server
+        crash; the session stays parked at its round."""
+        session = LearningSession(lambda oracle: Qhorn1Learner(oracle), n=3)
+
+        def boom():
+            raise SnapshotError("simulated mid-round guard")
+
+        monkeypatch.setattr(session, "snapshot", boom)
+        stdout = io.StringIO()
+        code = serve_stdio(
+            session,
+            io.StringIO('{"type":"snapshot"}\n{"type":"quit"}\n'),
+            stdout,
+        )
+        assert code == 1
+        messages = [
+            json.loads(line) for line in stdout.getvalue().splitlines()
+        ]
+        kinds = [m["type"] for m in messages]
+        assert kinds == ["round", "error"]
+        error = messages[-1]
+        assert "mid-round guard" in error["message"]
 
     def test_eof_mid_session(self):
         code, messages = self._serve([])
