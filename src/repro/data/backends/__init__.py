@@ -1,12 +1,17 @@
 """Pluggable evaluation backends behind one seam (DESIGN.md §2c).
 
-Three implementations of the :class:`EvaluationBackend` contract:
+Four implementations of the :class:`EvaluationBackend` contract:
 
 * ``bitmask`` — one :class:`~repro.data.index.RelationIndex` over the
   whole relation (the default; fastest for small/medium relations);
 * ``sharded`` — the relation partitioned into object-position blocks so
   bitset widths stay bounded; builds and full-relation labeling scale
-  linearly, shards optionally evaluate in parallel;
+  linearly, shards optionally evaluate in parallel (with a per-shard
+  ``kernel=`` choice and a parallel-ingest ``ingest="raw"`` mode in
+  pool execution);
+* ``numpy`` — the inverted index packed into numpy arrays so the kernel
+  runs as SIMD-width array operations (DESIGN.md §2g; registered only
+  when numpy imports);
 * ``sql`` — the relation loaded into SQLite, each query compiled to SQL
   once and answered in one round trip (the database does the work).
 
@@ -48,6 +53,14 @@ BACKENDS: dict[str, type] = {
     ShardedBitmaskBackend.name: ShardedBitmaskBackend,
     SqlBackend.name: SqlBackend,
 }
+
+try:  # numpy is an optional accelerator, not a hard dependency
+    from repro.data.backends.vectorized import NumpyBackend
+except ImportError:  # pragma: no cover - exercised only without numpy
+    NumpyBackend = None  # type: ignore[assignment, misc]
+else:
+    BACKENDS[NumpyBackend.name] = NumpyBackend
+    __all__.append("NumpyBackend")
 
 
 def create_backend(

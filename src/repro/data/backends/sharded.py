@@ -14,9 +14,11 @@ costs grow super-linearly with relation size ``W``:
 *object-position blocks* of ``shard_size`` objects.  Each shard owns its
 own inverted index with **shard-local positions**, so every bitset is
 bounded to ``shard_size`` bits: builds and label extractions become
-linear in relation size, and shards evaluate independently through the
-same :func:`~repro.data.index.evaluate_inverted` kernel the single index
-uses.
+linear in relation size, and shards evaluate independently through a
+per-shard kernel — the pure-python
+:func:`~repro.data.index.evaluate_inverted` by default, or the packed
+numpy kernel (:class:`~repro.data.backends.vectorized.PackedBitIndex`)
+with ``kernel="numpy"``.
 
 Three execution modes share that layout:
 
@@ -25,14 +27,24 @@ Three execution modes share that layout:
   through ``executor.map``; the backend never owns the lifecycle;
 * **owned worker pool** (``processes=N``, or an injected ``pool=``) —
   a persistent :class:`~repro.parallel.ShardWorkerPool` receives the
-  built shard payloads once and evaluates them in ``N`` processes; per
-  query only the compiled form crosses the boundary and either bitsets
-  or worker-extracted label lists come back (DESIGN.md §2d).  This is
-  the mode that beats the GIL on the pure-python kernel.  Rebuilds
-  (relation ``version`` bumps) re-ship automatically — the invalidation
-  broadcast — and a pool crash raises
+  shard state once and evaluates it in ``N`` processes; per query only
+  the compiled form crosses the boundary and either bitsets or
+  worker-extracted label lists come back (DESIGN.md §2d).  This is the
+  mode that beats the GIL on the pure-python kernel.  Rebuilds (relation
+  ``version`` bumps) re-ship automatically — the invalidation broadcast
+  — and a pool crash raises
   :class:`~repro.parallel.WorkerCrashError` cleanly; the next evaluation
   builds a fresh owned pool.
+
+In pool mode the *ingest* side is parallel too: by default
+(``ingest="raw"``) the coordinator ships each shard's **raw rows** and
+the workers run the vocabulary abstraction themselves
+(:meth:`~repro.data.propositions.Vocabulary.mask_sets` worker-side), so
+a ``processes=N`` build uses all cores instead of abstracting
+single-core in the coordinator.  ``ingest="built"`` restores the old
+behaviour — abstract locally, ship built payloads — which is the right
+trade when rows are much wider than their inverted index (DESIGN.md
+§2g discusses the tradeoff).
 
 Shard boundaries are unobservable: answers are identical to the single
 index on identical state (enforced by
@@ -41,18 +53,18 @@ index on identical state (enforced by
 reassembles the global object-position bitset in relation order.  E23
 (``benchmarks/test_e23_backend_scale.py``) charts the layout crossover;
 E24 (``benchmarks/test_e24_parallel_scale.py``) charts speedup vs worker
-count.
+count and the raw-vs-built build-phase split.
 """
 
 from __future__ import annotations
 
 from itertools import repeat
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.core import tuples as bt
 from repro.core.query import CompiledQuery, QhornQuery
 from repro.data.backends.base import check_width
-from repro.data.index import evaluate_inverted
+from repro.data.index import evaluate_inverted, labels_of
 from repro.data.propositions import Vocabulary
 from repro.data.relation import NestedObject, NestedRelation
 
@@ -61,29 +73,106 @@ if TYPE_CHECKING:  # pragma: no cover
 
     from repro.parallel import ShardWorkerPool
 
-__all__ = ["ShardedBitmaskBackend", "DEFAULT_SHARD_SIZE"]
+__all__ = ["ShardedBitmaskBackend", "Shard", "DEFAULT_SHARD_SIZE", "KERNELS"]
 
 #: Default objects per shard: big enough that per-shard dict overhead is
 #: amortized, small enough that every bitset stays a few machine words.
 DEFAULT_SHARD_SIZE = 4096
 
+#: Per-shard evaluation kernels: the pure-python bitset algebra, or the
+#: packed numpy kernel (requires numpy and ``vocabulary.n <= 64``).
+KERNELS = ("python", "numpy")
 
-class _Shard:
-    """One object-position block: a shard-local inverted index."""
+#: Shard-shipping modes for the worker pool: ship raw rows and abstract
+#: worker-side (parallel ingest), or abstract in the coordinator and
+#: ship the built inverted indexes.
+INGEST_MODES = ("raw", "built")
 
-    __slots__ = ("offset", "count", "inverted", "all_bits")
 
-    def __init__(self, offset: int, objects: list[NestedObject], vocabulary: Vocabulary) -> None:
+class Shard:
+    """One object-position block: a shard-local inverted index, plus an
+    optional packed copy when the numpy kernel is selected."""
+
+    __slots__ = ("offset", "count", "inverted", "all_bits", "packed")
+
+    def __init__(
+        self,
+        offset: int,
+        mask_sets: Sequence[Iterable[int]],
+        kernel: str = "python",
+    ) -> None:
         self.offset = offset
-        self.count = len(objects)
-        boolean_tuples = vocabulary.boolean_tuples
+        self.count = len(mask_sets)
         inverted: dict[int, int] = {}
-        for local, obj in enumerate(objects):
+        for local, masks in enumerate(mask_sets):
             bit = 1 << local
-            for m in frozenset(boolean_tuples(obj.rows)):
+            for m in masks:
                 inverted[m] = inverted.get(m, 0) | bit
         self.inverted = inverted
         self.all_bits = (1 << self.count) - 1
+        self.packed = None
+        if kernel == "numpy":
+            from repro.data.backends.vectorized import PackedBitIndex
+
+            self.packed = PackedBitIndex.from_inverted(inverted, self.count)
+
+    @classmethod
+    def from_payload(
+        cls,
+        payload: tuple[int, int, dict[int, int], int],
+        kernel: str = "python",
+    ) -> "Shard":
+        """Rebuild a shard from its wire payload (worker-side loading of
+        a coordinator-built shard)."""
+        shard = cls.__new__(cls)
+        shard.offset, shard.count, shard.inverted, shard.all_bits = payload
+        shard.packed = None
+        if kernel == "numpy":
+            from repro.data.backends.vectorized import PackedBitIndex
+
+            shard.packed = PackedBitIndex.from_inverted(
+                shard.inverted, shard.count
+            )
+        return shard
+
+    def evaluate_bits(self, compiled: CompiledQuery) -> int:
+        """Shard-local answer bitset through the selected kernel."""
+        if self.packed is not None:
+            return self.packed.matching_bits(compiled)
+        return evaluate_inverted(compiled, self.inverted, self.all_bits)
+
+    def evaluate_labels(self, compiled: CompiledQuery) -> list[bool]:
+        """Shard-local answer labels (kernel + extraction in one call)."""
+        if self.packed is not None:
+            return self.packed.labels(compiled)
+        return labels_of(
+            evaluate_inverted(compiled, self.inverted, self.all_bits),
+            self.count,
+        )
+
+    def __getstate__(self) -> tuple:
+        # Executor/process transport: the packed copy is derived state —
+        # rebuild it on the far side instead of pickling numpy arrays.
+        return (self.offset, self.count, self.inverted, self.all_bits,
+                self.packed is not None)
+
+    def __setstate__(self, state: tuple) -> None:
+        offset, count, inverted, all_bits, packed = state
+        self.offset = offset
+        self.count = count
+        self.inverted = inverted
+        self.all_bits = all_bits
+        self.packed = None
+        if packed:
+            from repro.data.backends.vectorized import PackedBitIndex
+
+            self.packed = PackedBitIndex.from_inverted(inverted, count)
+
+
+def _shard_bits(compiled: CompiledQuery, shard: Shard) -> int:
+    """Module-level kernel trampoline so ``executor.map`` works with
+    process executors (bound methods don't pickle)."""
+    return shard.evaluate_bits(compiled)
 
 
 class ShardedBitmaskBackend:
@@ -95,6 +184,12 @@ class ShardedBitmaskBackend:
         The evaluated pair.
     shard_size:
         Objects per shard (the bound on every bitset's width).
+    kernel:
+        Per-shard evaluation kernel: ``"python"`` (default, the big-int
+        bitset algebra) or ``"numpy"`` (the packed-bit kernel of
+        :mod:`repro.data.backends.vectorized`; requires numpy and
+        ``vocabulary.n <= 64``).  Applies in every execution mode,
+        including worker-side in the pool.
     executor:
         Optional :class:`concurrent.futures.Executor`; when given, the
         per-shard evaluations of one query run through ``executor.map``.
@@ -111,6 +206,12 @@ class ShardedBitmaskBackend:
         load is token-tagged, and a backend re-ships automatically when
         another tenant's load displaced its state).  The backend never
         closes an injected pool.
+    ingest:
+        Shard-shipping mode for pool execution: ``"raw"`` (default)
+        ships raw shard rows and abstracts worker-side — the parallel
+        ingest path — while ``"built"`` abstracts in the coordinator and
+        ships built payloads.  Only meaningful with ``processes``/
+        ``pool``; passing it in other modes raises ``ValueError``.
     auto_refresh:
         Rebuild all shards on relation-version mismatch before every
         evaluation (same contract as :class:`RelationIndex`).
@@ -123,13 +224,31 @@ class ShardedBitmaskBackend:
         relation: NestedRelation,
         vocabulary: Vocabulary,
         shard_size: int = DEFAULT_SHARD_SIZE,
+        kernel: str = "python",
         executor: "Executor | None" = None,
         processes: int | None = None,
         pool: "ShardWorkerPool | None" = None,
+        ingest: str | None = None,
         auto_refresh: bool = True,
     ) -> None:
         if shard_size < 1:
             raise ValueError(f"shard_size must be positive, got {shard_size}")
+        if kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; choices: {', '.join(KERNELS)}"
+            )
+        if kernel == "numpy":
+            # Validate eagerly: a missing numpy or an over-wide
+            # vocabulary must fail at construction, not mid-evaluation
+            # (possibly inside a worker).
+            from repro.data.backends.vectorized import MAX_PACKED_VARIABLES
+
+            if vocabulary.n > MAX_PACKED_VARIABLES:
+                raise ValueError(
+                    f"kernel='numpy' packs masks into uint64 and supports "
+                    f"at most n={MAX_PACKED_VARIABLES} propositions, "
+                    f"vocabulary has {vocabulary.n}"
+                )
         given = [
             name
             for name, value in (
@@ -147,6 +266,7 @@ class ShardedBitmaskBackend:
         self.relation = relation
         self.vocabulary = vocabulary
         self.shard_size = shard_size
+        self.kernel = kernel
         self.executor = executor
         self.processes = processes
         if processes is not None or pool is not None:
@@ -155,24 +275,60 @@ class ShardedBitmaskBackend:
             self._lease = PoolLease(pool=pool, processes=processes or 0)
         else:
             self._lease = None
+        if ingest is not None:
+            if ingest not in INGEST_MODES:
+                raise ValueError(
+                    f"unknown ingest mode {ingest!r}; "
+                    f"choices: {', '.join(INGEST_MODES)}"
+                )
+            if self._lease is None:
+                raise ValueError(
+                    "ingest= applies only to worker-pool modes "
+                    "(processes= or pool=)"
+                )
+        self.ingest = ingest if ingest is not None else (
+            "raw" if self._lease is not None else None
+        )
         self._shipped_token: int | None = None
         self._shipped_generation: int | None = None
         self.auto_refresh = auto_refresh
-        self._shards: list[_Shard] | None = None
+        self._built = False
+        self._shards: list[Shard] | None = None
+        self._spans: list[tuple[int, int]] = []
         self._built_version: int | None = None
 
     # ------------------------------------------------------------------
     # Construction / freshness
     # ------------------------------------------------------------------
+    @property
+    def _raw_ingest(self) -> bool:
+        """Does the build phase ship raw rows for worker-side abstraction?"""
+        return self._lease is not None and self.ingest == "raw"
+
     def _build(self) -> None:
         objects = self.relation.objects
         size = self.shard_size
-        self._shards = [
-            _Shard(offset, objects[offset : offset + size], self.vocabulary)
-            for offset in range(0, len(objects), size)
-        ]
         self._objects = objects
         self._positions = {o.key: i for i, o in enumerate(objects)}
+        self._spans = [
+            (offset, min(size, len(objects) - offset))
+            for offset in range(0, len(objects), size)
+        ]
+        if self._raw_ingest:
+            # Parallel ingest: abstraction happens worker-side when the
+            # shards ship (first pool evaluation); nothing to build here
+            # beyond the position map.
+            self._shards = None
+        else:
+            # Bulk abstraction: one distinct-row memo across all shards.
+            mask_sets = self.vocabulary.mask_sets(
+                obj.rows for obj in objects
+            )
+            self._shards = [
+                Shard(offset, mask_sets[offset : offset + size], self.kernel)
+                for offset, _count in self._spans
+            ]
+        self._built = True
         self._built_version = getattr(self.relation, "version", None)
         # Worker-side state (if any) now describes a retired build; the
         # next pool evaluation re-ships (the invalidation broadcast).
@@ -181,7 +337,7 @@ class ShardedBitmaskBackend:
     @property
     def is_stale(self) -> bool:
         return (
-            self._shards is None
+            not self._built
             or getattr(self.relation, "version", None) != self._built_version
         )
 
@@ -192,13 +348,13 @@ class ShardedBitmaskBackend:
         return False
 
     def _ensure_fresh(self) -> None:
-        if self._shards is None or (self.auto_refresh and self.is_stale):
+        if not self._built or (self.auto_refresh and self.is_stale):
             self._build()
 
     @property
     def shard_count(self) -> int:
         self._ensure_fresh()
-        return len(self._shards)
+        return len(self._spans)
 
     # ------------------------------------------------------------------
     # Worker-pool plumbing
@@ -219,12 +375,42 @@ class ShardedBitmaskBackend:
         return pool
 
     def _ship(self) -> int:
-        """Broadcast the built shard payloads to the pool workers."""
-        from repro.parallel import shard_payloads
+        """Broadcast this build's shard state to the pool workers —
+        raw rows (workers abstract) or built payloads, per ``ingest``."""
+        pool = self._worker_pool()
+        if self._raw_ingest:
+            # Rows cross the pipe projected onto the proposition-read
+            # attributes (value tuples, not dicts): a fraction of the
+            # pickle cost, and exactly what worker-side abstraction
+            # needs (Vocabulary.mask_sets_projected).  Each shard ships
+            # ONE flat projected row list plus per-object counts, so
+            # projection is a single C-level pass per shard instead of
+            # a python call per object.
+            from itertools import chain
 
-        self._shipped_token = self._worker_pool().load_shards(
-            shard_payloads(self._shards)
-        )
+            project = self.vocabulary.project_rows
+            payloads = []
+            for offset, count in self._spans:
+                objects = self._objects[offset : offset + count]
+                payloads.append(
+                    (
+                        offset,
+                        count,
+                        [len(obj.rows) for obj in objects],
+                        project(
+                            chain.from_iterable(obj.rows for obj in objects)
+                        ),
+                    )
+                )
+            self._shipped_token = pool.build_shards(
+                self.vocabulary, payloads, kernel=self.kernel
+            )
+        else:
+            from repro.parallel import shard_payloads
+
+            self._shipped_token = pool.load_shards(
+                shard_payloads(self._shards), kernel=self.kernel
+            )
         return self._shipped_token
 
     def _pool_evaluate(self, op: str, compiled: CompiledQuery) -> list:
@@ -289,29 +475,25 @@ class ShardedBitmaskBackend:
 
     def _shard_answers(self, compiled: CompiledQuery) -> list[int]:
         """Per-shard answer bitsets (shard-local positions), shard order."""
-        shards = self._shards
-        if self._lease is not None and shards:
+        if self._lease is not None:
+            if not self._spans:  # nothing to evaluate (and, in raw
+                return []        # ingest, nothing was built locally)
             return [bits for _offset, bits in self._pool_evaluate("bits", compiled)]
+        shards = self._shards
         if self.executor is not None and len(shards) > 1:
             return list(
-                self.executor.map(
-                    evaluate_inverted,
-                    repeat(compiled),
-                    [s.inverted for s in shards],
-                    [s.all_bits for s in shards],
-                )
+                self.executor.map(_shard_bits, repeat(compiled), shards)
             )
-        return [
-            evaluate_inverted(compiled, s.inverted, s.all_bits)
-            for s in shards
-        ]
+        return [shard.evaluate_bits(compiled) for shard in shards]
 
     def matching_bits(self, query: QhornQuery | CompiledQuery) -> int:
         self._ensure_fresh()
         compiled = self._compiled(query)
         answers = 0
-        for shard, bits in zip(self._shards, self._shard_answers(compiled)):
-            answers |= bits << shard.offset
+        for (offset, _count), bits in zip(
+            self._spans, self._shard_answers(compiled)
+        ):
+            answers |= bits << offset
         return answers
 
     def execute(self, query: QhornQuery | CompiledQuery) -> list[NestedObject]:
@@ -326,7 +508,7 @@ class ShardedBitmaskBackend:
         self._ensure_fresh()
         compiled = self._compiled(query)
         if objects is None:
-            if self._lease is not None and self._shards:
+            if self._lease is not None and self._spans:
                 # Full-relation labeling is the pool's best case: workers
                 # run the kernel AND the label extraction; only compact
                 # bool lists come back, reassembled in shard order.
@@ -337,12 +519,10 @@ class ShardedBitmaskBackend:
                     labels.extend(shard_labels)
                 return labels
             answers = self._shard_answers(compiled)
-            # Extract shard by shard so every >> stays shard-width.
+            # Extract shard by shard so every bitset stays shard-width.
             labels = []
-            for shard, bits in zip(self._shards, answers):
-                labels.extend(
-                    bool(bits >> i & 1) for i in range(shard.count)
-                )
+            for (_offset, count), bits in zip(self._spans, answers):
+                labels.extend(labels_of(bits, count))
             return labels
         answers = self._shard_answers(compiled)
         size = self.shard_size
@@ -359,9 +539,14 @@ class ShardedBitmaskBackend:
         return labels
 
     def describe(self) -> str:
-        if self._shards is None:
+        if not self._built:
             return "sharded: shards not built yet"
-        masks = sum(len(s.inverted) for s in self._shards)
+        if self._shards is not None:
+            masks = sum(len(s.inverted) for s in self._shards)
+            layout = f"{masks} inverted entries"
+        else:
+            layout = "raw ingest (abstraction runs worker-side)"
+        kernel = f", {self.kernel} kernel" if self.kernel != "python" else ""
         pool = self._lease.pool if self._lease is not None else None
         if pool is not None and not pool.closed:
             mode = f", {pool.processes}-process pool"
@@ -373,8 +558,8 @@ class ShardedBitmaskBackend:
             mode = ""
         return (
             f"sharded: {len(self._objects)} objects in "
-            f"{len(self._shards)} shard(s) of ≤{self.shard_size}, "
-            f"{masks} inverted entries" + mode
+            f"{len(self._spans)} shard(s) of ≤{self.shard_size}, "
+            f"{layout}" + kernel + mode
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

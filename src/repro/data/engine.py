@@ -13,8 +13,9 @@ abstracts rows on every call, and the *batch path*
 (:meth:`QueryEngine.execute_batch` / :meth:`QueryEngine.matches_many`),
 which dispatches to a pluggable
 :class:`~repro.data.backends.EvaluationBackend` (DESIGN.md §2c) —
-single bitmask index, sharded bitmask blocks, or SQL batch execution.
-Every backend must return identical answers on identical state.
+single bitmask index, sharded bitmask blocks, the packed numpy kernel,
+or SQL batch execution.  Every backend must return identical answers on
+identical state.
 """
 
 from __future__ import annotations
@@ -52,7 +53,8 @@ class QueryEngine:
 
     The batch evaluation methods dispatch to a pluggable
     :class:`~repro.data.backends.EvaluationBackend` (``backend=`` accepts
-    a registry name — ``"bitmask"``, ``"sharded"``, ``"sql"`` — or a
+    a registry name — ``"bitmask"``, ``"sharded"``, ``"numpy"``,
+    ``"sql"`` — or a
     constructed backend instance; backends build lazily on first batch
     call).  The per-object methods keep the seed reference semantics
     regardless of backend.  ``index=`` keeps the pre-seam shortcut of

@@ -33,7 +33,34 @@ from repro.core.query import CompiledQuery, QhornQuery
 from repro.data.propositions import Vocabulary
 from repro.data.relation import NestedObject, NestedRelation
 
-__all__ = ["RelationIndex", "evaluate_inverted"]
+__all__ = ["RelationIndex", "evaluate_inverted", "labels_of"]
+
+#: Byte value → its 8 bit labels (LSB first), so decoding an
+#: object-position bitset costs one table lookup per 8 positions.
+_BYTE_LABELS = tuple(
+    tuple(bool(value >> i & 1) for i in range(8)) for value in range(256)
+)
+
+
+def labels_of(bits: int, count: int) -> list[bool]:
+    """Decode an object-position bitset into ``count`` per-position labels.
+
+    The obvious ``bits >> i & 1`` loop re-shifts the full big integer per
+    position — ``O(count)`` per shift, ``O(count²)`` for a pass — which
+    dominated full-relation labeling at large relations.  ``to_bytes``
+    extracts every position in one linear pass instead; a 256-entry table
+    then expands each byte to its 8 labels.  Shared by every bitmask
+    evaluation path: :meth:`RelationIndex.matches_many`, the sharded
+    backend's serial extraction and the worker-side extraction in
+    :mod:`repro.parallel.worker`.
+    """
+    if count <= 0:
+        return []
+    out: list[bool] = []
+    for byte in bits.to_bytes((count + 7) // 8, "little"):
+        out.extend(_BYTE_LABELS[byte])
+    del out[count:]
+    return out
 
 
 def evaluate_inverted(
@@ -106,12 +133,10 @@ class RelationIndex:
     # ------------------------------------------------------------------
     def _build(self) -> None:
         objects = self.relation.objects
-        boolean_tuples = self.vocabulary.boolean_tuples
-        mask_sets: list[frozenset[int]] = []
+        # Bulk abstraction: one distinct-row memo across the whole build.
+        mask_sets = self.vocabulary.mask_sets(obj.rows for obj in objects)
         inverted: dict[int, int] = {}
-        for position, obj in enumerate(objects):
-            masks = frozenset(boolean_tuples(obj.rows))
-            mask_sets.append(masks)
+        for position, masks in enumerate(mask_sets):
             bit = 1 << position
             for m in masks:
                 inverted[m] = inverted.get(m, 0) | bit
@@ -193,7 +218,7 @@ class RelationIndex:
         """
         bits = self.matching_bits(query)
         if objects is None:
-            return [bool(bits >> i & 1) for i in range(len(self._objects))]
+            return labels_of(bits, len(self._objects))
         compiled = query.compile() if isinstance(query, QhornQuery) else query
         labels: list[bool] = []
         for obj in objects:

@@ -42,7 +42,7 @@ import multiprocessing
 import os
 from typing import Any, Iterable, Sequence
 
-from repro.parallel.worker import ShardPayload, worker_main
+from repro.parallel.worker import RawShardPayload, ShardPayload, worker_main
 
 __all__ = [
     "PoolLease",
@@ -254,9 +254,14 @@ class ShardWorkerPool:
     # ------------------------------------------------------------------
     # Shard evaluation
     # ------------------------------------------------------------------
-    def load_shards(self, payloads: Sequence[ShardPayload]) -> int:
+    def load_shards(
+        self, payloads: Sequence[ShardPayload], kernel: str = "python"
+    ) -> int:
         """Ship built shard payloads, striped round-robin across workers,
         and return the state token naming this load.
+
+        ``kernel`` selects the worker-side evaluation kernel for this
+        load (``"python"`` or ``"numpy"``, DESIGN.md §2g).
 
         This is the invalidation broadcast: a re-ship replaces every
         worker's shard state and retires the previous token, so requests
@@ -266,11 +271,55 @@ class ShardWorkerPool:
         self._check_open()
         token = next(self._tokens)
         shares = [
-            ("shards", token, list(payloads[index :: self.processes]))
+            ("shards", token, list(payloads[index :: self.processes]), kernel)
             for index in range(self.processes)
         ]
         self._broadcast(shares)
         return token
+
+    def build_shards(
+        self,
+        vocabulary: Any,
+        payloads: Sequence[RawShardPayload],
+        kernel: str = "python",
+    ) -> int:
+        """Ship **raw** shard rows plus the vocabulary and let the
+        workers run the abstraction themselves — the parallel-ingest
+        path.  Same striping, token and invalidation semantics as
+        :meth:`load_shards`; the only difference is where the build cost
+        lands (each worker abstracts its own slice concurrently instead
+        of the coordinator abstracting everything before shipping).
+        """
+        self._check_open()
+        token = next(self._tokens)
+        shares = [
+            (
+                "build_shards",
+                token,
+                vocabulary,
+                list(payloads[index :: self.processes]),
+                kernel,
+            )
+            for index in range(self.processes)
+        ]
+        self._broadcast(shares)
+        return token
+
+    def dump_shards(self, token: int) -> list[ShardPayload]:
+        """The built shard state in wire form, reassembled in shard
+        (offset) order — introspection for the build-equivalence tests,
+        which assert a raw worker-side build is bit-identical to a
+        coordinator build."""
+        self._check_open()
+        try:
+            replies = self._broadcast(
+                [("dump_shards", token)] * self.processes
+            )
+        except StaleShardStateError as exc:
+            raise StaleShardStateError(expected=token, held=exc.held) from None
+        merged = [payload for reply in replies for payload in reply]
+        merged.sort(key=lambda payload: payload[0])
+        return merged
 
     def _evaluate(self, op: str, token: int, compiled: Any) -> list:
         self._check_open()
@@ -366,7 +415,7 @@ class ShardWorkerPool:
 
 
 def shard_payloads(shards: Iterable[Any]) -> list[ShardPayload]:
-    """Extract the wire payloads from built ``_Shard`` objects."""
+    """Extract the wire payloads from built ``Shard`` objects."""
     return [
         (shard.offset, shard.count, shard.inverted, shard.all_bits)
         for shard in shards

@@ -5,10 +5,14 @@ pipe protocol (DESIGN.md §2d).  It holds two kinds of state *between*
 requests, which is the whole point of the pool — the expensive payloads
 cross the process boundary once, not per evaluation:
 
-* **shard state** — its assigned slice of a sharded backend's inverted
-  indexes, tagged with the pool-issued *state token* of the load that
-  shipped them; per evaluation only a compiled query arrives and only
-  bitsets (or extracted label lists) leave;
+* **shard state** — its assigned slice of a sharded backend's shards,
+  tagged with the pool-issued *state token* of the load that shipped
+  them.  Shards arrive either **built** (``"shards"``: the coordinator
+  abstracted the rows and ships inverted indexes) or **raw**
+  (``"build_shards"``: raw shard rows plus the vocabulary; the worker
+  runs the abstraction itself — the parallel-ingest path).  Either way,
+  per evaluation only a compiled query arrives and only bitsets (or
+  extracted label lists) leave;
 * **oracle state** — membership oracles keyed by token, each an
   independent copy (or locally constructed from a shipped factory), so
   :class:`~repro.oracle.parallel.ParallelOracle` can fan question chunks
@@ -31,16 +35,37 @@ from __future__ import annotations
 
 import os
 import traceback
-from typing import Any
+from typing import Any, Iterator, Mapping
 
-from repro.data.index import evaluate_inverted
+from repro.data.backends.sharded import Shard
 
 __all__ = ["worker_main"]
 
-#: Shard payload shape: ``(offset, count, inverted, all_bits)`` — exactly
-#: the fields of the sharded backend's ``_Shard``, already built, so the
-#: worker never re-abstracts rows.
+#: Built-shard payload shape: ``(offset, count, inverted, all_bits)`` —
+#: exactly the wire fields of the sharded backend's ``Shard``, already
+#: built, so the worker never re-abstracts rows.
 ShardPayload = tuple[int, int, dict[int, int], int]
+
+#: Raw-shard payload shape: ``(offset, count, row_counts, flat_rows)`` —
+#: the shard's rows projected onto the proposition-read attributes
+#: (``Vocabulary.project_rows``: value tuples, with full-dict fallback
+#: rows) as ONE flat list, plus the per-object row counts that let the
+#: worker regroup them.  Flat because the coordinator projects a whole
+#: shard in a single C-level pass — per-object lists would cost a
+#: python call per object, which at relation scale is most of the
+#: coordinator-side ingest time.  The worker abstracts the regrouped
+#: rows through the shipped vocabulary (parallel ingest).
+RawShardPayload = tuple[int, int, list[int], list[tuple | Mapping[str, Any]]]
+
+
+def _regroup(
+    row_counts: list[int], flat_rows: list
+) -> "Iterator[list]":
+    """Slice a flat projected-row list back into per-object row lists."""
+    start = 0
+    for n in row_counts:
+        yield flat_rows[start : start + n]
+        start += n
 
 
 class _WorkerState:
@@ -49,47 +74,59 @@ class _WorkerState:
     __slots__ = ("shards", "state_token", "oracles")
 
     def __init__(self) -> None:
-        self.shards: list[ShardPayload] = []
+        self.shards: list[Shard] = []
         self.state_token: int | None = None
         self.oracles: dict[int, Any] = {}
-
-
-def _labels_of(bits: int, count: int) -> list[bool]:
-    """Shard-local label extraction (same loop as the serial backend)."""
-    return [bool(bits >> i & 1) for i in range(count)]
 
 
 def _handle(message: tuple, state: _WorkerState) -> tuple:
     """Compute the reply for one request against the persistent state."""
     op = message[0]
     if op == "shards":
-        state.state_token = message[1]
-        state.shards = message[2]
+        token, payloads, kernel = message[1], message[2], message[3]
+        state.shards = [Shard.from_payload(p, kernel) for p in payloads]
+        state.state_token = token
         return ("ok", len(state.shards))
-    if op in ("eval_bits", "eval_labels"):
+    if op == "build_shards":
+        # Parallel ingest: abstraction (the expensive part of a build)
+        # runs here, on this worker's slice, not in the coordinator.
+        token, vocabulary, payloads, kernel = (
+            message[1], message[2], message[3], message[4],
+        )
+        state.shards = [
+            Shard(
+                offset,
+                vocabulary.mask_sets_projected(
+                    _regroup(row_counts, flat_rows)
+                ),
+                kernel,
+            )
+            for offset, _count, row_counts, flat_rows in payloads
+        ]
+        state.state_token = token
+        return ("ok", len(state.shards))
+    if op in ("eval_bits", "eval_labels", "dump_shards"):
         if message[1] != state.state_token:
             return ("stale", state.state_token)
+        if op == "dump_shards":
+            # Introspection for the build-equivalence tests: the built
+            # state in wire form, whichever ingest path produced it.
+            return (
+                "ok",
+                [
+                    (s.offset, s.count, s.inverted, s.all_bits)
+                    for s in state.shards
+                ],
+            )
         compiled = message[2]
         if op == "eval_bits":
             return (
                 "ok",
-                [
-                    (offset, evaluate_inverted(compiled, inverted, all_bits))
-                    for offset, _count, inverted, all_bits in state.shards
-                ],
+                [(s.offset, s.evaluate_bits(compiled)) for s in state.shards],
             )
         return (
             "ok",
-            [
-                (
-                    offset,
-                    _labels_of(
-                        evaluate_inverted(compiled, inverted, all_bits),
-                        count,
-                    ),
-                )
-                for offset, count, inverted, all_bits in state.shards
-            ],
+            [(s.offset, s.evaluate_labels(compiled)) for s in state.shards],
         )
     if op == "oracle":
         token, payload, is_factory = message[1], message[2], message[3]

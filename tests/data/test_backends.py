@@ -66,7 +66,7 @@ def _reference(engine, query):
 
 class TestRegistry:
     def test_all_backends_registered(self):
-        assert set(BACKENDS) == {"bitmask", "sharded", "sql"}
+        assert set(BACKENDS) == {"bitmask", "sharded", "numpy", "sql"}
 
     def test_unknown_backend_rejected(self, store, vocab):
         with pytest.raises(ValueError, match="unknown evaluation backend"):
@@ -239,6 +239,82 @@ class TestShardedLayout:
                     single.matches_many(query)
                 )
             assert "parallel" in backend.describe()
+
+
+class TestNumpyKernel:
+    """Construction-time validation and kernel plumbing of the packed
+    numpy paths (answer identity lives in the property suite)."""
+
+    def test_unknown_kernel_rejected(self, store, vocab):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            ShardedBitmaskBackend(store, vocab, kernel="fortran")
+
+    def test_sharded_numpy_kernel_is_unobservable(self, store, vocab):
+        single = QueryEngine(store, vocab)
+        backend = ShardedBitmaskBackend(
+            store, vocab, shard_size=7, kernel="numpy"
+        )
+        for query in _queries():
+            assert backend.matching_bits(query) == (
+                single.index.matching_bits(query)
+            )
+            assert backend.matches_many(query) == single.matches_many(query)
+        assert "numpy kernel" in backend.describe()
+
+    def test_numpy_kernel_through_executor(self, store, vocab):
+        single = QueryEngine(store, vocab)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            backend = ShardedBitmaskBackend(
+                store, vocab, shard_size=7, kernel="numpy", executor=pool
+            )
+            for query in _queries():
+                assert backend.matches_many(query) == (
+                    single.matches_many(query)
+                )
+
+    def test_over_wide_vocabulary_rejected(self):
+        from repro.data import BoolIs, NestedRelation, Vocabulary
+        from repro.data.schema import Attribute, FlatSchema, NestedSchema
+
+        flat = FlatSchema(
+            name="wide",
+            attributes=tuple(
+                Attribute.boolean(f"b{i + 1}") for i in range(65)
+            ),
+        )
+        wide = Vocabulary(flat, [BoolIs(f"b{i + 1}") for i in range(65)])
+        relation = NestedRelation(NestedSchema(name="wobjs", embedded=flat))
+        with pytest.raises(ValueError, match="at most n=64"):
+            create_backend("numpy", relation, wide)
+        with pytest.raises(ValueError, match="at most n=64"):
+            ShardedBitmaskBackend(relation, wide, kernel="numpy")
+
+    def test_ingest_requires_pool_mode(self, store, vocab):
+        with pytest.raises(ValueError, match="worker-pool modes"):
+            ShardedBitmaskBackend(store, vocab, ingest="raw")
+        with pytest.raises(ValueError, match="unknown ingest mode"):
+            ShardedBitmaskBackend(
+                store, vocab, processes=2, ingest="streaming"
+            )
+
+    def test_reduce_path_matches_zeta_path(self, store, vocab, monkeypatch):
+        """With the zeta-table budget forced to zero the kernel falls
+        back to the masked-reduce path; answers must not change."""
+        from repro.data.backends import vectorized
+
+        zeta = create_backend("numpy", store, vocab)
+        zeta.refresh(force=True)
+        assert zeta._packed._zeta_bits >= 0
+
+        monkeypatch.setattr(vectorized, "ZETA_TABLE_BUDGET", 0)
+        reduce_only = create_backend("numpy", store, vocab)
+        reduce_only.refresh(force=True)
+        assert reduce_only._packed._zeta_bits == -1
+
+        for query in _queries():
+            assert reduce_only.matching_bits(query) == (
+                zeta.matching_bits(query)
+            )
 
 
 class TestSqlBackendLifecycle:

@@ -1,19 +1,22 @@
-"""Differential properties: the three evaluation backends are answer-identical.
+"""Differential properties: the evaluation backends are answer-identical.
 
 The :class:`~repro.data.backends.EvaluationBackend` contract (DESIGN.md
-§2c) demands that ``bitmask``, ``sharded`` and ``sql`` return exactly the
-answers of the per-object reference path on identical state, for every
-qhorn query.  The SQL leg is the strongest form of the check: it
-evaluates propositions over *real rows* in SQLite while the bitmask legs
-evaluate vocabulary abstractions in-process, so agreement exercises the
-whole ``proposition_to_sql`` / ``Proposition.holds`` correspondence too.
+§2c) demands that ``bitmask``, ``sharded``, ``numpy`` and ``sql`` return
+exactly the answers of the per-object reference path on identical state,
+for every qhorn query.  The SQL leg is the strongest form of the check:
+it evaluates propositions over *real rows* in SQLite while the bitmask
+legs evaluate vocabulary abstractions in-process, so agreement exercises
+the whole ``proposition_to_sql`` / ``Proposition.holds`` correspondence
+too.  The ``numpy`` leg pins the packed-bit kernel (DESIGN.md §2g) —
+including its word-boundary packing, exercised explicitly at 63/64/65
+objects below — against the same reference.
 
 Two layers, mirroring ``test_prop_engine.py``:
 
 * hypothesis properties over random relations/queries (sharding forced to
   multiple shards so block boundaries are genuinely crossed);
 * a seeded exhaustive sweep of ≥ 1000 random (query, relation) cases
-  comparing all three backends and the SQL-backed batch oracle, so the
+  comparing all backends and the SQL-backed batch oracle, so the
   agreement count demanded by the acceptance criteria is explicit.
 """
 
@@ -33,16 +36,21 @@ from tests.properties.test_prop_engine import (
     relation_from_masks,
 )
 
-BACKEND_NAMES = ("bitmask", "sharded", "sql")
+BACKEND_NAMES = ("bitmask", "sharded", "numpy", "sql")
 
 
 def _backends(relation, vocab, rng):
     """One instance of every backend; sharded gets a tiny shard size so
-    even 2-object relations span multiple shards."""
+    even 2-object relations span multiple shards, and runs once per
+    kernel so the packed per-shard kernel is differentially pinned too."""
     shard_size = rng.randint(1, 3)
     return [
         create_backend("bitmask", relation, vocab),
         create_backend("sharded", relation, vocab, shard_size=shard_size),
+        create_backend(
+            "sharded", relation, vocab, shard_size=shard_size, kernel="numpy"
+        ),
+        create_backend("numpy", relation, vocab),
         create_backend("sql", relation, vocab),
     ]
 
@@ -123,6 +131,67 @@ def test_differential_thousand_cases_across_backends():
             )
         cases += 1
     assert cases >= 1000
+
+
+# ----------------------------------------------------------------------
+# Packed-bit boundaries and degenerate shapes (the numpy kernel's edges)
+# ----------------------------------------------------------------------
+
+
+def test_backends_agree_at_word_packing_boundaries():
+    """63/64/65 objects straddle the packed kernel's uint64 word edge:
+    the trailing partial word, an exactly-full word, and a second word —
+    where a wrong trailing mask would leak phantom objects through NOT."""
+    rng = random.Random(6364)
+    n = 4
+    vocab = bool_vocabulary(n)
+    for count in (63, 64, 65, 127, 128, 129):
+        mask_sets = [
+            frozenset(
+                rng.randrange(1 << n) for _ in range(rng.randrange(0, 4))
+            )
+            for _ in range(count)
+        ]
+        relation = relation_from_masks(n, mask_sets)
+        engine = QueryEngine(relation, vocab)
+        for _ in range(12):
+            query = random_query(rng, n)
+            expected_bits = engine.backend.matching_bits(query)
+            expected_labels = [engine.matches(query, o) for o in relation]
+            assert len(expected_labels) == count
+            for backend in _backends(relation, vocab, rng):
+                assert backend.matching_bits(query) == expected_bits, (
+                    backend.name, count, query.shorthand(),
+                )
+                assert backend.matches_many(query) == expected_labels, (
+                    backend.name, count, query.shorthand(),
+                )
+
+
+def test_backends_agree_on_empty_and_all_false_relations():
+    """Degenerate shapes: no objects at all, objects with no rows, and
+    relations where every row abstracts to the all-false tuple (mask 0
+    everywhere — every broadcast body-compare selects it, no head ever
+    witnesses)."""
+    rng = random.Random(65)
+    n = 3
+    vocab = bool_vocabulary(n)
+    shapes = {
+        "empty relation": [],
+        "row-less objects": [frozenset(), frozenset()],
+        "all-false rows": [frozenset({0}) for _ in range(70)],
+        "all-false plus row-less": [frozenset({0}), frozenset()] * 5,
+    }
+    for label, mask_sets in shapes.items():
+        relation = relation_from_masks(n, mask_sets)
+        engine = QueryEngine(relation, vocab)
+        for _ in range(20):
+            query = random_query(rng, n)
+            expected = [engine.matches(query, o) for o in relation]
+            for backend in _backends(relation, vocab, rng):
+                assert backend.matches_many(query) == expected, (
+                    backend.name, label, query.shorthand(),
+                )
 
 
 def test_sql_oracle_thousand_question_agreement():
