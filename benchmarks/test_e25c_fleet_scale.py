@@ -1,0 +1,145 @@
+"""E25c — fleet scaling: sessions/sec and round latency vs worker count.
+
+The §2h measurement: the same simulated-user workload (E25's load shape,
+plus worker-hopping reconnects) is replayed against a ``ServerFleet`` of
+1, 2 and 4 worker processes sharing one ``SO_REUSEPORT`` host:port and
+one file-backed ``SessionStore``.  The load generator itself fans out
+over client processes (:func:`run_load_multiprocess`) so a single client
+event loop never becomes the bottleneck being measured.
+
+Hard gates:
+
+* **Equivalence at every width** — every dialogue finishes at every
+  worker count, and every wire transcript (questions *and* answers, in
+  order — including the rounds answered across worker hops) is
+  bit-identical to the synchronous in-process ``LearningSession.run()``
+  path for the same intent.
+* **Scaling** (only on >= 4-core runners; informational below) —
+  sessions/sec at 4 workers is >= 2x the 1-worker figure.  One
+  ``RoundServer`` is one event loop is one core; the fleet exists to
+  break exactly that ceiling, and the store handoff is cheap enough not
+  to eat the win.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis import render_table
+from repro.interactive import LearningSession
+from repro.learning import Qhorn1Learner
+from repro.oracle import QueryOracle
+from repro.server import ServerFleet
+from repro.server.loadgen import random_intents, run_load_multiprocess
+
+WORKER_COUNTS = [1, 2, 4]
+N_USERS = 96
+N_VARS = 5
+SEED = 2550
+HOP_EVERY = 3
+CLIENT_PROCESSES = 4
+#: The >=2x gate (and the recorded trend speedup) only means anything
+#: when the host can actually run 4 workers on 4 cores.
+SCALING_FLOOR = 2.0
+GATE_CORES = 4
+
+
+def _sync_reference(intent):
+    session = LearningSession(
+        lambda oracle: Qhorn1Learner(oracle), oracle=QueryOracle(intent)
+    )
+    return session.run()
+
+
+def _assert_bit_identical(user, reference):
+    questions = [q for qs, _ in user.transcript for q in qs]
+    answers = [a for _, ans in user.transcript for a in ans]
+    assert questions == [e.question for e in reference.transcript]
+    assert answers == reference.transcript.responses()
+    assert user.learned == reference.query.shorthand()
+
+
+def test_e25c_fleet_scale(report, trend, tmp_path):
+    intents = random_intents(N_USERS, N_VARS, seed=SEED)
+    # One synchronous reference per intent, shared across every width —
+    # the transcripts must not depend on the worker count at all.  Keyed
+    # by the intent that actually answered the rounds (the client
+    # processes' pickle round-trip can reorder shorthand rendering, so
+    # the user's own intent object is the authoritative one).
+    references: dict[str, object] = {}
+
+    results = {}
+    for workers in WORKER_COUNTS:
+        store_path = tmp_path / f"fleet_{workers}w.sqlite"
+        with ServerFleet(store_path, workers=workers) as fleet:
+            load = run_load_multiprocess(
+                fleet.host,
+                fleet.port,
+                intents,
+                processes=CLIENT_PROCESSES,
+                seed=SEED,
+                hop_every=HOP_EVERY,
+            )
+            stats = fleet.stop()
+        assert all(user.finished for user in load.users)
+        assert stats["sessions_finished"] == N_USERS
+        assert stats["claims_rejected"] == 0
+        for user in load.users:
+            key = user.intent.shorthand()
+            if key not in references:
+                references[key] = _sync_reference(user.intent)
+            _assert_bit_identical(user, references[key])
+        if workers > 1:
+            assert len(load.workers_seen) == workers
+            assert load.total_hops > 0
+        results[workers] = load
+
+    base = results[WORKER_COUNTS[0]].sessions_per_s
+    cores = os.cpu_count() or 1
+    gated = cores >= GATE_CORES
+    rows = []
+    for workers in WORKER_COUNTS:
+        load = results[workers]
+        summary = load.to_dict()
+        rows.append(
+            [
+                workers,
+                f"{load.sessions_per_s:.1f}",
+                summary["p50_round_ms"],
+                summary["p99_round_ms"],
+                summary["hops"],
+                f"{load.sessions_per_s / base:.2f}x" if base else "n/a",
+            ]
+        )
+    speedup_4w = (
+        results[4].sessions_per_s / base if base else 0.0
+    )
+    if gated:
+        assert speedup_4w >= SCALING_FLOOR, (
+            f"4-worker fleet reached only {speedup_4w:.2f}x the 1-worker "
+            f"throughput on a {cores}-core host (floor {SCALING_FLOOR}x)"
+        )
+
+    table = render_table(
+        ["workers", "sessions/s", "p50 ms", "p99 ms", "hops", "speedup"],
+        rows,
+        title=(
+            f"E25c — fleet scaling: {N_USERS} simulated users (n={N_VARS} "
+            f"qhorn-1 intents, hop every {HOP_EVERY} rounds, "
+            f"{CLIENT_PROCESSES} client processes) vs worker count on a "
+            f"{cores}-core host; transcripts bit-identical to the "
+            "synchronous path at every width"
+            + ("" if gated else " [scaling informational: < 4 cores]")
+        ),
+    )
+    report("e25c_fleet_scale", table)
+    metrics = {
+        "sessions_per_s_1w": results[1].sessions_per_s,
+        "sessions_per_s_4w": results[4].sessions_per_s,
+        "p99_round_ms_4w": results[4].to_dict()["p99_round_ms"],
+    }
+    if gated:
+        # Below 4 cores the "speedup" is noise, not a measurement; the
+        # baseline band entry is required:false for exactly this case.
+        metrics["speedup"] = speedup_4w
+    trend("e25c_fleet_scale", **metrics)

@@ -86,6 +86,19 @@ multi-session server (repro serve, DESIGN.md §2f):
   counters ride along in each {"type":"finished"} summary.  The server
   prints one {"type":"listening","port":P} line on startup (--port 0
   picks an ephemeral port) and exits cleanly on SIGINT/SIGTERM.
+
+multi-process fleet (repro serve --workers N, DESIGN.md §2h):
+  N worker processes each run their own RoundServer event loop on the
+  same host:port via SO_REUSEPORT (platforms without it get a shard
+  router keyed on session id), with the file-backed --store as the only
+  shared state (WAL mode, per-worker connections).  A reconnect landing
+  on a different worker rebuilds the parked session from the store; a
+  session still live on another running worker is a recoverable error
+  (ownership claim tokens), and sessions owned by a killed worker are
+  stolen and resumed.  N=0 uses every core.  SIGTERM fans out to every
+  worker and joins them; the shutdown line merges all worker counters.
+  `repro serve --stats --store FILE` prints the merged counters of the
+  last fleet on that store and exits.
 """
 
 
@@ -211,6 +224,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         metavar="N",
         help="per-connection reply queue bound (backpressure)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="serve from N worker processes on one host:port "
+        "(SO_REUSEPORT; 0 = one per core; requires a file-backed "
+        "--store — see the fleet guide at the bottom of `repro --help`)",
+    )
+    serve.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the merged per-worker counters recorded in --store "
+        "by the last fleet shutdown, then exit",
     )
     return parser
 
@@ -429,12 +457,27 @@ def _cmd_demo(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    """Multi-session asyncio round server (DESIGN.md §2f)."""
+    """Multi-session round server (DESIGN.md §2f), single-process by
+    default; ``--workers N`` serves from an N-process fleet (§2h)."""
     import asyncio
     import json
     import signal
 
     from repro.server import RoundServer, SessionStore
+
+    if args.stats:
+        if args.store == ":memory:":
+            print(
+                "repro serve --stats: needs --store FILE (an in-memory "
+                "store records nothing to report)",
+                file=sys.stderr,
+            )
+            return 2
+        with SessionStore(args.store) as store:
+            print(json.dumps(store.fleet_stats()))
+        return 0
+    if args.workers != 1:
+        return _cmd_serve_fleet(args)
 
     async def serve() -> int:
         store = SessionStore(args.store)
@@ -472,6 +515,51 @@ def _cmd_serve(args) -> int:
         return 0
 
     return asyncio.run(serve())
+
+
+def _cmd_serve_fleet(args) -> int:
+    """The §2h multi-process serving tier: `repro serve --workers N`.
+
+    The parent is a supervisor, not a server: it forks the workers,
+    prints the listening handshake, and waits for SIGINT/SIGTERM — which
+    it fans out to every worker before joining them and printing the
+    merged fleet counters.
+    """
+    import signal
+    import threading
+
+    from repro.server.multiproc import ServerFleet, print_listening
+
+    if args.store == ":memory:":
+        print(
+            "repro serve: --workers needs a file-backed --store (the "
+            "store is the only state the workers share)",
+            file=sys.stderr,
+        )
+        return 2
+    fleet = ServerFleet(
+        args.store,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        max_outbox=args.max_outbox,
+        idle_timeout=args.idle_timeout,
+    )
+    fleet.start()
+    print_listening(fleet)
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    try:
+        # Wake periodically so a fleet whose workers all died (crash,
+        # external kill) does not leave a zombie supervisor behind.
+        while not stop.wait(0.2):
+            if not fleet.alive():
+                break
+    finally:
+        stats = fleet.stop()
+        print(f"repro serve: shut down clean {stats}", file=sys.stderr)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -42,6 +42,17 @@ drained by a writer task, so a slow reader suspends its own reader loop
 are evicted from memory on a timer — eviction is safe *because* the
 round-boundary snapshot is already durable; a later message under the
 same session id transparently resumes from the store.
+
+Since §2h one ``RoundServer`` is also one *fleet worker*: N of them can
+listen on the same host:port (``SO_REUSEPORT``) over one shared
+file-backed store.  Every server message carries ``"worker"`` — the
+server's worker id — so clients (and the load generator) can observe
+which worker served them.  While a session is live in memory, the worker
+*owns* its store row under a claim token; parking (quit, idle eviction,
+clean shutdown) releases the claim, and a store-rebuild in
+:meth:`RoundServer._require_session` must claim first — a session live
+on another running worker is a recoverable ``{"type": "error"}``, one
+that died with its worker is stolen and resumed.
 """
 
 from __future__ import annotations
@@ -63,6 +74,7 @@ from repro.server.store import (
     FINISHED,
     SessionStore,
     StoredSession,
+    owner_token,
 )
 
 __all__ = ["LEARNERS", "SessionMeter", "RoundServer"]
@@ -129,6 +141,11 @@ class RoundServer:
         Seconds of inactivity after which a live session is evicted from
         memory (its snapshot stays parked in the store).  ``None``
         disables the background sweep; :meth:`evict_idle` still works.
+    worker_id:
+        This server's name in a fleet (stamped on every wire message and
+        on persisted worker stats).  Defaults to a fresh short id.  The
+        session-ownership claim token derives from it plus the pid, so a
+        server must be constructed in the process that runs it.
     """
 
     def __init__(
@@ -137,11 +154,14 @@ class RoundServer:
         learners: Mapping[str, Callable[..., Any]] = LEARNERS,
         max_outbox: int = 64,
         idle_timeout: float | None = None,
+        worker_id: str | None = None,
     ) -> None:
         self.store = store
         self.learners = dict(learners)
         self.max_outbox = max_outbox
         self.idle_timeout = idle_timeout
+        self.worker_id = worker_id or uuid.uuid4().hex[:8]
+        self._claim_token = owner_token(self.worker_id)
         self._sessions: dict[str, _LiveSession] = {}
         self._server: asyncio.AbstractServer | None = None
         self._evictor: asyncio.Task | None = None
@@ -152,19 +172,26 @@ class RoundServer:
         self.sessions_finished = 0
         self.evictions = 0
         self.wire_errors = 0
+        self.claims_rejected = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(
-        self, host: str = "127.0.0.1", port: int = 0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        reuse_port: bool = False,
     ) -> asyncio.AbstractServer:
         """Bind and serve; ``port=0`` picks an ephemeral port (see
-        :meth:`port`).  Returns the underlying asyncio server."""
+        :meth:`port`).  With ``reuse_port`` the socket binds with
+        ``SO_REUSEPORT`` so N fleet workers can share one host:port and
+        let the kernel balance connections.  Returns the underlying
+        asyncio server."""
         if self._server is not None:
             raise RuntimeError("server already started")
         self._server = await asyncio.start_server(
-            self._handle_connection, host, port
+            self._handle_connection, host, port, reuse_port=reuse_port
         )
         if self.idle_timeout is not None:
             self._evictor = asyncio.ensure_future(self._evict_loop())
@@ -178,7 +205,12 @@ class RoundServer:
 
     async def close(self) -> None:
         """Stop accepting, drop connections, keep every session parked
-        in the store (that is the durability story, not a data loss)."""
+        in the store (that is the durability story, not a data loss).
+
+        Clean shutdown is the ownership handoff: every live session's
+        claim is released so any other fleet worker may rebuild it, and
+        this worker's counters are persisted for fleet-wide aggregation.
+        """
         if self._evictor is not None:
             self._evictor.cancel()
             try:
@@ -194,7 +226,10 @@ class RoundServer:
             task.cancel()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
+        for session_id in self._sessions:
+            self.store.release(session_id, self._claim_token)
         self._sessions.clear()
+        self.store.save_worker_stats(self.worker_id, self.stats())
 
     def stats(self) -> dict[str, int]:
         return {
@@ -204,6 +239,7 @@ class RoundServer:
             "sessions_finished": self.sessions_finished,
             "evictions": self.evictions,
             "wire_errors": self.wire_errors,
+            "claims_rejected": self.claims_rejected,
         }
 
     # ------------------------------------------------------------------
@@ -213,13 +249,15 @@ class RoundServer:
         """Drop live sessions idle for ``max_idle`` seconds or more.
 
         Safe at any time: the round-boundary snapshot in the store is
-        the authoritative state, so eviction only frees memory.  Returns
-        the number of sessions evicted."""
+        the authoritative state, so eviction only frees memory — and
+        releases the ownership claim, so any fleet worker may pick the
+        session back up.  Returns the number of sessions evicted."""
         now = _now()
         evicted = 0
         for session_id, live in list(self._sessions.items()):
             if now - live.last_used >= max_idle:
                 del self._sessions[session_id]
+                self.store.release(session_id, self._claim_token)
                 evicted += 1
         self.evictions += evicted
         return evicted
@@ -376,8 +414,11 @@ class RoundServer:
         if session_id is None:
             raise ProtocolError('"quit" needs a "session" id')
         # Quit parks rather than destroys: the snapshot stays in the
-        # store, so the same id can reconnect later.
-        self._sessions.pop(session_id, None)
+        # store, so the same id can reconnect later — on *any* fleet
+        # worker, which is why parking releases the ownership claim
+        # before the "closed" reply reaches the client.
+        if self._sessions.pop(session_id, None) is not None:
+            self.store.release(session_id, self._claim_token)
         return [{"type": "closed", "session": session_id}]
 
     # ------------------------------------------------------------------
@@ -400,8 +441,20 @@ class RoundServer:
             raise ProtocolError(
                 f"session {session_id!r} already finished"
             )
+        # Ownership handoff (§2h): rebuilding from the store claims the
+        # row first.  A parked session is released and claims cleanly; a
+        # session still live on another *running* worker is rejected
+        # (the client must quit there first, or wait for idle eviction);
+        # one whose worker died is stolen — that is the crash story.
+        if not self.store.claim(session_id, self._claim_token):
+            self.claims_rejected += 1
+            raise ProtocolError(
+                f"session {session_id!r} is live on another worker "
+                "(park it there first, or wait for idle eviction)"
+            )
         learner_cls = self.learners.get(record.learner)
         if learner_cls is None:
+            self.store.release(session_id, self._claim_token)
             raise ProtocolError(
                 f"session {session_id!r} needs unknown learner "
                 f"{record.learner!r}"
@@ -409,7 +462,11 @@ class RoundServer:
         session = LearningSession(
             lambda oracle: learner_cls(oracle), n=record.n
         )
-        session.resume(record.snapshot)
+        try:
+            session.resume(record.snapshot)
+        except Exception:
+            self.store.release(session_id, self._claim_token)
+            raise
         live = _LiveSession(
             session_id,
             record.learner,
@@ -428,7 +485,11 @@ class RoundServer:
         live.last_used = _now()
 
     def _persist(self, live: _LiveSession, status: str) -> None:
-        """Round-boundary durability: park the replay log write-through."""
+        """Round-boundary durability: park the replay log write-through.
+
+        Active rows carry this worker's claim token (the session is live
+        here); finished rows carry none — there is nothing left to own.
+        """
         self.store.save(
             StoredSession(
                 session_id=live.session_id,
@@ -438,6 +499,7 @@ class RoundServer:
                 rounds=live.meter.rounds,
                 questions=live.meter.questions,
                 snapshot=live.session.snapshot(),
+                owner=self._claim_token if status == ACTIVE else None,
             )
         )
 
@@ -454,6 +516,7 @@ class RoundServer:
             del self._sessions[live.session_id]
             summary = finished_to_dict(live.session, live.meter.rounds)
             summary["session"] = live.session_id
+            summary["worker"] = self.worker_id
             summary["metering"] = live.meter.to_dict()
             return [summary]
         if fresh_round:
@@ -462,4 +525,5 @@ class RoundServer:
             self._persist(live, ACTIVE)
         message = round_to_dict(event, live.meter.rounds - 1)
         message["session"] = live.session_id
+        message["worker"] = self.worker_id
         return [message]

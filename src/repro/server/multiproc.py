@@ -1,0 +1,541 @@
+"""Multi-process serving tier: an acceptor fleet over one store (§2h).
+
+One :class:`~repro.server.core.RoundServer` is one event loop is one
+core.  A :class:`ServerFleet` forks N worker processes, each running its
+own ``RoundServer`` on the *same* host:port via ``SO_REUSEPORT`` — the
+kernel balances incoming connections across the listening sockets — with
+the file-backed :class:`~repro.server.store.SessionStore` as the only
+shared state.  A reconnect that lands on a different worker rebuilds the
+parked session from the store exactly the way a post-restart reconnect
+does (``_require_session``), guarded by the store's claim tokens: a
+session live on another running worker is rejected with a recoverable
+error, one owned by a killed worker is stolen and resumed.
+
+On platforms without ``SO_REUSEPORT`` (and for explicit testing) the
+fleet falls back to a :class:`ShardRouter`: each worker listens on its
+own ephemeral port, and a tiny asyncio splice proxy on the public port
+routes each incoming connection by the first message's session id
+(stable hashing, so a reconnect reaches the worker that most recently
+served that session) or round-robin for ``open``.  Either way the store
+handoff — not the routing — is what makes hops correct.
+
+Lifecycle: ``start()`` blocks until every worker reports listening;
+``stop()`` fans SIGTERM out, joins every worker, and returns the
+fleet-wide stats merged from the per-worker counters each server
+persisted on clean shutdown.  ``kill_worker()`` SIGKILLs one worker —
+the crash the ownership-steal path exists for.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import socket
+import sys
+import threading
+import zlib
+from pathlib import Path
+
+from repro.server.store import SessionStore
+
+__all__ = ["ServerFleet", "ShardRouter", "default_workers"]
+
+#: Seconds start() waits for every worker's "listening" handshake.
+START_TIMEOUT = 30.0
+
+
+def default_workers() -> int:
+    """Fleet size for ``--workers 0``: one worker per core."""
+    return os.cpu_count() or 1
+
+
+def reuse_port_supported() -> bool:
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+#
+# Module-level so the fleet works under the ``spawn`` start method too
+# (the fork-preferring context mirrors repro.parallel.pool).  Everything
+# a worker needs crosses as plain picklable values; the worker opens its
+# *own* SessionStore connection — a sqlite handle must never cross fork,
+# which is the whole point of per-worker connections (§2h).
+
+
+def _worker_main(
+    index: int,
+    store_path: str,
+    host: str,
+    port: int,
+    reuse_port: bool,
+    max_outbox: int,
+    idle_timeout: float | None,
+    ready,
+) -> None:
+    import asyncio
+
+    try:
+        asyncio.run(
+            _worker_serve(
+                index,
+                store_path,
+                host,
+                port,
+                reuse_port,
+                max_outbox,
+                idle_timeout,
+                ready,
+            )
+        )
+    except KeyboardInterrupt:  # pragma: no cover - signal race at exit
+        pass
+
+
+async def _worker_serve(
+    index: int,
+    store_path: str,
+    host: str,
+    port: int,
+    reuse_port: bool,
+    max_outbox: int,
+    idle_timeout: float | None,
+    ready,
+) -> None:
+    import asyncio
+
+    from repro.server.core import RoundServer
+
+    store = SessionStore(store_path)
+    server = RoundServer(
+        store,
+        max_outbox=max_outbox,
+        idle_timeout=idle_timeout,
+        worker_id=f"w{index}",
+    )
+    try:
+        await server.start(host, port, reuse_port=reuse_port)
+    except Exception as error:
+        ready.put(("error", index, f"{type(error).__name__}: {error}"))
+        store.close()
+        return
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-unix
+            signal.signal(signum, lambda *_: stop.set())
+    ready.put(("listening", index, server.port))
+    try:
+        await stop.wait()
+    finally:
+        await server.close()  # releases claims, persists worker stats
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# Shard-router fallback
+# ----------------------------------------------------------------------
+
+
+class ShardRouter:
+    """Asyncio splice proxy routing connections to fleet workers.
+
+    The routing key is the first message of each connection: a message
+    naming a ``"session"`` hashes that id onto a stable backend (so the
+    reconnects of one dialogue keep landing on one worker while it is
+    live there), anything else — an ``open`` — goes round-robin.  After
+    the first line the proxy splices raw bytes both ways.  A backend
+    that refuses the connection (e.g. a killed worker) falls through to
+    the next alive one: correctness never depends on the routing choice,
+    only on the store's claim handoff.
+    """
+
+    def __init__(self, backends: list[tuple[str, int]]) -> None:
+        if not backends:
+            raise ValueError("ShardRouter needs at least one backend")
+        self.backends = list(backends)
+        self._next = 0
+        self._server = None
+        self.connections_routed = 0
+
+    def pick(self, first_message: object) -> int:
+        """Backend index for a connection opening with this message."""
+        if isinstance(first_message, dict):
+            session_id = first_message.get("session")
+            if isinstance(session_id, str):
+                return zlib.crc32(session_id.encode()) % len(self.backends)
+        choice = self._next % len(self.backends)
+        self._next += 1
+        return choice
+
+    async def start(self, host: str, port: int = 0) -> None:
+        import asyncio
+
+        self._server = await asyncio.start_server(self._handle, host, port)
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("router not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _connect_backend(self, preferred: int):
+        """The preferred backend, or the next one that accepts."""
+        import asyncio
+
+        count = len(self.backends)
+        last_error: Exception | None = None
+        for offset in range(count):
+            backend_host, backend_port = self.backends[
+                (preferred + offset) % count
+            ]
+            try:
+                return await asyncio.open_connection(
+                    backend_host, backend_port
+                )
+            except OSError as error:
+                last_error = error
+        raise last_error or OSError("no backend accepted the connection")
+
+    async def _handle(self, reader, writer) -> None:
+        import asyncio
+
+        upstream_writer = None
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            try:
+                message = json.loads(first)
+            except json.JSONDecodeError:
+                message = None  # still routed; the worker answers the error
+            upstream_reader, upstream_writer = await self._connect_backend(
+                self.pick(message)
+            )
+            self.connections_routed += 1
+            upstream_writer.write(first)
+            await upstream_writer.drain()
+            await asyncio.gather(
+                _splice(reader, upstream_writer),
+                _splice(upstream_reader, writer),
+            )
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            for w in (writer, upstream_writer):
+                if w is None:
+                    continue
+                w.close()
+                try:
+                    await w.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+
+async def _splice(reader, writer) -> None:
+    """Pump bytes one way until EOF; half-close so quits propagate."""
+    try:
+        while True:
+            chunk = await reader.read(65536)
+            if not chunk:
+                break
+            writer.write(chunk)
+            await writer.drain()
+    except (ConnectionError, OSError):
+        pass
+    finally:
+        try:
+            if writer.can_write_eof():
+                writer.write_eof()
+        except (ConnectionError, OSError, RuntimeError):
+            pass
+
+
+class _RouterThread(threading.Thread):
+    """The router's event loop, parked on a daemon thread so the fleet
+    keeps a synchronous management face."""
+
+    def __init__(self, backends, host, port):
+        super().__init__(name="shard-router", daemon=True)
+        self.router = ShardRouter(backends)
+        # NB: attribute names must not collide with threading.Thread
+        # internals (_started, _stop are Thread's own machinery).
+        self._router_host = host
+        self._router_port = port
+        self._router_up = threading.Event()
+        self._router_loop = None
+        self._stop_serving = None
+        self.error: Exception | None = None
+        self.port: int | None = None
+
+    def run(self) -> None:
+        import asyncio
+
+        async def main():
+            self._router_loop = asyncio.get_running_loop()
+            self._stop_serving = asyncio.Event()
+            try:
+                await self.router.start(
+                    self._router_host, self._router_port
+                )
+                self.port = self.router.port
+            except Exception as error:
+                self.error = error
+                self._router_up.set()
+                return
+            self._router_up.set()
+            await self._stop_serving.wait()
+            await self.router.close()
+
+        asyncio.run(main())
+
+    def wait_started(self, timeout: float) -> None:
+        if not self._router_up.wait(timeout):
+            raise TimeoutError("shard router did not start")
+        if self.error is not None:
+            raise self.error
+
+    def stop(self) -> None:
+        if self._router_loop is not None and self._stop_serving is not None:
+            self._router_loop.call_soon_threadsafe(self._stop_serving.set)
+        self.join(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# The fleet
+# ----------------------------------------------------------------------
+
+
+class ServerFleet:
+    """N ``RoundServer`` worker processes behind one host:port.
+
+    Parameters
+    ----------
+    store:
+        Path to the shared sqlite session store.  Must be file-backed:
+        the store is the fleet's only shared state, so ``":memory:"``
+        (process-local by definition) is rejected.
+    workers:
+        Process count; ``0`` means one per core.
+    reuse_port:
+        ``True`` forces ``SO_REUSEPORT``, ``False`` forces the
+        :class:`ShardRouter` fallback, ``None`` picks by platform.
+    """
+
+    def __init__(
+        self,
+        store: str | Path,
+        workers: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_outbox: int = 64,
+        idle_timeout: float | None = None,
+        reuse_port: bool | None = None,
+    ) -> None:
+        self.store_path = str(store)
+        if self.store_path == ":memory:":
+            raise ValueError(
+                "a ServerFleet needs a file-backed store — the store is "
+                "the only state workers share"
+            )
+        self.workers = workers if workers > 0 else default_workers()
+        self.host = host
+        self.requested_port = port
+        self.max_outbox = max_outbox
+        self.idle_timeout = idle_timeout
+        self.reuse_port = (
+            reuse_port_supported() if reuse_port is None else reuse_port
+        )
+        self._processes: list[multiprocessing.process.BaseProcess] = []
+        self._router: _RouterThread | None = None
+        self._port: int | None = None
+        context_name = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        self._context = multiprocessing.get_context(context_name)
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._port is None:
+            raise RuntimeError("fleet not started")
+        return self._port
+
+    def alive(self) -> list[int]:
+        """Indexes of workers still running."""
+        return [
+            index
+            for index, process in enumerate(self._processes)
+            if process.is_alive()
+        ]
+
+    # ------------------------------------------------------------------
+    def start(self, timeout: float = START_TIMEOUT) -> None:
+        """Fork the workers and block until every one is listening."""
+        if self._processes:
+            raise RuntimeError("fleet already started")
+        # A fresh fleet means fresh fleet-wide counters (old rows would
+        # double-count into the merged stats line).
+        with SessionStore(self.store_path) as store:
+            store.clear_worker_stats()
+        placeholder: socket.socket | None = None
+        worker_port = self.requested_port
+        if self.reuse_port:
+            # Resolve port 0 once, and hold the placeholder bound (but
+            # never listening — only listeners receive connections)
+            # until every worker has bound the same port.
+            placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            placeholder.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+            )
+            placeholder.bind((self.host, self.requested_port))
+            worker_port = placeholder.getsockname()[1]
+        ready = self._context.Queue()
+        try:
+            for index in range(self.workers):
+                process = self._context.Process(
+                    target=_worker_main,
+                    args=(
+                        index,
+                        self.store_path,
+                        self.host,
+                        worker_port if self.reuse_port else 0,
+                        self.reuse_port,
+                        self.max_outbox,
+                        self.idle_timeout,
+                        ready,
+                    ),
+                    daemon=True,
+                    name=f"repro-serve-w{index}",
+                )
+                process.start()
+                self._processes.append(process)
+            worker_ports = self._await_ready(ready, timeout)
+        except Exception:
+            self._terminate_all()
+            raise
+        finally:
+            if placeholder is not None:
+                placeholder.close()
+        if self.reuse_port:
+            self._port = worker_port
+        else:
+            router = _RouterThread(
+                [(self.host, p) for _, p in sorted(worker_ports.items())],
+                self.host,
+                self.requested_port,
+            )
+            router.start()
+            try:
+                router.wait_started(timeout)
+            except Exception:
+                self._terminate_all()
+                raise
+            self._router = router
+            self._port = router.port
+
+    def _await_ready(self, ready, timeout: float) -> dict[int, int]:
+        import queue as queue_module
+
+        ports: dict[int, int] = {}
+        while len(ports) < self.workers:
+            try:
+                kind, index, payload = ready.get(timeout=timeout)
+            except queue_module.Empty:
+                raise TimeoutError(
+                    f"fleet start timed out: {len(ports)} of "
+                    f"{self.workers} workers listening"
+                ) from None
+            if kind == "error":
+                raise RuntimeError(
+                    f"fleet worker {index} failed to start: {payload}"
+                )
+            ports[index] = payload
+        return ports
+
+    # ------------------------------------------------------------------
+    def kill_worker(self, index: int) -> None:
+        """SIGKILL one worker — the crash-recovery story under test.
+
+        Its live sessions stay claimed by a dead pid in the store, which
+        is exactly what :meth:`SessionStore.claim` steals from; its
+        in-flight connections drop; with ``SO_REUSEPORT`` new
+        connections flow to the surviving listeners, and the router
+        fallback fails over on connect.
+        """
+        self._processes[index].kill()
+        self._processes[index].join(timeout=10)
+
+    def terminate(self) -> None:
+        """Fan SIGTERM out to every live worker (clean shutdown)."""
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+
+    def stop(self, timeout: float = 30.0) -> dict[str, int]:
+        """SIGTERM fan-out, join every worker, merge the fleet stats."""
+        self.terminate()
+        for process in self._processes:
+            process.join(timeout=timeout)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.kill()
+                process.join(timeout=5)
+        if self._router is not None:
+            self._router.stop()
+            self._router = None
+        self._processes = []
+        self._port = None
+        with SessionStore(self.store_path) as store:
+            return store.fleet_stats()
+
+    def _terminate_all(self) -> None:
+        for process in self._processes:
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5)
+        self._processes = []
+
+    def __enter__(self) -> "ServerFleet":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "reuseport" if self.reuse_port else "router"
+        return (
+            f"ServerFleet(workers={self.workers}, mode={mode}, "
+            f"store={self.store_path!r})"
+        )
+
+
+def print_listening(fleet: ServerFleet, stream=None) -> None:
+    """The one-line JSON handshake ``repro serve`` prints on startup."""
+    print(
+        json.dumps(
+            {
+                "type": "listening",
+                "host": fleet.host,
+                "port": fleet.port,
+                "store": fleet.store_path,
+                "workers": fleet.workers,
+                "mode": "reuseport" if fleet.reuse_port else "router",
+            }
+        ),
+        file=stream if stream is not None else sys.stdout,
+        flush=True,
+    )

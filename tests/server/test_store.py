@@ -1,7 +1,9 @@
-"""Unit tests for the sqlite snapshot-backed session store (§2f)."""
+"""Unit tests for the sqlite snapshot-backed session store (§2f/§2h)."""
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import random
 
 import pytest
@@ -13,6 +15,7 @@ from repro.learning import Qhorn1Learner
 from repro.oracle import QueryOracle
 from repro.protocol import answer_round
 from repro.server import SessionStore, StoredSession
+from repro.server.store import owner_alive, owner_token
 
 
 def q(n, *masks):
@@ -117,3 +120,235 @@ class TestSessionStore:
             store.connection.commit()
             with pytest.raises(Exception, match="version"):
                 store.load("s1")
+
+
+class TestMultiProcessReadiness:
+    """The §2h prerequisites: WAL, busy_timeout, commit discipline, and
+    the status index — what makes concurrent worker connections safe."""
+
+    def test_file_store_opens_in_wal_mode(self, tmp_path):
+        with SessionStore(tmp_path / "s.sqlite") as store:
+            (mode,) = store.connection.execute(
+                "PRAGMA journal_mode"
+            ).fetchone()
+            assert mode == "wal"
+            (sync,) = store.connection.execute(
+                "PRAGMA synchronous"
+            ).fetchone()
+            assert sync == 1  # NORMAL
+            (busy,) = store.connection.execute(
+                "PRAGMA busy_timeout"
+            ).fetchone()
+            assert busy == 30_000
+
+    def test_connection_is_autocommit(self):
+        # isolation_level=None: every statement commits on its own, so a
+        # second process never waits behind a dangling open transaction.
+        with SessionStore() as store:
+            assert store.connection.isolation_level is None
+            assert not store.connection.in_transaction
+            store.save(record())
+            assert not store.connection.in_transaction
+
+    def test_status_index_exists(self):
+        with SessionStore() as store:
+            names = {
+                name
+                for (name,) in store.connection.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'index'"
+                )
+            }
+            assert "sessions_status" in names
+            (plan,) = store.connection.execute(
+                "EXPLAIN QUERY PLAN "
+                "SELECT session_id FROM sessions WHERE status = 'active'"
+            ).fetchall()
+            assert "sessions_status" in plan[-1]
+
+    def test_two_handles_interleave_on_one_file(self, tmp_path):
+        """Two store connections on one file — the fleet's actual shape —
+        interleaving save/load/delete and observing each other."""
+        path = tmp_path / "s.sqlite"
+        with SessionStore(path) as a, SessionStore(path) as b:
+            a.save(record("one"))
+            assert b.load("one") == record("one")
+            b.save(record("two", rounds=5))
+            assert a.session_ids() == ["one", "two"]
+            a.save(record("two", rounds=7))  # upsert over b's write
+            assert b.load("two").rounds == 7
+            b.delete("one")
+            assert "one" not in a
+            a.save(record("one", status="finished"))
+            assert b.session_ids(status="finished") == ["one"]
+
+    def test_pre_claim_store_files_migrate(self, tmp_path):
+        """A §2f-era store file (no owner column) opens and claims."""
+        import sqlite3
+
+        path = tmp_path / "old.sqlite"
+        connection = sqlite3.connect(path)
+        connection.execute(
+            "CREATE TABLE sessions ("
+            "session_id TEXT PRIMARY KEY, learner TEXT NOT NULL, "
+            "n INTEGER NOT NULL, status TEXT NOT NULL, "
+            "rounds INTEGER NOT NULL, questions INTEGER NOT NULL, "
+            "snapshot TEXT NOT NULL)"
+        )
+        old = record()
+        connection.execute(
+            "INSERT INTO sessions VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                old.session_id,
+                old.learner,
+                old.n,
+                old.status,
+                old.rounds,
+                old.questions,
+                __import__("json").dumps(old.snapshot.to_dict()),
+            ),
+        )
+        connection.commit()
+        connection.close()
+        with SessionStore(path) as store:
+            loaded = store.load("s1")
+            assert loaded == old and loaded.owner is None
+            assert store.claim("s1", "token")
+
+    def test_reopen_rebinds_a_file_store(self, tmp_path):
+        with SessionStore(tmp_path / "s.sqlite") as store:
+            store.save(record())
+            before = store.connection
+            store.reopen()
+            assert store.connection is not before
+            assert store.load("s1") == record()
+
+    def test_closed_store_rejects_use(self):
+        store = SessionStore()
+        store.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            store.load("s1")
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="fork start method unavailable",
+    )
+    def test_inherited_store_rebinds_across_fork(self, tmp_path):
+        """A store object carried across fork() must not reuse the
+        parent's sqlite connection: the pid guard rebinds in the child,
+        and the child's writes land in the shared file."""
+        path = tmp_path / "s.sqlite"
+        store = SessionStore(path)
+        store.save(record("parent"))
+
+        def child(inherited):
+            inherited.save(record("child", rounds=3))
+            inherited.close()
+
+        context = multiprocessing.get_context("fork")
+        process = context.Process(target=child, args=(store,))
+        process.start()
+        process.join(timeout=30)
+        assert process.exitcode == 0
+        assert store.load("child").rounds == 3
+        assert store.load("parent") is not None
+        store.close()
+
+
+class TestClaimTokens:
+    """The §2h ownership handoff: CAS claims, releases, dead-pid steal."""
+
+    def test_claim_unowned_then_idempotent_reclaim(self):
+        with SessionStore() as store:
+            store.save(record())
+            assert store.claim("s1", "100.a")
+            assert store.owner_of("s1") == "100.a"
+            assert store.claim("s1", "100.a")  # idempotent
+
+    def test_concurrent_claim_against_live_owner_rejected(self):
+        mine = owner_token("a")  # this test process: definitely alive
+        with SessionStore() as store:
+            store.save(record())
+            assert store.claim("s1", mine)
+            assert not store.claim("s1", owner_token("b"))
+            assert store.owner_of("s1") == mine
+
+    def test_release_then_claim_hands_off(self):
+        mine = owner_token("a")
+        theirs = owner_token("b")
+        with SessionStore() as store:
+            store.save(record())
+            assert store.claim("s1", mine)
+            assert store.release("s1", mine)
+            assert store.owner_of("s1") is None
+            assert store.claim("s1", theirs)
+
+    def test_release_requires_ownership(self):
+        with SessionStore() as store:
+            store.save(record())
+            assert store.claim("s1", owner_token("a"))
+            assert not store.release("s1", owner_token("b"))
+            assert store.owner_of("s1") == owner_token("a")
+
+    def test_claim_unknown_session_fails(self):
+        with SessionStore() as store:
+            assert not store.claim("nope", "1.x")
+
+    def test_dead_owner_is_stolen(self):
+        """A SIGKILLed worker can never release; its pid goes dead and
+        the next claimant steals the session — the crash-resume path."""
+
+        def exit_now():
+            os._exit(0)
+
+        process = multiprocessing.Process(target=exit_now)
+        process.start()
+        process.join(timeout=30)
+        dead_token = f"{process.pid}.gone"
+        assert not owner_alive(dead_token)
+        with SessionStore() as store:
+            store.save(record(owner=dead_token))
+            assert store.owner_of("s1") == dead_token
+            assert store.claim("s1", owner_token("survivor"))
+            assert store.owner_of("s1") == owner_token("survivor")
+
+    def test_owner_alive_probes(self):
+        assert owner_alive(owner_token("me"))
+        assert not owner_alive("0.zero")
+        assert not owner_alive("-5.negative")
+        assert owner_alive("garbage-token")  # unparseable: never steal
+
+    def test_save_persists_owner_and_equality_ignores_it(self):
+        with SessionStore() as store:
+            store.save(record(owner="7.w"))
+            loaded = store.load("s1")
+            assert loaded.owner == "7.w"
+            assert loaded == record()  # owner excluded from comparison
+
+
+class TestWorkerStats:
+    """Fleet-wide metering aggregation through the store (§2h)."""
+
+    def test_merge_counters_across_workers(self):
+        with SessionStore() as store:
+            store.save_worker_stats(
+                "w0", {"sessions_finished": 3, "wire_errors": 1}
+            )
+            store.save_worker_stats(
+                "w1", {"sessions_finished": 5, "evictions": 2}
+            )
+            assert store.worker_stats()["w1"]["evictions"] == 2
+            merged = store.fleet_stats()
+            assert merged == {
+                "workers": 2,
+                "sessions_finished": 8,
+                "wire_errors": 1,
+                "evictions": 2,
+            }
+
+    def test_upsert_and_clear(self):
+        with SessionStore() as store:
+            store.save_worker_stats("w0", {"sessions_finished": 1})
+            store.save_worker_stats("w0", {"sessions_finished": 9})
+            assert store.fleet_stats()["sessions_finished"] == 9
+            store.clear_worker_stats()
+            assert store.fleet_stats() == {"workers": 0}

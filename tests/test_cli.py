@@ -310,3 +310,30 @@ class TestServeCommand:
             assert "shut down clean" in proc.stderr.read()
         finally:
             proc.kill()
+
+
+class TestServeFleetFlags:
+    """The §2h CLI surface that doesn't need a live fleet subprocess
+    (the fleet itself is covered by tests/server/test_multiproc.py and
+    the CI serve smoke)."""
+
+    def test_workers_require_a_file_store(self, capsys):
+        assert main(["serve", "--port", "0", "--workers", "2"]) == 2
+        assert "file-backed --store" in capsys.readouterr().err
+
+    def test_stats_require_a_file_store(self, capsys):
+        assert main(["serve", "--stats"]) == 2
+        assert "--store FILE" in capsys.readouterr().err
+
+    def test_stats_print_the_merged_fleet_counters(self, tmp_path, capsys):
+        import json
+
+        from repro.server import SessionStore
+
+        store_path = tmp_path / "sessions.sqlite"
+        with SessionStore(store_path) as store:
+            store.save_worker_stats("w0", {"sessions_finished": 3})
+            store.save_worker_stats("w1", {"sessions_finished": 4})
+        assert main(["serve", "--store", str(store_path), "--stats"]) == 0
+        merged = json.loads(capsys.readouterr().out)
+        assert merged == {"workers": 2, "sessions_finished": 7}
