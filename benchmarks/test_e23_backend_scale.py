@@ -1,5 +1,5 @@
 """E23 — evaluation backends at scale: single bitmask index vs sharded
-blocks vs SQL batch execution.
+blocks vs SQL batch execution vs the pooled file-backed dbapi backend.
 
 Not a paper experiment, but the measurement the `EvaluationBackend` seam
 (DESIGN.md §2c) exists to answer: which backend serves an oracle-style
@@ -16,9 +16,12 @@ linear everywhere now, so only the build accumulation separates the
 layouts and the sharded edge narrowed from the pre-linear-extraction
 2.8-3.3x to a noisy 1.2-1.9x band whose low edge touches parity.  The
 sharded backend bounds every bitset to ``shard_size`` bits, making the
-build linear too; SQL runs the workload in SQLite round trips.  Answers
-are asserted identical across all three on every tier (the differential
-contract).
+build linear too; SQL runs the workload in SQLite round trips; the
+``dbapi`` row (DESIGN.md §2i) runs the same round trips on a
+*file-backed* SQLite URI through the bounded connection pool —
+informational (trend entry ``e23_dbapi``), since disk and pool overhead
+are machine-dependent.  Answers are asserted identical across all four
+on every tier (the differential contract).
 
 Acceptance gate: on the largest tier (≥ 10× the seed benchmark size)
 the sharded backend's end-to-end throughput (build + labeling) must
@@ -45,6 +48,7 @@ BACKENDS = (
     ("bitmask", {}),
     ("sharded", {}),  # DEFAULT_SHARD_SIZE blocks
     ("sql", {}),
+    ("dbapi", {}),  # pooled + file-backed; uri= filled in per run
 )
 
 
@@ -74,7 +78,13 @@ def _measure(backend, workload):
 
 
 def test_e23_backend_scaling(
-    report, trend, benchmark, storefront_vocab, store_factory, engine_workload
+    report,
+    trend,
+    benchmark,
+    storefront_vocab,
+    store_factory,
+    engine_workload,
+    tmp_path,
 ):
     rows = []
     sharded_backend = None
@@ -83,6 +93,13 @@ def test_e23_backend_scaling(
         timings = {}
         reference_labels = None
         for name, options in BACKENDS:
+            if name == "dbapi":
+                # The pooled external-database row (DESIGN.md §2i) runs
+                # against a file-backed SQLite URI, not shared memory —
+                # the deployment-shaped configuration.
+                options = dict(
+                    options, uri=f"file:{tmp_path}/e23-{size}.sqlite"
+                )
             backend = create_backend(
                 name, store, storefront_vocab, **options
             )
@@ -94,6 +111,8 @@ def test_e23_backend_scaling(
             timings[name] = (build_ms, label_ms)
             if name == "sharded":
                 sharded_backend = backend
+            elif name == "dbapi":
+                backend.close()
 
         single_total = sum(timings["bitmask"])
         sharded_total = sum(timings["sharded"])
@@ -105,6 +124,15 @@ def test_e23_backend_scaling(
                 "e23_backend_scale_sharded",
                 median_s=sharded_total / 1000,
                 speedup=sharded_speedup,
+            )
+            # Informational: the pooled file-backed dbapi row, relative
+            # to the single index (required:false in the baseline band —
+            # disk + pool overhead is machine-dependent, no gate).
+            dbapi_total = sum(timings["dbapi"])
+            trend(
+                "e23_dbapi",
+                median_s=dbapi_total / 1000,
+                speedup=single_total / dbapi_total,
             )
             assert size >= 10 * SEED_STORE_BOXES
             assert sharded_speedup >= SHARDED_SPEEDUP_FLOOR, (
@@ -123,6 +151,8 @@ def test_e23_backend_scaling(
                 f"{timings['sharded'][1]:.1f}",
                 f"{timings['sql'][0]:.1f}",
                 f"{timings['sql'][1]:.1f}",
+                f"{timings['dbapi'][0]:.1f}",
+                f"{timings['dbapi'][1]:.1f}",
                 f"{sharded_speedup:.1f}x",
             ]
         )
@@ -136,6 +166,8 @@ def test_e23_backend_scaling(
             "sharded label ms",
             "sql build ms",
             "sql label ms",
+            "dbapi build ms",
+            "dbapi label ms",
             "sharded speedup",
         ],
         rows,

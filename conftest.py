@@ -8,22 +8,30 @@ it, the committed tables are refreshed in place.  The option must be
 registered here (the rootdir conftest) so it exists regardless of which
 test directory is selected on the command line.
 
-Also registers ``--backend``: tests parametrized over the evaluation
-backends (they request the ``backend_name`` fixture) normally run once
-per registered backend; ``--backend sql`` restricts them to a single
-backend, which is how CI exercises the SQL path on a fast tier-1 subset.
+Also registers ``--backend`` and ``--backend-opt``: tests parametrized
+over the evaluation backends (they request the ``backend_name`` fixture)
+normally run once per registered backend; ``--backend sql`` restricts
+them to a single backend, which is how CI exercises the SQL, numpy and
+dbapi paths on a fast tier-1 subset.  ``--backend-opt KEY=VALUE``
+(repeatable) rides along through the ``backend_options`` fixture — the
+same uniform options pipeline the CLI subcommands use (DESIGN.md §2i) —
+so e.g. ``--backend dbapi --backend-opt uri=file:/tmp/t/s.sqlite`` pins
+the whole backend-parametrized suite to a file-backed store.
 """
 
 import pathlib
 import sys
 
+import pytest
+
 sys.path.insert(0, str(pathlib.Path(__file__).parent / "src"))
 
-from repro.data.backends import BACKENDS  # noqa: E402
+from repro.data.backends import REGISTRY, parse_backend_opts  # noqa: E402
 
-# Derived from the registry so a newly registered backend is picked up by
-# every backend-parametrized test without touching this file.
-ALL_BACKENDS = tuple(sorted(BACKENDS))
+# Derived from the plugin registry (DESIGN.md §2i) so a newly registered
+# backend — including entry-point / REPRO_BACKENDS plugins — is picked up
+# by every backend-parametrized test without touching this file.
+ALL_BACKENDS = tuple(REGISTRY.names())
 
 
 def pytest_addoption(parser):
@@ -41,6 +49,14 @@ def pytest_addoption(parser):
         help="restrict backend-parametrized tests to one evaluation "
         "backend (default: run them against every registered backend)",
     )
+    parser.addoption(
+        "--backend-opt",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="backend constructor option for backend-parametrized tests "
+        "(repeatable, typed coercion; the CLI --backend-opt pipeline)",
+    )
 
 
 def pytest_generate_tests(metafunc):
@@ -48,3 +64,9 @@ def pytest_generate_tests(metafunc):
         choice = metafunc.config.getoption("--backend")
         names = (choice,) if choice else ALL_BACKENDS
         metafunc.parametrize("backend_name", names)
+
+
+@pytest.fixture(scope="session")
+def backend_options(request):
+    """Parsed ``--backend-opt`` pairs (empty dict when none given)."""
+    return parse_backend_opts(request.config.getoption("--backend-opt"))

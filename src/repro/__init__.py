@@ -29,6 +29,19 @@ from repro.core.normalize import (
 from repro.core.parser import parse_query
 from repro.core.query import QhornQuery
 from repro.core.tuples import Question
+from repro.data import (
+    REGISTRY,
+    BackendCapabilities,
+    BackendLoadError,
+    BackendRegistry,
+    DbApiBackend,
+    PooledConnectionSource,
+    QueryEngine,
+    SqlDialect,
+    create_backend,
+    get_dialect,
+    parse_backend_opts,
+)
 from repro.learning import (
     Qhorn1Learner,
     Qhorn1Result,
@@ -57,8 +70,19 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AsyncDriver",
+    "BackendCapabilities",
+    "BackendLoadError",
+    "BackendRegistry",
     "CanonicalForm",
     "CountingOracle",
+    "DbApiBackend",
+    "PooledConnectionSource",
+    "QueryEngine",
+    "REGISTRY",
+    "SqlDialect",
+    "create_backend",
+    "get_dialect",
+    "parse_backend_opts",
     "ExistentialConjunction",
     "MembershipOracle",
     "NoisyOracle",

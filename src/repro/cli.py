@@ -53,7 +53,36 @@ evaluation backends (--backend):
   sql       queries compile to SQL once and run on SQLite; pick when a
             real database should answer — batches are one round trip, and
             learn/verify answer membership questions through the database
+  dbapi     the SQL path generalized to any DB-API driver (DESIGN.md §2i):
+            queries render through a SQL dialect (placeholder style,
+            identifier quoting, type mapping) and run through a bounded
+            connection pool with health checks and retry-on-stale; the
+            built-in connector is SQLite over a URI, so
+            --backend-opt uri=file:/path/db.sqlite evaluates on a
+            file-backed store today and a client/server database plugs
+            in as a third-party backend tomorrow
 All backends return identical answers on identical state (DESIGN.md §2c).
+Subcommand choices are derived from each backend's registered capability
+flags: learn/verify list the oracle-capable backends, demo lists all.
+
+backend options (--backend-opt KEY=VALUE, repeatable):
+  one uniform options pipeline for every subcommand: each occurrence is
+  a key=value pair forwarded to the backend (or its oracle) constructor
+  with typed coercion (true/false → bool, digits → int/float,
+  none → None).  Examples:
+    --backend sharded --backend-opt shard_size=4096
+    --backend dbapi --backend-opt uri=file:/tmp/store.sqlite \
+                    --backend-opt pool_size=2
+  The same pairs drive QueryEngine(backend_options=...) in code and the
+  pytest --backend/--backend-opt fixtures in the test-suite.
+
+third-party backends (DESIGN.md §2i):
+  backends register by name on repro.data.backends.REGISTRY — packaged
+  plugins via the 'repro.backends' entry-point group (loaded lazily on
+  first use), ad-hoc plugins via REPRO_BACKENDS=pkg.mod:Class (or
+  name=pkg.mod:Class, comma-separated) — and then appear in --backend
+  choices and the backend-parametrized test-suite without editing repro.
+  See examples/custom_backend.py for a complete out-of-tree backend.
 
 process parallelism (--parallel N, DESIGN.md §2d):
   learn/verify   membership-question batches fan out over N persistent
@@ -112,15 +141,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    from repro.data.backends import BACKENDS
+    from repro.data.backends import REGISTRY
 
-    def add_backend_flag(p, choices=tuple(sorted(BACKENDS))) -> None:
+    def add_backend_flag(p, oracle_only: bool = False) -> None:
+        # Choices come from the registry's capability flags, not name
+        # literals: learn/verify need a backend that can answer
+        # membership questions (supports_oracle), demo evaluates a
+        # relation and takes every registered backend — including
+        # entry-point / REPRO_BACKENDS plugins.  default=None so
+        # handlers can tell an explicit --backend from the default
+        # (the --parallel conflict check).
+        choices = (
+            tuple(REGISTRY.names_with(supports_oracle=True))
+            if oracle_only
+            else tuple(REGISTRY.names())
+        )
         p.add_argument(
             "--backend",
             choices=choices,
-            default="bitmask",
-            help="evaluation backend (see the guide at the bottom of "
-            "`repro --help`)",
+            default=None,
+            help="evaluation backend (default: bitmask; see the guide at "
+            "the bottom of `repro --help`)",
+        )
+        p.add_argument(
+            "--backend-opt",
+            action="append",
+            default=None,
+            metavar="KEY=VALUE",
+            help="backend constructor option, repeatable, typed coercion "
+            "(see the guide at the bottom of `repro --help`)",
         )
 
     def add_parallel_flag(p) -> None:
@@ -162,9 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --serve-stdio: resume a parked session from a snapshot "
         "JSON file written by an earlier {\"type\": \"snapshot\"} exchange",
     )
-    # The relation-layout backends are identical for oracle answering, so
-    # learn/verify expose the two distinct oracle evaluators.
-    add_backend_flag(learn, choices=("bitmask", "sql"))
+    add_backend_flag(learn, oracle_only=True)
     add_parallel_flag(learn)
 
     verify = sub.add_parser(
@@ -173,7 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("given")
     verify.add_argument("intended")
     verify.add_argument("--n", type=int, default=None)
-    add_backend_flag(verify, choices=("bitmask", "sql"))
+    add_backend_flag(verify, oracle_only=True)
     add_parallel_flag(verify)
 
     revise = sub.add_parser(
@@ -243,28 +290,55 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _target_oracle(target, backend: str, parallel: int | None = None):
+def _backend_opts(args, command: str) -> dict | None:
+    """Parse the repeatable ``--backend-opt`` pairs; None + message on error."""
+    from repro.data.backends import parse_backend_opts
+
+    try:
+        return parse_backend_opts(getattr(args, "backend_opt", None))
+    except ValueError as error:
+        print(f"repro {command}: {error}", file=sys.stderr)
+        return None
+
+
+def _target_oracle(
+    target, backend: str, parallel: int | None = None, options: dict | None = None
+):
     """The ground-truth oracle for ``target`` under a backend choice.
 
+    SQL-capable backends (``sql``, ``dbapi``) answer through
+    :class:`SqlQueryOracle`'s one-round-trip ``ask_many`` — ``dbapi``
+    with ``--backend-opt uri=file:...`` runs it on a file-backed store.
     With ``parallel`` set, the evaluator is wrapped in a
-    :class:`ParallelOracle` (the SQL evaluator ships as a factory so
-    every worker opens a private SQLite connection).  Returns
+    :class:`ParallelOracle`; SQL evaluators ship as a factory so every
+    worker opens a *private* scratch database (a shared file URI across
+    processes would race, so ``uri`` stays coordinator-only).  Returns
     ``(oracle, closer)`` where ``closer`` releases the worker pool —
     ``None`` when nothing needs closing.
     """
+    from repro.data.backends import REGISTRY
+
+    options = dict(options or {})
+    sql_capable = REGISTRY.capabilities(backend).supports_sql
+    if not sql_capable and options:
+        raise ValueError(
+            f"backend {backend!r} answers in process and takes no "
+            f"--backend-opt (got: {', '.join(sorted(options))})"
+        )
     if parallel is not None:
         import functools
 
-        if backend == "sql":
+        if sql_capable:
+            options.pop("uri", None)
             oracle = ParallelOracle(
-                factory=functools.partial(SqlQueryOracle, target),
+                factory=functools.partial(SqlQueryOracle, target, **options),
                 processes=parallel,
             )
         else:
             oracle = ParallelOracle(QueryOracle(target), processes=parallel)
         return oracle, oracle
-    if backend == "sql":
-        return SqlQueryOracle(target), None
+    if sql_capable:
+        return SqlQueryOracle(target, **options), None
     return QueryOracle(target), None
 
 
@@ -312,7 +386,16 @@ def _cmd_learn(args) -> int:
         )
         return 2
     target = parse_query(args.target, n=args.n)
-    evaluator, closer = _target_oracle(target, args.backend, args.parallel)
+    options = _backend_opts(args, "learn")
+    if options is None:
+        return 2
+    try:
+        evaluator, closer = _target_oracle(
+            target, args.backend or "bitmask", args.parallel, options
+        )
+    except (TypeError, ValueError) as error:
+        print(f"repro learn: {error}", file=sys.stderr)
+        return 2
     cache = CachingOracle(evaluator)
     oracle = CountingOracle(cache)
     learner_cls = (
@@ -348,7 +431,16 @@ def _cmd_verify(args) -> int:
     intended = parse_query(args.intended, n=n or given.n)
     if intended.n > given.n:
         given = parse_query(args.given, n=intended.n)
-    evaluator, closer = _target_oracle(intended, args.backend, args.parallel)
+    options = _backend_opts(args, "verify")
+    if options is None:
+        return 2
+    try:
+        evaluator, closer = _target_oracle(
+            intended, args.backend or "bitmask", args.parallel, options
+        )
+    except (TypeError, ValueError) as error:
+        print(f"repro verify: {error}", file=sys.stderr)
+        return 2
     try:
         outcome = Verifier(given).run(evaluator)
     finally:
@@ -403,14 +495,34 @@ def _cmd_sql(args) -> int:
 
 
 def _cmd_demo(args) -> int:
-    # Validate the flag combination before any work happens: the SQL
-    # backend answers inside SQLite and has no worker-pool mode.
-    if args.parallel is not None and args.backend == "sql":
-        print(
-            "repro demo: --parallel is incompatible with --backend sql",
-            file=sys.stderr,
-        )
+    from repro.data.backends import REGISTRY
+
+    # Validate the flag combination before any work happens.  --parallel
+    # evaluates through the worker-pool (sharded) layout; an *explicit*
+    # --backend without the supports_parallel capability is a conflict
+    # the user must resolve, not a choice to silently override (the PR 3
+    # behaviour quietly replaced any backend with "sharded").
+    backend = args.backend
+    if args.parallel is not None:
+        if backend is not None and not (
+            REGISTRY.capabilities(backend).supports_parallel
+        ):
+            print(
+                f"repro demo: --parallel evaluates through the worker-pool "
+                f"(sharded) layout and conflicts with --backend {backend}; "
+                f"drop --backend or pass --backend sharded",
+                file=sys.stderr,
+            )
+            return 2
+        backend = "sharded"
+    backend = backend or "bitmask"
+    backend_options = _backend_opts(args, "demo")
+    if backend_options is None:
         return 2
+    if args.parallel is not None:
+        # Process parallelism partitions the relation, which is exactly
+        # the sharded layout (validated above).
+        backend_options["processes"] = args.parallel
 
     from repro.data import QueryEngine
     from repro.data.chocolate import (
@@ -432,23 +544,22 @@ def _cmd_demo(args) -> int:
           f"({oracle.questions_asked} questions, "
           f"{cache.stats.misses} distinct, "
           f"{oracle.stats.rounds} rounds)")
-    backend = args.backend
-    backend_options = {}
-    if args.parallel is not None:
-        # Process parallelism partitions the relation, which is exactly
-        # the sharded layout; --parallel therefore implies --backend
-        # sharded.
-        backend = "sharded"
-        backend_options["processes"] = args.parallel
     engine = QueryEngine(
         store, vocabulary, backend=backend, backend_options=backend_options
     )
     try:
-        matches = engine.execute_batch(result.query)
+        try:
+            matches = engine.execute_batch(result.query)
+        except (TypeError, ValueError) as error:
+            print(f"repro demo: {error}", file=sys.stderr)
+            return 2
         print(f"matching boxes: {len(matches)} / {len(store)} "
               f"({engine.backend.describe()})")
     finally:
-        close = getattr(engine.backend, "close", None)
+        # Only a backend that actually built needs closing (bad options
+        # fail inside the lazy build, leaving nothing behind).
+        built = getattr(engine, "_backend", None)
+        close = getattr(built, "close", None)
         if close is not None:
             close()
     for box in matches[:5]:

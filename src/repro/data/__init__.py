@@ -6,11 +6,19 @@ Boolean-tuple→row synthesis, question rendering, and a query engine.
 
 from repro.data.backends import (
     BACKENDS,
+    REGISTRY,
+    BackendCapabilities,
+    BackendLoadError,
+    BackendRegistry,
     BitmaskBackend,
+    DbApiBackend,
     EvaluationBackend,
+    PooledConnectionSource,
     ShardedBitmaskBackend,
     SqlBackend,
+    coerce_option,
     create_backend,
+    parse_backend_opts,
 )
 from repro.data.engine import ExampleFactory, ExpressionReport, QueryEngine
 from repro.data.index import RelationIndex
@@ -21,7 +29,13 @@ from repro.data.generator import (
     uniform_float,
     uniform_int,
 )
-from repro.data.sql import SqliteEngine, to_sql
+from repro.data.sql import (
+    DIALECTS,
+    SqlDialect,
+    SqliteEngine,
+    get_dialect,
+    to_sql,
+)
 from repro.data.propositions import (
     Between,
     BoolIs,
@@ -47,13 +61,24 @@ __all__ = [
     "Attribute",
     "AttributeType",
     "BACKENDS",
+    "BackendCapabilities",
+    "BackendLoadError",
+    "BackendRegistry",
     "Between",
     "BitmaskBackend",
     "BoolIs",
+    "DIALECTS",
+    "DbApiBackend",
     "EvaluationBackend",
+    "PooledConnectionSource",
+    "REGISTRY",
     "ShardedBitmaskBackend",
     "SqlBackend",
+    "SqlDialect",
+    "coerce_option",
     "create_backend",
+    "get_dialect",
+    "parse_backend_opts",
     "RelationGenerator",
     "SqliteEngine",
     "bernoulli",

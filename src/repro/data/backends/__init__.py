@@ -1,6 +1,6 @@
-"""Pluggable evaluation backends behind one seam (DESIGN.md §2c).
+"""Pluggable evaluation backends behind one seam (DESIGN.md §2c, §2i).
 
-Four implementations of the :class:`EvaluationBackend` contract:
+Five built-in implementations of the :class:`EvaluationBackend` contract:
 
 * ``bitmask`` — one :class:`~repro.data.index.RelationIndex` over the
   whole relation (the default; fastest for small/medium relations);
@@ -12,8 +12,18 @@ Four implementations of the :class:`EvaluationBackend` contract:
 * ``numpy`` — the inverted index packed into numpy arrays so the kernel
   runs as SIMD-width array operations (DESIGN.md §2g; registered only
   when numpy imports);
-* ``sql`` — the relation loaded into SQLite, each query compiled to SQL
-  once and answered in one round trip (the database does the work).
+* ``sql`` — the relation loaded into in-memory SQLite, each query
+  compiled to SQL once and answered in one round trip;
+* ``dbapi`` — the relation loaded into *any* DB-API database through a
+  :class:`~repro.data.sql.SqlDialect` and evaluated through a bounded
+  connection pool (file-backed SQLite URIs today, client/server drivers
+  via ``connect=`` tomorrow; DESIGN.md §2i).
+
+Backends register on the plugin :data:`REGISTRY` (DESIGN.md §2i) with
+capability flags the CLI derives its choices from; third-party backends
+join via ``repro.backends`` entry points or the ``REPRO_BACKENDS``
+environment variable without editing this package.  ``BACKENDS`` remains
+as a live mapping view for PR 3 era callers.
 
 ``create_backend(name, relation, vocabulary, **options)`` is the single
 construction seam the engine, CLI and experiments go through.
@@ -23,6 +33,16 @@ from __future__ import annotations
 
 from repro.data.backends.base import EvaluationBackend, check_width
 from repro.data.backends.bitmask import BitmaskBackend
+from repro.data.backends.dbapi import DbApiBackend, PooledConnectionSource
+from repro.data.backends.registry import (
+    REGISTRY,
+    BackendCapabilities,
+    BackendLoadError,
+    BackendRegistry,
+    BackendsView,
+    coerce_option,
+    parse_backend_opts,
+)
 from repro.data.backends.sharded import (
     DEFAULT_SHARD_SIZE,
     ShardedBitmaskBackend,
@@ -33,34 +53,52 @@ from repro.data.relation import NestedRelation
 
 __all__ = [
     "BACKENDS",
+    "REGISTRY",
+    "BackendCapabilities",
+    "BackendLoadError",
+    "BackendRegistry",
     "BitmaskBackend",
+    "DbApiBackend",
     "DEFAULT_SHARD_SIZE",
     "EvaluationBackend",
+    "PooledConnectionSource",
     "ShardedBitmaskBackend",
     "SqlBackend",
     "check_width",
+    "coerce_option",
     "create_backend",
+    "parse_backend_opts",
 ]
 
-#: Registry: backend name → class.  Every future backend (async,
-#: multi-process, remote) registers here and inherits the engine's
-#: ``backend=`` dispatch, the demo CLI choices and the
-#: ``backend_name``-parametrized unit tests for free; the differential
-#: property suite and E23 construct backends with per-backend options,
-#: so they list names explicitly and need a one-line addition.
-BACKENDS: dict[str, type] = {
-    BitmaskBackend.name: BitmaskBackend,
-    ShardedBitmaskBackend.name: ShardedBitmaskBackend,
-    SqlBackend.name: SqlBackend,
-}
+# ----------------------------------------------------------------------
+# Built-in registrations (capability flags drive the CLI choices).
+# ----------------------------------------------------------------------
+REGISTRY.register(
+    BitmaskBackend.name, BitmaskBackend, supports_oracle=True
+)
+REGISTRY.register(
+    ShardedBitmaskBackend.name, ShardedBitmaskBackend, supports_parallel=True
+)
+REGISTRY.register(
+    SqlBackend.name, SqlBackend, supports_sql=True, supports_oracle=True
+)
+REGISTRY.register(
+    DbApiBackend.name, DbApiBackend, supports_sql=True, supports_oracle=True
+)
 
 try:  # numpy is an optional accelerator, not a hard dependency
     from repro.data.backends.vectorized import NumpyBackend
 except ImportError:  # pragma: no cover - exercised only without numpy
     NumpyBackend = None  # type: ignore[assignment, misc]
 else:
-    BACKENDS[NumpyBackend.name] = NumpyBackend
+    REGISTRY.register(NumpyBackend.name, NumpyBackend, max_width=64)
     __all__.append("NumpyBackend")
+
+#: PR 3 compatibility: a live name → class mapping view over the
+#: registry.  Reads see every registered *and* discoverable backend;
+#: ``BACKENDS[name] = cls`` still registers (with a DeprecationWarning)
+#: but new code should use ``REGISTRY.register(name, ...)``.
+BACKENDS: BackendsView = BackendsView(REGISTRY)
 
 
 def create_backend(
@@ -72,18 +110,15 @@ def create_backend(
     """Construct a registered backend by name.
 
     ``options`` are forwarded to the backend constructor (``shard_size``,
-    ``executor``, ``processes`` and ``pool`` for ``sharded``,
-    ``auto_refresh`` for all).  ``processes`` makes the sharded backend
-    own a persistent :class:`~repro.parallel.ShardWorkerPool`
-    (DESIGN.md §2d); callers should ``close()`` the backend (or use it
-    as a context manager) when done, though an :mod:`atexit` guard
-    covers forgotten pools.
+    ``executor``, ``processes`` and ``pool`` for ``sharded``, ``uri``,
+    ``dialect`` and ``pool_size`` for ``dbapi``, ``auto_refresh`` for
+    all).  ``processes`` makes the sharded backend own a persistent
+    :class:`~repro.parallel.ShardWorkerPool` (DESIGN.md §2d); callers
+    should ``close()`` the backend (or use it as a context manager) when
+    done, though an :mod:`atexit` guard covers forgotten pools.
+
+    Unknown names raise ``ValueError`` listing every registered and
+    discoverable-but-unloaded backend, sorted, with a did-you-mean
+    suggestion for near misses.
     """
-    try:
-        cls = BACKENDS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown evaluation backend {name!r}; "
-            f"choices: {', '.join(sorted(BACKENDS))}"
-        ) from None
-    return cls(relation, vocabulary, **options)
+    return REGISTRY.create(name, relation, vocabulary, **options)

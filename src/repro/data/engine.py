@@ -20,13 +20,14 @@ identical state.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Iterable
 
 from repro.core.query import QhornQuery
 from repro.core.tuples import Question
 from repro.data.backends import (
-    BACKENDS,
+    REGISTRY,
     BitmaskBackend,
     EvaluationBackend,
     create_backend,
@@ -57,9 +58,10 @@ class QueryEngine:
     ``"sql"`` — or a
     constructed backend instance; backends build lazily on first batch
     call).  The per-object methods keep the seed reference semantics
-    regardless of backend.  ``index=`` keeps the pre-seam shortcut of
-    injecting a shared :class:`RelationIndex`, which implies the bitmask
-    backend.
+    regardless of backend.  ``index=`` — the pre-seam shortcut of
+    injecting a shared :class:`RelationIndex` — is deprecated: it now
+    warns and routes through ``backend="bitmask"``,
+    ``backend_options={"index": index}`` (DESIGN.md §2i).
     """
 
     def __init__(
@@ -73,23 +75,31 @@ class QueryEngine:
         self.relation = relation
         self.vocabulary = vocabulary
         if index is not None:
+            # PR 3 back-compat shortcut, deprecated by the v2 plugin API
+            # (DESIGN.md §2i): route through the same backend=/
+            # backend_options= path every other construction takes.
+            warnings.warn(
+                'QueryEngine(index=...) is deprecated; pass '
+                'backend="bitmask", backend_options={"index": index} '
+                "instead (DESIGN.md §2i)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
             if not (backend == "bitmask" or isinstance(backend, BitmaskBackend)):
                 raise ValueError(
                     "index= injects a RelationIndex and requires the "
                     "bitmask backend"
                 )
-            backend = BitmaskBackend(relation, vocabulary, index=index)
+            backend = "bitmask"
+            backend_options = dict(backend_options or {}, index=index)
         if isinstance(backend, str):
             # Validate the name eagerly (fail at construction, not first
             # batch call) but build the backend lazily.
             self._backend: EvaluationBackend | None = None
             self._backend_spec = backend
             self._backend_options = dict(backend_options or {})
-            if backend not in BACKENDS:
-                raise ValueError(
-                    f"unknown evaluation backend {backend!r}; "
-                    f"choices: {', '.join(sorted(BACKENDS))}"
-                )
+            if backend not in REGISTRY:
+                raise ValueError(REGISTRY.unknown_backend_message(backend))
         else:
             if backend.relation is not relation:
                 raise ValueError(

@@ -20,13 +20,13 @@ the backend differential suite.
 from __future__ import annotations
 
 import sqlite3
-from typing import Sequence
+from typing import Any, Callable, Sequence
 
 from repro.core.query import QhornQuery
 from repro.core.tuples import Question
 from repro.data.propositions import BoolIs, Vocabulary
 from repro.data.schema import Attribute, FlatSchema
-from repro.data.sql import to_sql
+from repro.data.sql import SqlDialect, get_dialect, to_sql
 
 __all__ = ["SqlQueryOracle"]
 
@@ -47,19 +47,65 @@ class SqlQueryOracle:
     (same answers, same width errors); the evaluation runs in the
     database instead of the process, which makes whole-batch answering a
     single SQL execution however large the batch.
+
+    By default the scratch database is a private in-memory SQLite; the
+    v2 backend API (DESIGN.md §2i) adds ``uri=`` (a file-backed SQLite
+    URI — ``repro learn --backend dbapi --backend-opt uri=file:...``),
+    ``connect=`` (any zero-argument DB-API connection factory) and
+    ``dialect=`` so the same one-round-trip ``ask_many`` runs on an
+    external database.  The scratch tables are dropped and recreated at
+    construction, so reusing a file between runs is safe.
     """
 
-    def __init__(self, target: QhornQuery) -> None:
+    def __init__(
+        self,
+        target: QhornQuery,
+        uri: str | None = None,
+        connect: Callable[[], Any] | None = None,
+        dialect: SqlDialect | str | None = "sqlite",
+    ) -> None:
         self.target = target
         self.n = target.n
-        self._sql = to_sql(target, _boolean_vocabulary(target.n))
-        self.connection = sqlite3.connect(":memory:")
-        cols = ", ".join(f"p{i + 1} INTEGER" for i in range(target.n))
+        self.uri = uri
+        self.dialect = get_dialect(dialect)
+        d = self.dialect
+        self._sql = to_sql(target, _boolean_vocabulary(target.n), dialect=d)
+        if connect is not None:
+            self.connection = connect()
+        elif uri is not None:
+            self.connection = sqlite3.connect(
+                uri, uri=uri.startswith("file:"), check_same_thread=False
+            )
+        else:
+            self.connection = sqlite3.connect(":memory:")
+        names = [f"p{i + 1}" for i in range(target.n)]
+        objects_table = d.identifier("objects")
+        rows_table = d.identifier("rows")
+        boolean_type = d.type_names.get("BOOLEAN", "INTEGER")
+        cols = ", ".join(
+            f"{d.identifier(name)} {boolean_type}" for name in names
+        )
         cur = self.connection.cursor()
-        cur.execute("CREATE TABLE objects (object_key TEXT PRIMARY KEY)")
-        cur.execute(f"CREATE TABLE rows (object_key TEXT, {cols})")
-        cur.execute("CREATE INDEX rows_by_object ON rows (object_key)")
+        cur.execute(f"DROP TABLE IF EXISTS {rows_table}")
+        cur.execute(f"DROP TABLE IF EXISTS {objects_table}")
+        cur.execute(
+            f"CREATE TABLE {objects_table} (object_key TEXT PRIMARY KEY)"
+        )
+        cur.execute(f"CREATE TABLE {rows_table} (object_key TEXT, {cols})")
+        cur.execute(
+            f"CREATE INDEX rows_by_object ON {rows_table} (object_key)"
+        )
         self.connection.commit()
+        self._objects_table = objects_table
+        self._rows_table = rows_table
+        self._insert_object = (
+            f"INSERT INTO {objects_table} VALUES "
+            f"({d.placeholders(['object_key'])})"
+        )
+        self._insert_row = (
+            f"INSERT INTO {rows_table} VALUES "
+            f"({d.placeholders(['object_key'] + names)})"
+        )
 
     def _check(self, question: Question) -> None:
         if question.n != self.n:
@@ -84,13 +130,13 @@ class SqlQueryOracle:
                 keys[q] = f"q{len(keys)}"
         n = self.n
         cur = self.connection.cursor()
-        cur.execute("DELETE FROM rows")
-        cur.execute("DELETE FROM objects")
+        cur.execute(f"DELETE FROM {self._rows_table}")
+        cur.execute(f"DELETE FROM {self._objects_table}")
         cur.executemany(
-            "INSERT INTO objects VALUES (?)", [(k,) for k in keys.values()]
+            self._insert_object, [(k,) for k in keys.values()]
         )
         cur.executemany(
-            "INSERT INTO rows VALUES (?" + ", ?" * n + ")",
+            self._insert_row,
             [
                 [key] + [t >> v & 1 for v in range(n)]
                 for q, key in keys.items()

@@ -12,6 +12,7 @@ backend (restrict with ``pytest --backend sql``).
 from __future__ import annotations
 
 import random
+import sqlite3
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -28,6 +29,7 @@ from repro.data import (
     SqlBackend,
     create_backend,
 )
+from repro.data.backends import DbApiBackend, PooledConnectionSource
 from repro.data.chocolate import (
     intro_query,
     random_store,
@@ -66,7 +68,13 @@ def _reference(engine, query):
 
 class TestRegistry:
     def test_all_backends_registered(self):
-        assert set(BACKENDS) == {"bitmask", "sharded", "numpy", "sql"}
+        assert set(BACKENDS) == {
+            "bitmask",
+            "dbapi",
+            "sharded",
+            "numpy",
+            "sql",
+        }
 
     def test_unknown_backend_rejected(self, store, vocab):
         with pytest.raises(ValueError, match="unknown evaluation backend"):
@@ -77,16 +85,20 @@ class TestRegistry:
         assert backend.shard_size == 10
         assert backend.shard_count == 6
 
-    def test_created_backends_satisfy_protocol(self, store, vocab, backend_name):
-        backend = create_backend(backend_name, store, vocab)
+    def test_created_backends_satisfy_protocol(
+        self, store, vocab, backend_name, backend_options
+    ):
+        backend = create_backend(backend_name, store, vocab, **backend_options)
         assert isinstance(backend, EvaluationBackend)
         assert backend.name == backend_name
 
 
 class TestBackendContract:
-    def test_agrees_with_reference_path(self, store, vocab, backend_name):
+    def test_agrees_with_reference_path(
+        self, store, vocab, backend_name, backend_options
+    ):
         engine = QueryEngine(store, vocab)
-        backend = create_backend(backend_name, store, vocab)
+        backend = create_backend(backend_name, store, vocab, **backend_options)
         for query in _queries():
             expected = _reference(engine, query)
             assert [o.key for o in backend.execute(query)] == expected
@@ -96,9 +108,9 @@ class TestBackendContract:
             assert [bool(bits >> i & 1) for i in range(len(store))] == labels
 
     def test_explicit_objects_and_foreign_fallback(
-        self, store, vocab, backend_name
+        self, store, vocab, backend_name, backend_options
     ):
-        backend = create_backend(backend_name, store, vocab)
+        backend = create_backend(backend_name, store, vocab, **backend_options)
         engine = QueryEngine(store, vocab)
         query = intro_query()
         objs = store.objects[:7]
@@ -118,8 +130,10 @@ class TestBackendContract:
         assert labels[:-1] == [engine.matches(query, o) for o in objs]
         assert labels[-1] == engine.matches(query, foreign)
 
-    def test_auto_refresh_sees_inserts(self, store, vocab, backend_name):
-        backend = create_backend(backend_name, store, vocab)
+    def test_auto_refresh_sees_inserts(
+        self, store, vocab, backend_name, backend_options
+    ):
+        backend = create_backend(backend_name, store, vocab, **backend_options)
         query = QhornQuery(n=4)
         before = backend.matches_many(query)
         assert backend.is_stale is False
@@ -141,9 +155,12 @@ class TestBackendContract:
         assert after[-1] is True
         assert backend.is_stale is False
 
-    def test_explicit_refresh(self, store, vocab, backend_name):
+    def test_explicit_refresh(
+        self, store, vocab, backend_name, backend_options
+    ):
         backend = create_backend(
-            backend_name, store, vocab, auto_refresh=False
+            backend_name, store, vocab,
+            **dict(backend_options, auto_refresh=False),
         )
         backend.matches_many(QhornQuery(n=4))
         assert backend.refresh() is False  # fresh: no rebuild
@@ -152,13 +169,17 @@ class TestBackendContract:
         assert len(backend.matches_many(QhornQuery(n=4))) == len(store)
         assert backend.refresh(force=True) is True
 
-    def test_width_mismatch_rejected(self, store, vocab, backend_name):
-        backend = create_backend(backend_name, store, vocab)
+    def test_width_mismatch_rejected(
+        self, store, vocab, backend_name, backend_options
+    ):
+        backend = create_backend(backend_name, store, vocab, **backend_options)
         with pytest.raises(ValueError):
             backend.execute(parse_query("∃x1x2x3x4x5"))
 
-    def test_describe_is_informative(self, store, vocab, backend_name):
-        backend = create_backend(backend_name, store, vocab)
+    def test_describe_is_informative(
+        self, store, vocab, backend_name, backend_options
+    ):
+        backend = create_backend(backend_name, store, vocab, **backend_options)
         assert backend_name in backend.describe()
         backend.matches_many(intro_query())
         assert str(len(store)) in backend.describe()
@@ -186,11 +207,28 @@ class TestEngineDispatch:
 
     def test_injected_index_implies_bitmask(self, store, vocab):
         index = RelationIndex(store, vocab)
-        engine = QueryEngine(store, vocab, index=index)
+        with pytest.warns(DeprecationWarning, match="index=.*deprecated"):
+            engine = QueryEngine(store, vocab, index=index)
         assert isinstance(engine.backend, BitmaskBackend)
         assert engine.index is index
-        with pytest.raises(ValueError, match="bitmask backend"):
-            QueryEngine(store, vocab, index=index, backend="sql")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="bitmask backend"):
+                QueryEngine(store, vocab, index=index, backend="sql")
+
+    def test_deprecated_index_routes_through_backend_options(
+        self, store, vocab
+    ):
+        """The shim is a pure rewrite onto the v2 path: same backend
+        options dict the explicit spelling would produce."""
+        index = RelationIndex(store, vocab)
+        with pytest.warns(DeprecationWarning):
+            engine = QueryEngine(store, vocab, index=index)
+        assert engine.backend_name == "bitmask"
+        assert engine._backend_options == {"index": index}
+        explicit = QueryEngine(
+            store, vocab, backend="bitmask", backend_options={"index": index}
+        )
+        assert explicit.index is index
 
     def test_injected_backend_instance(self, store, vocab):
         backend = ShardedBitmaskBackend(store, vocab, shard_size=5)
@@ -315,6 +353,153 @@ class TestNumpyKernel:
             assert reduce_only.matching_bits(query) == (
                 zeta.matching_bits(query)
             )
+
+
+class TestPooledConnectionSource:
+    def test_bounded_capacity_and_reuse(self):
+        pool = PooledConnectionSource(
+            lambda: sqlite3.connect(":memory:"), maxsize=2, timeout=0.05
+        )
+        a = pool.acquire()
+        b = pool.acquire()
+        with pytest.raises(TimeoutError, match="maxsize=2"):
+            pool.acquire()
+        pool.release(a)
+        c = pool.acquire()
+        assert c is a  # idle connection reused, not reopened
+        assert pool.connections_opened == 2
+        pool.release(b)
+        pool.release(c)
+        pool.close()
+
+    def test_health_check_discards_stale_on_checkout(self):
+        pool = PooledConnectionSource(
+            lambda: sqlite3.connect(":memory:"), maxsize=2
+        )
+        stale = pool.acquire()
+        pool.release(stale)
+        stale.close()  # dies behind the pool's back
+        fresh = pool.acquire()
+        assert fresh is not stale
+        assert pool.health_failures == 1
+        fresh.execute("SELECT 1")  # the replacement really works
+        pool.release(fresh)
+        pool.close()
+
+    def test_close_refuses_checkout_and_drains_idle(self):
+        pool = PooledConnectionSource(lambda: sqlite3.connect(":memory:"))
+        with pool.connection():
+            pass
+        assert pool.idle_count == 1
+        pool.close()
+        assert pool.idle_count == 0
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.acquire()
+        pool.close()  # idempotent
+
+    def test_discard_frees_the_slot(self):
+        pool = PooledConnectionSource(
+            lambda: sqlite3.connect(":memory:"), maxsize=1, timeout=0.05
+        )
+        conn = pool.acquire()
+        pool.discard(conn)
+        replacement = pool.acquire()  # would TimeoutError if slot leaked
+        pool.release(replacement)
+        pool.close()
+
+
+class _FlakyConnection:
+    """Passes ``SELECT 1`` health checks; once poisoned, the next real
+    statement raises as if the server dropped the connection."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.poisoned = False
+
+    def cursor(self):
+        return _FlakyCursor(self, self._inner.cursor())
+
+    def commit(self):
+        self._inner.commit()
+
+    def close(self):
+        self._inner.close()
+
+
+class _FlakyCursor:
+    def __init__(self, owner, inner):
+        self._owner = owner
+        self._inner = inner
+
+    def execute(self, sql, params=()):
+        if self._owner.poisoned and sql != "SELECT 1":
+            raise sqlite3.OperationalError("server closed the connection")
+        return self._inner.execute(sql, params)
+
+    def fetchall(self):
+        return self._inner.fetchall()
+
+    def close(self):
+        self._inner.close()
+
+
+class TestDbApiBackendLifecycle:
+    def test_file_backed_uri_and_reuse(self, store, vocab, tmp_path):
+        uri = f"file:{tmp_path}/store.sqlite"
+        reference = QueryEngine(store, vocab)
+        query = intro_query()
+        expected = _reference(reference, query)
+        with DbApiBackend(store, vocab, uri=uri) as backend:
+            assert [o.key for o in backend.execute(query)] == expected
+        assert (tmp_path / "store.sqlite").exists()
+        # Reusing the file is safe: tables are dropped and recreated.
+        with DbApiBackend(store, vocab, uri=uri) as backend:
+            assert [o.key for o in backend.execute(query)] == expected
+
+    def test_rejects_compiled_query(self, store, vocab):
+        with DbApiBackend(store, vocab) as backend:
+            with pytest.raises(TypeError, match="CompiledQuery"):
+                backend.execute(intro_query().compile())
+
+    def test_statement_cache_compiles_once(self, store, vocab):
+        with DbApiBackend(store, vocab) as backend:
+            query = intro_query()
+            backend.execute(query)
+            cached = backend._sql_cache[query]
+            backend.matches_many(query)
+            assert backend._sql_cache[query] is cached
+            assert len(backend._sql_cache) == 1
+
+    def test_retry_once_on_mid_flight_failure(self, store, vocab, tmp_path):
+        path = str(tmp_path / "flaky.sqlite")
+        made = []
+
+        def connect():
+            conn = _FlakyConnection(
+                sqlite3.connect(path, check_same_thread=False)
+            )
+            made.append(conn)
+            return conn
+
+        backend = DbApiBackend(store, vocab, connect=connect, pool_size=2)
+        try:
+            query = intro_query()
+            first = backend.matching_bits(query)
+            opened = backend.pool.connections_opened
+            for conn in made:
+                conn.poisoned = True  # slips past the checkout health check
+            assert backend.matching_bits(query) == first
+            # The poisoned checkout was discarded and the statement
+            # re-ran on a freshly opened connection.
+            assert backend.pool.connections_opened == opened + 1
+        finally:
+            backend.close()
+
+    def test_close_is_idempotent(self, store, vocab):
+        backend = DbApiBackend(store, vocab)
+        backend.matches_many(QhornQuery(n=4))
+        backend.close()
+        backend.close()
 
 
 class TestSqlBackendLifecycle:

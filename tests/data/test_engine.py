@@ -123,8 +123,12 @@ class TestBatchEngine:
         store = random_store(30, random.Random(5))
         vocab = storefront_vocabulary()
         index = RelationIndex(store, vocab)
-        a = QueryEngine(store, vocab, index=index)
-        b = QueryEngine(store, vocab, index=index)
+        with pytest.warns(DeprecationWarning, match="index=.*deprecated"):
+            a = QueryEngine(store, vocab, index=index)
+        # The non-deprecated spelling of the same sharing.
+        b = QueryEngine(
+            store, vocab, backend="bitmask", backend_options={"index": index}
+        )
         assert a.index is b.index
         assert [o.key for o in a.execute_batch(intro_query())] == [
             o.key for o in b.execute_batch(intro_query())
@@ -133,8 +137,14 @@ class TestBatchEngine:
     def test_index_rejects_foreign_relation(self):
         vocab = storefront_vocabulary()
         index = RelationIndex(random_store(5, random.Random(6)), vocab)
+        engine = QueryEngine(
+            random_store(5, random.Random(8)),
+            vocab,
+            backend="bitmask",
+            backend_options={"index": index},
+        )
         with pytest.raises(ValueError):
-            QueryEngine(random_store(5, random.Random(8)), vocab, index=index)
+            engine.backend  # the mismatch surfaces at the lazy build
 
     def test_batch_width_mismatch_rejected(self):
         engine = QueryEngine(paper_figure1_relation(), paper_vocabulary())

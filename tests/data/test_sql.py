@@ -25,7 +25,16 @@ from repro.data.propositions import (
     Vocabulary,
 )
 from repro.data.schema import Attribute, FlatSchema
-from repro.data.sql import SqlCompileError, SqliteEngine, proposition_to_sql, to_sql
+from repro.data.sql import (
+    DIALECTS,
+    POSTGRES_DIALECT,
+    SQLITE_DIALECT,
+    SqlCompileError,
+    SqliteEngine,
+    get_dialect,
+    proposition_to_sql,
+    to_sql,
+)
 
 
 class TestPropositionRendering:
@@ -81,6 +90,88 @@ class TestToSql:
     def test_width_mismatch_rejected(self):
         with pytest.raises(SqlCompileError):
             to_sql(parse_query("∃x1x2x3x4"), paper_vocabulary())
+
+
+class TestDialects:
+    """Golden renderings: the same proposition/query per dialect.
+
+    The SQLite dialect must reproduce the PR 3 output byte for byte
+    (statement caches and learn transcripts depend on it); the postgres
+    dialect makes the spelling differences — boolean literals, reserved
+    ``rows``, %s placeholders — observable."""
+
+    def test_bool_is_per_dialect(self):
+        prop = BoolIs("isDark")
+        assert proposition_to_sql(prop, dialect="sqlite") == "r.isDark = 1"
+        assert (
+            proposition_to_sql(prop, dialect="postgres") == "r.isDark = TRUE"
+        )
+        assert (
+            proposition_to_sql(BoolIs("isDark", value=False), dialect="postgres")
+            == "r.isDark = FALSE"
+        )
+
+    def test_reserved_identifier_quoting(self):
+        assert SQLITE_DIALECT.identifier("rows") == "rows"
+        assert POSTGRES_DIALECT.identifier("rows") == '"rows"'
+        assert POSTGRES_DIALECT.identifier("origin") == "origin"
+        # Non-plain identifiers are quoted everywhere.
+        assert SQLITE_DIALECT.identifier("two words") == '"two words"'
+        assert POSTGRES_DIALECT.identifier('odd"name') == '"odd""name"'
+
+    def test_placeholder_styles(self):
+        assert SQLITE_DIALECT.placeholders(["a", "b"]) == "?, ?"
+        assert POSTGRES_DIALECT.placeholders(["a", "b"]) == "%s, %s"
+        pyformat = SQLITE_DIALECT.__class__(
+            name="py", paramstyle="pyformat"
+        )
+        assert pyformat.placeholders(["a", "b"]) == "%(a)s, %(b)s"
+        broken = SQLITE_DIALECT.__class__(name="x", paramstyle="numeric")
+        with pytest.raises(SqlCompileError, match="paramstyle"):
+            broken.placeholder(0)
+
+    def test_column_type_mapping(self):
+        from repro.data.schema import AttributeType
+
+        assert SQLITE_DIALECT.column_type(AttributeType.BOOLEAN) == "INTEGER"
+        assert POSTGRES_DIALECT.column_type(AttributeType.BOOLEAN) == "BOOLEAN"
+        assert SQLITE_DIALECT.column_type(AttributeType.FLOAT) == "REAL"
+        assert (
+            POSTGRES_DIALECT.column_type(AttributeType.FLOAT)
+            == "DOUBLE PRECISION"
+        )
+
+    def test_to_sql_golden_per_dialect(self):
+        query = parse_query("∀x1→x2", n=3, require_guarantees=False)
+        vocab = paper_vocabulary()
+        sqlite_sql = to_sql(query, vocab, dialect="sqlite")
+        assert sqlite_sql == (
+            "SELECT o.object_key FROM objects o\n"
+            "WHERE NOT EXISTS (SELECT 1 FROM rows r "
+            "WHERE r.object_key = o.object_key AND r.isDark = 1 "
+            "AND NOT (r.hasFilling = 1))\n"
+            "ORDER BY o.object_key"
+        )
+        # Default dialect is byte-identical to the explicit sqlite one.
+        assert to_sql(query, vocab) == sqlite_sql
+        postgres_sql = to_sql(query, vocab, dialect="postgres")
+        assert '"rows" r' in postgres_sql
+        assert "r.isDark = TRUE" in postgres_sql
+        assert "NOT (r.hasFilling = TRUE)" in postgres_sql
+
+    def test_one_of_rendering_per_dialect(self):
+        prop = OneOf("origin", {"Belgium", "O'Hare"})
+        for name in DIALECTS:
+            assert proposition_to_sql(prop, dialect=name) == (
+                "r.origin IN ('Belgium', 'O''Hare')"
+            )
+
+    def test_get_dialect_resolution(self):
+        assert get_dialect(None) is SQLITE_DIALECT
+        assert get_dialect("postgres") is POSTGRES_DIALECT
+        assert get_dialect(POSTGRES_DIALECT) is POSTGRES_DIALECT
+        with pytest.raises(SqlCompileError, match="unknown SQL dialect"):
+            get_dialect("oracle9i")
 
 
 class TestSqliteEngine:

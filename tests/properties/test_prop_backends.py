@@ -1,7 +1,8 @@
 """Differential properties: the evaluation backends are answer-identical.
 
 The :class:`~repro.data.backends.EvaluationBackend` contract (DESIGN.md
-§2c) demands that ``bitmask``, ``sharded``, ``numpy`` and ``sql`` return
+§2c) demands that ``bitmask``, ``sharded``, ``numpy``, ``sql`` and
+``dbapi`` return
 exactly the answers of the per-object reference path on identical state,
 for every qhorn query.  The SQL leg is the strongest form of the check:
 it evaluates propositions over *real rows* in SQLite while the bitmask
@@ -36,13 +37,15 @@ from tests.properties.test_prop_engine import (
     relation_from_masks,
 )
 
-BACKEND_NAMES = ("bitmask", "sharded", "numpy", "sql")
+BACKEND_NAMES = ("bitmask", "sharded", "numpy", "sql", "dbapi")
 
 
 def _backends(relation, vocab, rng):
     """One instance of every backend; sharded gets a tiny shard size so
     even 2-object relations span multiple shards, and runs once per
-    kernel so the packed per-shard kernel is differentially pinned too."""
+    kernel so the packed per-shard kernel is differentially pinned too.
+    The dbapi leg runs on its default private shared-memory database, so
+    the pooled/dialect path is differentially pinned alongside ``sql``."""
     shard_size = rng.randint(1, 3)
     return [
         create_backend("bitmask", relation, vocab),
@@ -52,6 +55,7 @@ def _backends(relation, vocab, rng):
         ),
         create_backend("numpy", relation, vocab),
         create_backend("sql", relation, vocab),
+        create_backend("dbapi", relation, vocab, pool_size=2),
     ]
 
 
@@ -192,6 +196,38 @@ def test_backends_agree_on_empty_and_all_false_relations():
                 assert backend.matches_many(query) == expected, (
                     backend.name, label, query.shorthand(),
                 )
+
+
+def test_dbapi_file_backed_store_agrees(tmp_path):
+    """The dbapi backend over a *file-backed* SQLite URI answers exactly
+    like ``bitmask`` — the acceptance-criteria path of DESIGN.md §2i.
+    The same file is reused across cases (tables drop and reload), so
+    stale on-disk state from a previous case would be caught too."""
+    rng = random.Random(9213)
+    uri = f"file:{tmp_path}/prop-store.sqlite"
+    checked = 0
+    for _ in range(40):
+        n = rng.randrange(1, 6)
+        mask_sets = [
+            frozenset(
+                rng.randrange(1 << n) for _ in range(rng.randrange(0, 5))
+            )
+            for _ in range(rng.randrange(0, 8))
+        ]
+        relation = relation_from_masks(n, mask_sets)
+        vocab = bool_vocabulary(n)
+        bitmask = create_backend("bitmask", relation, vocab)
+        with create_backend("dbapi", relation, vocab, uri=uri) as dbapi:
+            for _ in range(5):
+                query = random_query(rng, n)
+                assert dbapi.matching_bits(query) == (
+                    bitmask.matching_bits(query)
+                ), query.shorthand()
+                assert dbapi.matches_many(query) == (
+                    bitmask.matches_many(query)
+                ), query.shorthand()
+                checked += 1
+    assert checked == 200
 
 
 def test_sql_oracle_thousand_question_agreement():

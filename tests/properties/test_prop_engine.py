@@ -235,7 +235,9 @@ def test_standalone_index_matches_engine():
     relation = relation_from_masks(n, mask_sets)
     vocab = bool_vocabulary(n)
     index = RelationIndex(relation, vocab)
-    shared = QueryEngine(relation, vocab, index=index)
+    shared = QueryEngine(
+        relation, vocab, backend="bitmask", backend_options={"index": index}
+    )
     for _ in range(20):
         query = random_query(rng, n)
         assert [o.key for o in index.execute(query)] == [

@@ -110,8 +110,111 @@ class TestBackendFlag:
             build_parser().parse_args(["--help"])
         out = capsys.readouterr().out
         assert "evaluation backends (--backend):" in out
-        for name in ("bitmask", "sharded", "sql"):
+        for name in ("bitmask", "sharded", "sql", "dbapi"):
             assert name in out
+        assert "--backend-opt" in out
+        assert "third-party backends" in out
+
+    def test_choices_derived_from_capability_flags(self):
+        """learn/verify offer exactly the supports_oracle backends, demo
+        offers everything — no name literals in the CLI."""
+        from repro.data.backends import REGISTRY
+
+        parser = build_parser()
+        args = parser.parse_args(["learn", "∃x1", "--backend", "dbapi"])
+        assert args.backend == "dbapi"
+        oracle_names = set(REGISTRY.names_with(supports_oracle=True))
+        assert {"bitmask", "sql", "dbapi"} <= oracle_names
+        with pytest.raises(SystemExit):
+            parser.parse_args(["learn", "∃x1", "--backend", "numpy"])
+        parser.parse_args(["demo", "--backend", "numpy"])
+
+
+class TestBackendOptions:
+    def test_learn_dbapi_file_backed_transcript_identical(
+        self, capsys, tmp_path
+    ):
+        """The acceptance criterion: a file-backed dbapi learn produces a
+        transcript bit-identical to the bitmask one."""
+        uri = f"file:{tmp_path}/learn.sqlite"
+        outputs = []
+        for extra in ([], ["--backend", "dbapi", "--backend-opt", f"uri={uri}"]):
+            assert main(["learn", "∀x1 ∃x2x3"] + extra) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        assert (tmp_path / "learn.sqlite").exists()
+
+    def test_verify_and_demo_honor_backend_opt(self, capsys, tmp_path):
+        uri = f"file:{tmp_path}/v.sqlite"
+        assert main(
+            ["verify", "∀x1 ∃x2", "∀x1 ∃x2",
+             "--backend", "dbapi", "--backend-opt", f"uri={uri}"]
+        ) == 0
+        assert "verified: True" in capsys.readouterr().out
+        assert main(
+            ["demo", "--backend", "dbapi",
+             "--backend-opt", f"uri=file:{tmp_path}/d.sqlite",
+             "--backend-opt", "pool_size=2"]
+        ) == 0
+        assert "matching boxes:" in capsys.readouterr().out
+
+    def test_malformed_backend_opt_exits_two(self, capsys):
+        for command in (
+            ["learn", "∃x1", "--backend-opt", "pool_size"],
+            ["verify", "∃x1", "∃x1", "--backend-opt", "=x"],
+            ["demo", "--backend-opt", "justakey"],
+        ):
+            assert main(command) == 2
+            captured = capsys.readouterr()
+            assert "key=value" in captured.err
+            assert captured.out == ""
+
+    def test_unsupported_option_exits_two(self, capsys):
+        # bitmask does not speak SQL: passing uri= is a typed error, not
+        # a crash.
+        assert main(
+            ["learn", "∃x1", "--backend", "bitmask",
+             "--backend-opt", "uri=file:/nope.db"]
+        ) == 2
+        assert "backend" in capsys.readouterr().err
+
+    def test_typed_coercion_reaches_backend(self, capsys):
+        # pool_size must arrive as an int for range checks to work.
+        assert main(
+            ["demo", "--backend", "dbapi", "--backend-opt", "pool_size=0"]
+        ) == 2
+        assert "positive" in capsys.readouterr().err
+
+
+class TestThirdPartyBackends:
+    PLUGIN = """
+        class EchoBackend:
+            name = "echo"
+            capabilities = {"supports_sql": False}
+
+            def __init__(self, relation, vocabulary, **options):
+                raise NotImplementedError
+    """
+
+    def test_env_plugin_appears_in_demo_choices(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """Acceptance criterion: REPRO_BACKENDS plugins join the
+        --backend choices without editing repro.data.backends."""
+        import textwrap
+
+        from repro.data.backends import REGISTRY
+
+        (tmp_path / "cli_plugin.py").write_text(textwrap.dedent(self.PLUGIN))
+        monkeypatch.syspath_prepend(str(tmp_path))
+        monkeypatch.setenv("REPRO_BACKENDS", "echo=cli_plugin:EchoBackend")
+        try:
+            args = build_parser().parse_args(["demo", "--backend", "echo"])
+            assert args.backend == "echo"
+        finally:
+            REGISTRY.unregister("echo")
+            monkeypatch.setenv("REPRO_BACKENDS", "")
+            REGISTRY.names()  # re-sync the env-discovery cache
 
 
 class TestParallelFlag:
@@ -142,11 +245,23 @@ class TestParallelFlag:
         assert "matching boxes:" in out
         assert "2-process pool" in out  # describe() names the pool
 
-    def test_demo_parallel_rejects_sql_backend(self, capsys):
-        assert main(["demo", "--backend", "sql", "--parallel", "2"]) == 2
-        captured = capsys.readouterr()
-        assert "incompatible" in captured.err
-        assert captured.out == ""  # rejected before any work ran
+    def test_demo_parallel_rejects_conflicting_backend(self, capsys):
+        """The silent backend="sharded" override of an explicitly passed
+        --backend is now an explicit error (DESIGN.md §2i)."""
+        for backend in ("sql", "bitmask", "dbapi"):
+            assert main(
+                ["demo", "--backend", backend, "--parallel", "2"]
+            ) == 2
+            captured = capsys.readouterr()
+            assert "conflicts with --backend" in captured.err
+            assert backend in captured.err
+            assert captured.out == ""  # rejected before any work ran
+
+    def test_demo_parallel_accepts_explicit_sharded(self, capsys):
+        assert main(
+            ["demo", "--backend", "sharded", "--parallel", "2"]
+        ) == 0
+        assert "2-process pool" in capsys.readouterr().out
 
     def test_help_contains_parallel_guide(self, capsys):
         with pytest.raises(SystemExit):
