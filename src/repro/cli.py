@@ -127,8 +127,118 @@ multi-process fleet (repro serve --workers N, DESIGN.md §2h):
   stolen and resumed.  N=0 uses every core.  SIGTERM fans out to every
   worker and joins them; the shutdown line merges all worker counters.
   `repro serve --stats --store FILE` prints the merged counters of the
-  last fleet on that store and exits.
+  last fleet on that store and exits.  Counters include the DB-API
+  connection-pool health of each worker (pool_connections_opened,
+  pool_checkouts, pool_health_failures, pool_stale_retries).
+
+exhaustive conformance (repro enumerate, DESIGN.md §2j):
+  where the property suites sample, `repro enumerate` proves by cases:
+  it generates EVERY qhorn-1 query up to --max-props propositions
+  (deduplicated up to semantic equivalence) and EVERY relation up to
+  --max-objects objects, then drives each through the full matrix —
+  learner (qhorn1/naive/role-preserving) × oracle transport
+  (direct/sql/dbapi-pooled) × driver (pull/sans-io) × parallelism
+  (serial/worker-pool), and every evaluation backend — asserting
+  bit-identical transcripts, stats and learned queries everywhere, and
+  checking Theorem 3.1's question bound on every single instance.  Any
+  disagreement is shrunk to a minimal witness and written to the JSONL
+  corpus (--out FILE), which `python -m repro.server.loadgen
+  --scenario FILE` replays as server load and --resume continues after
+  an interruption.  Exit status 1 on any divergence.
 """
+
+
+def _add_enumerate_arguments(parser: argparse.ArgumentParser) -> None:
+    """The `repro enumerate` surface (shared with python -m
+    repro.enumerate.runner)."""
+    parser.add_argument(
+        "--max-props",
+        type=int,
+        default=2,
+        metavar="K",
+        help="enumerate every query over up to K propositions "
+        "(semantic dedup walks 2^(2^K) objects: K<=4; default 2)",
+    )
+    parser.add_argument(
+        "--max-objects",
+        type=int,
+        default=2,
+        metavar="N",
+        help="enumerate every relation with up to N objects (default 2)",
+    )
+    parser.add_argument(
+        "--max-rows",
+        type=int,
+        default=2,
+        metavar="R",
+        help="rows (distinct tuples) per enumerated object (default 2)",
+    )
+    parser.add_argument(
+        "--max-exprs",
+        type=int,
+        default=None,
+        metavar="E",
+        help="expressions per enumerated query (default: n at each n)",
+    )
+    parser.add_argument(
+        "--vocab",
+        choices=("bool", "mixed"),
+        default="bool",
+        help="store concretization: pure Boolean attributes, or mixed "
+        "Boolean/category/numeric (exercises typed SQL rendering)",
+    )
+    parser.add_argument(
+        "--guarantees",
+        choices=("true", "both"),
+        default="true",
+        help="evaluation semantics to enumerate: the paper default, or "
+        "also the relaxed no-guarantee variant",
+    )
+    parser.add_argument(
+        "--matrix",
+        default="full",
+        metavar="SPEC",
+        help="conformance matrix: 'full' or axis=a+b pairs joined by ';' "
+        "(axes: learners, oracles, drivers, parallel, backends), e.g. "
+        "'learners=qhorn1;backends=bitmask+sql;parallel=serial'",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="append the JSONL corpus (queries, stores, verdicts, "
+        "divergences, summary) here; doubles as a loadgen scenario file",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip work already verified clean in --out and append",
+    )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes for the pool matrix legs "
+        "(0 drops those legs entirely; default 2)",
+    )
+    parser.add_argument(
+        "--progress-every",
+        type=int,
+        default=25,
+        metavar="N",
+        help="progress line to stderr every N units of work (default 25)",
+    )
+
+
+def build_enumerate_parser() -> argparse.ArgumentParser:
+    """Standalone parser for ``python -m repro.enumerate.runner``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-enumerate",
+        description="bounded-exhaustive differential conformance sweep",
+    )
+    _add_enumerate_arguments(parser)
+    return parser
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -287,6 +397,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the merged per-worker counters recorded in --store "
         "by the last fleet shutdown, then exit",
     )
+
+    enumerate_ = sub.add_parser(
+        "enumerate",
+        help="exhaustive bounded enumeration + differential conformance "
+        "(see the enumerate guide at the bottom of `repro --help`)",
+    )
+    _add_enumerate_arguments(enumerate_)
     return parser
 
 
@@ -307,14 +424,17 @@ def _target_oracle(
     """The ground-truth oracle for ``target`` under a backend choice.
 
     SQL-capable backends (``sql``, ``dbapi``) answer through
-    :class:`SqlQueryOracle`'s one-round-trip ``ask_many`` — ``dbapi``
-    with ``--backend-opt uri=file:...`` runs it on a file-backed store.
-    With ``parallel`` set, the evaluator is wrapped in a
+    :class:`SqlQueryOracle`'s one-round-trip ``ask_many``.  ``dbapi``
+    answers through the pooled oracle (:meth:`SqlQueryOracle.pooled`):
+    batches check connections out of a health-checked
+    ``PooledConnectionSource`` exactly like ``DbApiBackend`` evaluations
+    do, and ``--backend-opt uri=file:...`` / ``pool_size=N`` configure
+    the pool.  With ``parallel`` set, the evaluator is wrapped in a
     :class:`ParallelOracle`; SQL evaluators ship as a factory so every
-    worker opens a *private* scratch database (a shared file URI across
-    processes would race, so ``uri`` stays coordinator-only).  Returns
-    ``(oracle, closer)`` where ``closer`` releases the worker pool —
-    ``None`` when nothing needs closing.
+    worker opens a *private* scratch database (a shared file URI or pool
+    across processes would race, so those stay coordinator-only).
+    Returns ``(oracle, closer)`` where ``closer`` releases the worker or
+    connection pool — ``None`` when nothing needs closing.
     """
     from repro.data.backends import REGISTRY
 
@@ -330,12 +450,16 @@ def _target_oracle(
 
         if sql_capable:
             options.pop("uri", None)
+            options.pop("pool_size", None)
             oracle = ParallelOracle(
                 factory=functools.partial(SqlQueryOracle, target, **options),
                 processes=parallel,
             )
         else:
             oracle = ParallelOracle(QueryOracle(target), processes=parallel)
+        return oracle, oracle
+    if backend == "dbapi":
+        oracle = SqlQueryOracle.pooled(target, **options)
         return oracle, oracle
     if sql_capable:
         return SqlQueryOracle(target, **options), None
@@ -673,6 +797,12 @@ def _cmd_serve_fleet(args) -> int:
     return 0
 
 
+def _cmd_enumerate(args) -> int:
+    from repro.enumerate.runner import run_from_args
+
+    return run_from_args(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -682,6 +812,7 @@ def main(argv: list[str] | None = None) -> int:
         "sql": _cmd_sql,
         "demo": _cmd_demo,
         "serve": _cmd_serve,
+        "enumerate": _cmd_enumerate,
     }
     return handlers[args.command](args)
 

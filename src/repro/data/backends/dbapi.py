@@ -26,6 +26,7 @@ import itertools
 import os
 import sqlite3
 import threading
+import weakref
 from collections import deque
 from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator
@@ -38,7 +39,44 @@ from repro.data.propositions import Vocabulary
 from repro.data.relation import NestedObject, NestedRelation
 from repro.data.sql import SqlDialect, get_dialect, to_sql
 
-__all__ = ["DbApiBackend", "PooledConnectionSource", "sqlite_connector"]
+__all__ = [
+    "DbApiBackend",
+    "PooledConnectionSource",
+    "pool_stats",
+    "sqlite_connector",
+]
+
+#: Every live pool in this process, for aggregate metering.  A WeakSet
+#: so pools vanish from the report when their owners drop them — the
+#: registry observes, it never extends a pool's lifetime.
+_POOLS: "weakref.WeakSet[PooledConnectionSource]" = weakref.WeakSet()
+
+#: The counters every pool exposes, in reporting order.
+POOL_COUNTERS = (
+    "connections_opened",
+    "checkouts",
+    "health_failures",
+    "stale_retries",
+)
+
+
+def pool_stats() -> dict[str, int]:
+    """Process-wide connection-pool counters, summed over live pools.
+
+    The serving tier folds these into each worker's ``stats()`` (as
+    ``pool_*`` keys) so `repro serve --stats` reports pool health per
+    worker and fleet-merged — the ROADMAP's "pool metrics surfaced
+    through the server's metering" item.
+    """
+    totals = {name: 0 for name in POOL_COUNTERS}
+    totals["pools"] = 0
+    for pool in list(_POOLS):
+        if getattr(pool, "_closed", False):
+            continue  # closed pools linger in the weak set until GC
+        totals["pools"] += 1
+        for name in POOL_COUNTERS:
+            totals[name] += getattr(pool, name, 0)
+    return totals
 
 #: Distinguishes the default shared-memory databases of concurrently
 #: live backends in one process.
@@ -117,10 +155,14 @@ class PooledConnectionSource:
         self._available = threading.Condition(self._lock)
         self._live = 0
         self._closed = False
-        # Introspection counters (describe(), tests).
+        # Introspection counters (describe(), pool_stats(), tests).
         self.connections_opened = 0
         self.checkouts = 0
         self.health_failures = 0
+        #: Statements replayed on a fresh checkout after an in-flight
+        #: driver error (callers increment via :meth:`count_stale_retry`).
+        self.stale_retries = 0
+        _POOLS.add(self)
 
     # ------------------------------------------------------------------
     def _open(self) -> Any:
@@ -195,6 +237,10 @@ class PooledConnectionSource:
         except Exception:
             pass
 
+    def count_stale_retry(self) -> None:
+        """Record one discard-and-replay after an in-flight failure."""
+        self.stale_retries += 1
+
     @contextmanager
     def connection(self) -> Iterator[Any]:
         """``with pool.connection() as conn:`` checkout/checkin pair."""
@@ -237,7 +283,8 @@ class PooledConnectionSource:
         return (
             f"pool {self._live}/{self._maxsize} live "
             f"({self.checkouts} checkouts, "
-            f"{self.health_failures} health failures)"
+            f"{self.health_failures} health failures, "
+            f"{self.stale_retries} stale retries)"
         )
 
 
@@ -432,6 +479,7 @@ class DbApiBackend:
                 return rows
             except self._retry_on:
                 self.pool.discard(connection)
+                self.pool.count_stale_retry()
                 connection = None
                 connection = self.pool.acquire()
                 cursor = connection.cursor()

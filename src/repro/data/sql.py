@@ -228,8 +228,10 @@ def _exists(
     false_vars: Iterable[int] = (),
     negate: bool = False,
     dialect: SqlDialect = SQLITE_DIALECT,
+    rows_table: str | None = None,
 ) -> str:
-    rows_table = dialect.identifier("rows")
+    if rows_table is None:
+        rows_table = dialect.identifier("rows")
     conds = ["r.object_key = o.object_key"]
     for v in true_vars:
         conds.append(
@@ -250,31 +252,59 @@ def to_sql(
     query: QhornQuery,
     vocabulary: Vocabulary,
     dialect: SqlDialect | str | None = None,
+    objects_table: str = "objects",
+    rows_table: str = "rows",
 ) -> str:
-    """Compile ``query`` to a SQL statement selecting answer object keys."""
+    """Compile ``query`` to a SQL statement selecting answer object keys.
+
+    ``objects_table``/``rows_table`` override the standard two-table
+    names — the seam that lets :class:`~repro.oracle.SqlQueryOracle`
+    keep its scratch tables in the *same* database as a loaded
+    :class:`~repro.data.backends.dbapi.DbApiBackend` relation without
+    clobbering it (DESIGN.md §2j).
+    """
     d = get_dialect(dialect)
     if query.n != vocabulary.n:
         raise SqlCompileError(
             f"query over n={query.n} propositions, vocabulary has "
             f"{vocabulary.n}"
         )
+    rows_identifier = d.identifier(rows_table)
     clauses: list[str] = []
     for u in sorted(query.universals):
         # ∀ B → h: no row with B true and h false …
         clauses.append(
             _exists(
-                vocabulary, sorted(u.body), [u.head], negate=True, dialect=d
+                vocabulary,
+                sorted(u.body),
+                [u.head],
+                negate=True,
+                dialect=d,
+                rows_table=rows_identifier,
             )
         )
         if query.require_guarantees:
             # … and a witness row with B ∧ h true (qhorn property 2).
-            clauses.append(_exists(vocabulary, sorted(u.variables), dialect=d))
+            clauses.append(
+                _exists(
+                    vocabulary,
+                    sorted(u.variables),
+                    dialect=d,
+                    rows_table=rows_identifier,
+                )
+            )
     for e in sorted(query.existentials):
-        clauses.append(_exists(vocabulary, sorted(e.variables), dialect=d))
+        clauses.append(
+            _exists(
+                vocabulary,
+                sorted(e.variables),
+                dialect=d,
+                rows_table=rows_identifier,
+            )
+        )
     where = "\n  AND ".join(clauses) if clauses else "1 = 1"
-    objects_table = d.identifier("objects")
     return (
-        f"SELECT o.object_key FROM {objects_table} o\nWHERE "
+        f"SELECT o.object_key FROM {d.identifier(objects_table)} o\nWHERE "
         + where
         + "\nORDER BY o.object_key"
     )

@@ -15,6 +15,23 @@ beyond the reusable connection), so the sequential-equivalence contract
 of DESIGN.md §2b holds trivially; agreement with the in-process
 :class:`~repro.oracle.base.QueryOracle` on identical targets is part of
 the backend differential suite.
+
+Connection modes
+----------------
+* **Private** (default): the oracle owns one connection to a private
+  in-memory SQLite (or ``uri=``/``connect=`` for a file or third-party
+  driver), exactly the PR 3 behaviour.
+* **Pooled** (``pool=`` or :meth:`SqlQueryOracle.for_backend`): every
+  statement runs through a
+  :class:`~repro.data.backends.dbapi.PooledConnectionSource` checkout —
+  the pool a :class:`~repro.data.backends.dbapi.DbApiBackend` already
+  holds open, so oracle batches and backend evaluations share the same
+  bounded, health-checked connection set instead of the oracle opening a
+  private handle on the side.  Scratch tables are prefixed
+  (``question_objects``/``question_rows``) so they coexist with a loaded
+  relation's ``objects``/``rows`` in the same database, and a statement
+  that dies on a stale connection is replayed once on a fresh checkout
+  (counted in the pool's ``stale_retries``).
 """
 
 from __future__ import annotations
@@ -41,7 +58,7 @@ def _boolean_vocabulary(n: int) -> Vocabulary:
 
 
 class SqlQueryOracle:
-    """Labels questions with a hidden target query evaluated by SQLite.
+    """Labels questions with a hidden target query evaluated by SQL.
 
     Behaviourally identical to :class:`~repro.oracle.base.QueryOracle`
     (same answers, same width errors); the evaluation runs in the
@@ -53,8 +70,12 @@ class SqlQueryOracle:
     URI — ``repro learn --backend dbapi --backend-opt uri=file:...``),
     ``connect=`` (any zero-argument DB-API connection factory) and
     ``dialect=`` so the same one-round-trip ``ask_many`` runs on an
-    external database.  The scratch tables are dropped and recreated at
-    construction, so reusing a file between runs is safe.
+    external database.  ``pool=`` switches to pooled checkouts (see the
+    module docstring); :meth:`for_backend` wires the oracle onto a
+    :class:`~repro.data.backends.dbapi.DbApiBackend`'s existing pool,
+    and :meth:`pooled` builds an oracle that owns its own pool.  The
+    scratch tables are dropped and recreated at construction, so reusing
+    a file (or a backend's database) between runs is safe.
     """
 
     def __init__(
@@ -63,39 +84,56 @@ class SqlQueryOracle:
         uri: str | None = None,
         connect: Callable[[], Any] | None = None,
         dialect: SqlDialect | str | None = "sqlite",
+        pool: Any | None = None,
+        table_prefix: str | None = None,
+        retry_on: tuple[type[BaseException], ...] | None = None,
     ) -> None:
         self.target = target
         self.n = target.n
         self.uri = uri
         self.dialect = get_dialect(dialect)
+        self.pool = pool
+        #: (pool, keeper) pairs this oracle must close — only set by
+        #: :meth:`pooled`; a pool shared via ``pool=``/:meth:`for_backend`
+        #: stays the caller's to close.
+        self._owned: list[Any] = []
         d = self.dialect
-        self._sql = to_sql(target, _boolean_vocabulary(target.n), dialect=d)
-        if connect is not None:
+        if pool is not None:
+            if uri is not None or connect is not None:
+                raise ValueError(
+                    "pool= replaces uri=/connect=: pooled oracles check "
+                    "connections out of the shared pool"
+                )
+            self.connection = None
+            self._retry_on = retry_on if retry_on is not None else (Exception,)
+        elif connect is not None:
             self.connection = connect()
+            self._retry_on = ()
         elif uri is not None:
             self.connection = sqlite3.connect(
                 uri, uri=uri.startswith("file:"), check_same_thread=False
             )
+            self._retry_on = ()
         else:
             self.connection = sqlite3.connect(":memory:")
+            self._retry_on = ()
+        if table_prefix is None:
+            # Pooled oracles share a database that may hold a loaded
+            # relation; namespace the scratch tables out of its way.
+            table_prefix = "question_" if pool is not None else ""
+        self.table_prefix = table_prefix
+        self._objects_name = f"{table_prefix}objects"
+        self._rows_name = f"{table_prefix}rows"
+        self._sql = to_sql(
+            target,
+            _boolean_vocabulary(target.n),
+            dialect=d,
+            objects_table=self._objects_name,
+            rows_table=self._rows_name,
+        )
         names = [f"p{i + 1}" for i in range(target.n)]
-        objects_table = d.identifier("objects")
-        rows_table = d.identifier("rows")
-        boolean_type = d.type_names.get("BOOLEAN", "INTEGER")
-        cols = ", ".join(
-            f"{d.identifier(name)} {boolean_type}" for name in names
-        )
-        cur = self.connection.cursor()
-        cur.execute(f"DROP TABLE IF EXISTS {rows_table}")
-        cur.execute(f"DROP TABLE IF EXISTS {objects_table}")
-        cur.execute(
-            f"CREATE TABLE {objects_table} (object_key TEXT PRIMARY KEY)"
-        )
-        cur.execute(f"CREATE TABLE {rows_table} (object_key TEXT, {cols})")
-        cur.execute(
-            f"CREATE INDEX rows_by_object ON {rows_table} (object_key)"
-        )
-        self.connection.commit()
+        objects_table = d.identifier(self._objects_name)
+        rows_table = d.identifier(self._rows_name)
         self._objects_table = objects_table
         self._rows_table = rows_table
         self._insert_object = (
@@ -106,6 +144,98 @@ class SqlQueryOracle:
             f"INSERT INTO {rows_table} VALUES "
             f"({d.placeholders(['object_key'] + names)})"
         )
+        boolean_type = d.type_names.get("BOOLEAN", "INTEGER")
+        cols = ", ".join(
+            f"{d.identifier(name)} {boolean_type}" for name in names
+        )
+        index_name = d.identifier(f"{self._rows_name}_by_object")
+        ddl = (
+            f"DROP TABLE IF EXISTS {rows_table}",
+            f"DROP TABLE IF EXISTS {objects_table}",
+            f"CREATE TABLE {objects_table} (object_key TEXT PRIMARY KEY)",
+            f"CREATE TABLE {rows_table} (object_key TEXT, {cols})",
+            f"CREATE INDEX {index_name} ON {rows_table} (object_key)",
+        )
+
+        def setup(connection: Any) -> None:
+            cur = connection.cursor()
+            for statement in ddl:
+                cur.execute(statement)
+            connection.commit()
+
+        self._run(setup)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_backend(cls, target: QhornQuery, backend: Any) -> "SqlQueryOracle":
+        """An oracle batching through ``backend``'s existing connection
+        pool (a :class:`~repro.data.backends.dbapi.DbApiBackend`):
+        membership answering and relation evaluation share one bounded
+        connection set, one dialect, one database."""
+        return cls(
+            target,
+            pool=backend.pool,
+            dialect=backend.dialect,
+            retry_on=getattr(backend, "_retry_on", None),
+        )
+
+    @classmethod
+    def pooled(
+        cls,
+        target: QhornQuery,
+        uri: str | None = None,
+        dialect: SqlDialect | str | None = "sqlite",
+        pool_size: int = 4,
+    ) -> "SqlQueryOracle":
+        """A standalone pooled oracle that owns its pool (and closes it).
+
+        This is the ``--backend dbapi`` oracle path: SQLite over ``uri``
+        (or a private shared-memory database) behind a health-checked
+        :class:`~repro.data.backends.dbapi.PooledConnectionSource`.
+        """
+        from repro.data.backends.dbapi import (
+            PooledConnectionSource,
+            memory_uri,
+            sqlite_connector,
+        )
+
+        actual_uri = uri if uri is not None else memory_uri("oracle")
+        connect = sqlite_connector(actual_uri)
+        # Shared-memory databases live while one connection stays open.
+        keeper = connect()
+        pool = PooledConnectionSource(connect, maxsize=pool_size)
+        oracle = cls(
+            target, pool=pool, dialect=dialect, retry_on=(sqlite3.Error,)
+        )
+        oracle.uri = actual_uri
+        oracle._owned = [pool, keeper]
+        return oracle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _run(self, work: Callable[[Any], Any]) -> Any:
+        """Run ``work(connection)`` — directly in private mode, through a
+        pool checkout in pooled mode, replayed once on a fresh checkout
+        if a retryable driver error kills the first attempt (the batch
+        setup deletes before inserting, so a replay is idempotent)."""
+        if self.pool is None:
+            return work(self.connection)
+        connection = self.pool.acquire()
+        try:
+            try:
+                return work(connection)
+            except self._retry_on:
+                self.pool.discard(connection)
+                self.pool.count_stale_retry()
+                connection = None
+                connection = self.pool.acquire()
+                return work(connection)
+        finally:
+            if connection is not None:
+                self.pool.release(connection)
 
     def _check(self, question: Question) -> None:
         if question.n != self.n:
@@ -129,25 +259,45 @@ class SqlQueryOracle:
                 self._check(q)  # width-checked once per distinct question
                 keys[q] = f"q{len(keys)}"
         n = self.n
-        cur = self.connection.cursor()
-        cur.execute(f"DELETE FROM {self._rows_table}")
-        cur.execute(f"DELETE FROM {self._objects_table}")
-        cur.executemany(
-            self._insert_object, [(k,) for k in keys.values()]
-        )
-        cur.executemany(
-            self._insert_row,
-            [
-                [key] + [t >> v & 1 for v in range(n)]
-                for q, key in keys.items()
-                for t in q.sorted_tuples()
-            ],
-        )
-        answers = {row[0] for row in cur.execute(self._sql)}
+
+        def answer(connection: Any) -> set:
+            cur = connection.cursor()
+            cur.execute(f"DELETE FROM {self._rows_table}")
+            cur.execute(f"DELETE FROM {self._objects_table}")
+            cur.executemany(
+                self._insert_object, [(k,) for k in keys.values()]
+            )
+            cur.executemany(
+                self._insert_row,
+                [
+                    [key] + [t >> v & 1 for v in range(n)]
+                    for q, key in keys.items()
+                    for t in q.sorted_tuples()
+                ],
+            )
+            found = {row[0] for row in cur.execute(self._sql)}
+            if self.pool is not None:
+                # Pooled connections interleave with other checkouts;
+                # never park an open write transaction in the pool.
+                connection.commit()
+            return found
+
+        answers = self._run(answer)
         return [keys[q] in answers for q in questions]
 
     def close(self) -> None:
-        self.connection.close()
+        """Close what this oracle owns: its private connection, or (for
+        :meth:`pooled` oracles) its own pool and keeper.  A pool shared
+        through ``pool=``/:meth:`for_backend` is left open — the backend
+        that owns it decides its lifetime."""
+        if self.connection is not None:
+            self.connection.close()
+        for resource in self._owned:
+            try:
+                resource.close()
+            except Exception:
+                pass
+        self._owned = []
 
     def __enter__(self) -> "SqlQueryOracle":
         return self

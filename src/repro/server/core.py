@@ -232,7 +232,14 @@ class RoundServer:
         self.store.save_worker_stats(self.worker_id, self.stats())
 
     def stats(self) -> dict[str, int]:
-        return {
+        # Connection-pool health rides along as pool_* counters: every
+        # live PooledConnectionSource in this worker's process (dbapi
+        # backends, pooled SqlQueryOracles) reports through one
+        # process-wide aggregate, so `repro serve --stats` shows pool
+        # health per worker and fleet-merged (DESIGN.md §2i).
+        from repro.data.backends.dbapi import pool_stats
+
+        counters = {
             "live_sessions": len(self._sessions),
             "sessions_opened": self.sessions_opened,
             "sessions_resumed": self.sessions_resumed,
@@ -241,6 +248,10 @@ class RoundServer:
             "wire_errors": self.wire_errors,
             "claims_rejected": self.claims_rejected,
         }
+        counters.update(
+            (f"pool_{name}", value) for name, value in pool_stats().items()
+        )
+        return counters
 
     # ------------------------------------------------------------------
     # Idle eviction

@@ -49,6 +49,8 @@ __all__ = [
     "simulate_user",
     "run_load",
     "run_load_multiprocess",
+    "random_intents",
+    "load_scenarios",
 ]
 
 
@@ -390,6 +392,45 @@ def random_intents(
     return [random_qhorn1(n, rng) for _ in range(count)]
 
 
+def load_scenarios(path: str) -> list[QhornQuery]:
+    """Intents from a `repro enumerate` JSONL corpus (``--scenario``).
+
+    Every provably-distinct enumerated query becomes one dialogue's
+    intent, so a load run covers the *whole* bounded query space instead
+    of one random-generator distribution.  Accepted lines: the corpus's
+    ``{"kind": "query", "query": {...}}`` records (other kinds — stores,
+    instances, the summary — are skipped), or bare
+    ``{"query": {...}}`` / ``{"intent": "shorthand", "n": N}`` objects
+    for hand-written scenario files.
+    """
+    from repro.core.parser import parse_query
+    from repro.core.serialize import query_from_dict
+
+    intents: list[QhornQuery] = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("kind")
+            if kind is not None and kind != "query":
+                continue
+            if "query" in record:
+                intents.append(query_from_dict(record["query"]))
+            elif "intent" in record:
+                intents.append(
+                    parse_query(record["intent"], n=record.get("n"))
+                )
+            elif kind == "query":
+                raise ValueError(
+                    f"{path}:{lineno}: query record without a 'query' dict"
+                )
+    if not intents:
+        raise ValueError(f"{path}: no scenario intents found")
+    return intents
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     import argparse
 
@@ -399,9 +440,23 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, required=True)
-    parser.add_argument("--users", type=int, default=8)
+    parser.add_argument(
+        "--users",
+        type=int,
+        default=None,
+        help="simulated users (default: 8, or one per scenario intent "
+        "with --scenario; more users cycle the scenario list)",
+    )
     parser.add_argument("--n", type=int, default=4)
     parser.add_argument("--learner", default="qhorn1")
+    parser.add_argument(
+        "--scenario",
+        metavar="FILE",
+        default=None,
+        help="replay intents from a `repro enumerate` JSONL corpus "
+        "(one dialogue per enumerated query) instead of the random "
+        "generator; --n and --seed stop shaping the workload",
+    )
     parser.add_argument("--think-time", type=float, default=0.0)
     parser.add_argument("--seed", type=int, default=2013)
     parser.add_argument(
@@ -434,7 +489,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     from repro.core.normalize import canonicalize
     from repro.core.parser import parse_query
 
-    intents = random_intents(args.users, args.n, seed=args.seed)
+    if args.scenario is not None:
+        scenarios = load_scenarios(args.scenario)
+        count = args.users if args.users is not None else len(scenarios)
+        intents = [scenarios[i % len(scenarios)] for i in range(count)]
+    else:
+        count = args.users if args.users is not None else 8
+        intents = random_intents(count, args.n, seed=args.seed)
     if args.processes > 1:
         report = run_load_multiprocess(
             args.host,

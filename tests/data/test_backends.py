@@ -492,6 +492,8 @@ class TestDbApiBackendLifecycle:
             # The poisoned checkout was discarded and the statement
             # re-ran on a freshly opened connection.
             assert backend.pool.connections_opened == opened + 1
+            assert backend.pool.stale_retries == 1
+            assert "1 stale retries" in backend.pool.describe()
         finally:
             backend.close()
 

@@ -1,0 +1,104 @@
+"""The bounded spaces: determinism, stable ids, semantic dedup,
+relation round-trips (DESIGN.md §2j)."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+
+from repro.core.normalize import brute_force_equivalent
+from repro.enumerate.space import (
+    EnumeratedStore,
+    enumerate_queries,
+    enumerate_stores,
+    expression_universe,
+    store_vocabulary,
+)
+
+
+class TestQuerySpace:
+    def test_deterministic_and_ids_stable(self):
+        first = list(enumerate_queries(2))
+        second = list(enumerate_queries(2))
+        assert [q.id for q in first] == [q.id for q in second]
+        assert [q.signature for q in first] == [q.signature for q in second]
+
+    def test_universe_size_matches_formula(self):
+        # n·2^(n-1) universal Horn expressions + 2^n − 1 conjunctions.
+        for n in (1, 2, 3):
+            assert len(expression_universe(n)) == n * 2 ** (n - 1) + 2**n - 1
+
+    def test_semantic_dedup_is_sound_and_complete(self):
+        """Distinct enumerated queries are semantically distinct, and
+        the signature agrees with brute-force equivalence."""
+        entries = list(enumerate_queries(2))
+        for a, b in combinations(entries, 2):
+            if a.n != b.n:
+                continue
+            assert a.signature != b.signature
+            assert not brute_force_equivalent(a.query, b.query)
+
+    def test_every_entry_is_qhorn1(self):
+        for entry in enumerate_queries(2):
+            assert entry.query.is_qhorn1()
+
+    def test_known_counts_pin_the_space(self):
+        # Regression pin: 2 distinct behaviours at n=1 (∀x1 ≡ ∃x1 under
+        # guarantees; plus the two-expression conjunction), 13 at n≤2.
+        assert len(list(enumerate_queries(1))) == 2
+        assert len(list(enumerate_queries(2))) == 13
+
+    def test_kind_filters_widen_the_space(self):
+        qhorn1 = len(list(enumerate_queries(2)))
+        role_preserving = len(list(enumerate_queries(2, kind="role-preserving")))
+        every = len(list(enumerate_queries(2, kind="qhorn")))
+        assert qhorn1 <= role_preserving <= every
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError, match="positive"):
+            list(enumerate_queries(0))
+        with pytest.raises(ValueError, match="infeasible"):
+            list(enumerate_queries(5))
+        with pytest.raises(ValueError, match="unknown query kind"):
+            list(enumerate_queries(1, kind="mystery"))
+
+    def test_records_replay_through_serialization(self):
+        from repro.core.serialize import query_from_dict
+
+        for entry in enumerate_queries(2):
+            record = entry.to_record()
+            assert record["kind"] == "query"
+            assert query_from_dict(record["query"]) == entry.query
+
+
+class TestStoreSpace:
+    def test_deterministic_and_counts(self):
+        first = list(enumerate_stores(2, 2))
+        assert [s.id for s in first] == [s.id for s in enumerate_stores(2, 2)]
+        # 11 objects of ≤2 rows over 4 masks (1 empty + 4 + 6), so
+        # 1 + 11 + C(12,2)=66 multisets of ≤2 objects.
+        assert len(first) == 78
+
+    def test_relation_round_trip_bool(self):
+        vocabulary = store_vocabulary(2, "bool")
+        for store in list(enumerate_stores(2, 2))[:30]:
+            relation = store.relation(vocabulary)
+            for obj, masks in zip(relation, store.mask_sets):
+                assert frozenset(vocabulary.boolean_tuples(obj.rows)) == masks
+
+    def test_relation_round_trip_mixed(self):
+        vocabulary = store_vocabulary(3, "mixed")
+        store = EnumeratedStore(id="s3-fixed", n=3, objects=((0, 3, 7), (5,)))
+        relation = store.relation(vocabulary)
+        for obj, masks in zip(relation, store.mask_sets):
+            assert frozenset(vocabulary.boolean_tuples(obj.rows)) == masks
+
+    def test_empty_store_and_empty_object_present(self):
+        stores = list(enumerate_stores(1, 1))
+        assert any(not s.objects for s in stores)
+        assert any(s.objects == ((),) for s in stores)
+
+    def test_vocabulary_flavor_validated(self):
+        with pytest.raises(ValueError, match="unknown store vocabulary"):
+            store_vocabulary(2, "fancy")

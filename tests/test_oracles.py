@@ -558,3 +558,103 @@ class TestSqlQueryOracle:
             assert oracle.ask_many([]) == []
             empty = Question.of(2, [])
             assert oracle.ask(empty) is QueryOracle(relaxed).ask(empty)
+
+
+class TestSqlQueryOraclePooled:
+    def test_pooled_agrees_with_query_oracle(self):
+        from repro.oracle import SqlQueryOracle
+
+        rng = random.Random(19)
+        target = random_qhorn1(3, rng)
+        questions = [
+            Question.of(3, [rng.randrange(8) for _ in range(rng.randint(0, 3))])
+            for _ in range(40)
+        ]
+        oracle = SqlQueryOracle.pooled(target, pool_size=2)
+        try:
+            assert oracle.ask_many(questions) == QueryOracle(target).ask_many(
+                questions
+            )
+            assert oracle.pool.checkouts >= 1
+        finally:
+            oracle.close()
+
+    def test_pooled_close_closes_owned_pool(self):
+        from repro.oracle import SqlQueryOracle
+
+        oracle = SqlQueryOracle.pooled(parse_query("∃x1"))
+        pool = oracle.pool
+        oracle.close()
+        with pytest.raises(RuntimeError):
+            pool.acquire()
+
+    def test_pool_conflicts_with_uri(self):
+        from repro.data.backends.dbapi import (
+            PooledConnectionSource,
+            sqlite_connector,
+        )
+        from repro.oracle import SqlQueryOracle
+
+        pool = PooledConnectionSource(sqlite_connector(":memory:"))
+        try:
+            with pytest.raises(ValueError, match="pool="):
+                SqlQueryOracle(
+                    parse_query("∃x1"), uri="file:x?mode=memory", pool=pool
+                )
+        finally:
+            pool.close()
+
+    def test_for_backend_shares_pool_and_coexists(self):
+        """The §2j integration: oracle batches and relation evaluation
+        share one pool and one database without clobbering each other."""
+        from repro.data.backends import DbApiBackend
+        from repro.data.chocolate import random_store, storefront_vocabulary
+        from repro.oracle import SqlQueryOracle
+
+        store = random_store(25, random.Random(7))
+        vocab = storefront_vocabulary()
+        target = parse_query("∀x1 ∃x2x3", n=4)
+        backend = DbApiBackend(store, vocab, pool_size=2)
+        try:
+            before = [o.key for o in backend.execute(target)]
+            oracle = SqlQueryOracle.for_backend(target, backend)
+            assert oracle.pool is backend.pool
+            rng = random.Random(3)
+            questions = [
+                Question.of(4, [rng.randrange(16) for _ in range(2)])
+                for _ in range(20)
+            ]
+            assert oracle.ask_many(questions) == QueryOracle(
+                target
+            ).ask_many(questions)
+            # The oracle's scratch tables are question_-prefixed: the
+            # backend's loaded relation still answers identically.
+            assert [o.key for o in backend.execute(target)] == before
+            oracle.close()  # shared pool stays the backend's to close
+            assert [o.key for o in backend.execute(target)] == before
+        finally:
+            backend.close()
+
+    def test_stale_statement_replays_once_and_counts(self):
+        import sqlite3 as _sqlite3
+
+        from repro.oracle import SqlQueryOracle
+
+        oracle = SqlQueryOracle.pooled(parse_query("∃x1x2"))
+        try:
+            calls = []
+
+            def work(connection):
+                calls.append(connection)
+                if len(calls) == 1:
+                    raise _sqlite3.OperationalError("synthetic stale handle")
+                return "answered"
+
+            assert oracle._run(work) == "answered"
+            assert len(calls) == 2
+            assert calls[1] is not calls[0]
+            assert oracle.pool.stale_retries == 1
+            # The oracle still answers after the synthetic failure.
+            assert oracle.ask(Question.of(2, [3])) is True
+        finally:
+            oracle.close()
